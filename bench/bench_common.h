@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harness binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace pds::bench {
+
+// Seeds averaged per data point. The paper averages over 5 runs; the default
+// here keeps each binary within a couple of minutes. Override with
+// PDS_BENCH_RUNS.
+inline int runs(int dflt = 2) {
+  if (const char* env = std::getenv("PDS_BENCH_RUNS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return dflt;
+}
+
+struct Series {
+  util::SampleSet recall;
+  util::SampleSet latency_s;
+  util::SampleSet overhead_mb;
+};
+
+// Runs `body(seed)` for `n` seeds and accumulates.
+template <typename Body>
+Series average(int n, Body&& body) {
+  Series s;
+  for (int i = 0; i < n; ++i) {
+    const auto [recall, latency, overhead] = body(static_cast<std::uint64_t>(i + 1));
+    s.recall.add(recall);
+    s.latency_s.add(latency);
+    s.overhead_mb.add(overhead);
+  }
+  return s;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_summary,
+                         int runs_used = 0) {
+  std::printf("== %s ==\n", experiment.c_str());
+  std::printf("paper reports: %s\n", paper_summary.c_str());
+  std::printf("runs per point: %d (PDS_BENCH_RUNS to change)\n\n",
+              runs_used > 0 ? runs_used : runs());
+}
+
+}  // namespace pds::bench

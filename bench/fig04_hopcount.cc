@@ -1,0 +1,45 @@
+// Fig. 4 (paper §VI-B.1): recall of single-round PDD (with per-hop ack) as
+// the grid — and with it the maximum hop count from the center consumer —
+// grows from 3×3 (1 hop) to 11×11 (5 hops). The average load is held at 50
+// metadata entries per node.
+//
+// Paper series: recall falls from 100% at 1 hop to 72.3% at 5 hops; latency
+// and overhead grow from 0.3 s / 0.04 MB to 3.5 s / 1.71 MB.
+#include "bench_common.h"
+#include "workload/experiment.h"
+
+namespace pds {
+namespace {
+
+int run() {
+  bench::print_header(
+      "Fig. 4 — single-round PDD vs maximum hop count",
+      "recall 100% -> 72.3%, latency 0.3 -> 3.5 s, overhead 0.04 -> 1.71 MB");
+
+  util::Table table({"grid", "max hops", "recall", "latency (s)",
+                     "overhead (MB)"});
+  for (const std::size_t n : {3u, 5u, 7u, 9u, 11u}) {
+    const bench::Series s =
+        bench::average(bench::runs(), [&](std::uint64_t seed) {
+          wl::PddGridParams p;
+          p.nx = p.ny = n;
+          p.metadata_count = 50 * n * n;  // constant per-node load
+          p.multi_round = false;
+          p.ack = true;
+          p.seed = seed;
+          const wl::PddOutcome out = wl::run_pdd_grid(p);
+          return std::tuple{out.recall, out.latency_s, out.overhead_mb};
+        });
+    table.add_row({std::to_string(n) + "x" + std::to_string(n),
+                   std::to_string(n / 2), util::Table::num(s.recall.mean(), 3),
+                   util::Table::num(s.latency_s.mean(), 2),
+                   util::Table::num(s.overhead_mb.mean(), 2)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace pds
+
+int main() { return pds::run(); }

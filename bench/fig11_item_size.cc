@@ -1,0 +1,47 @@
+// Fig. 11 (paper §VI-B.3): two-phase PDR retrieving items of 1–20 MB
+// (256 KB chunks, one copy of each chunk scattered uniformly).
+//
+// Paper series: 100% recall at every size; latency and overhead grow almost
+// linearly from 8.2 s / 4.83 MB at 1 MB to 46.1 s / 54.22 MB at 20 MB;
+// overhead is 2–3× the item size because chunks travel several hops.
+#include "bench_common.h"
+#include "workload/experiment.h"
+
+namespace pds {
+namespace {
+
+int run() {
+  bench::print_header(
+      "Fig. 11 — PDR latency & overhead vs data item size",
+      "recall 100%; 1 MB: 8.2 s / 4.83 MB ... 20 MB: 46.1 s / 54.22 MB "
+      "(overhead 2-3x item size)");
+
+  util::Table table({"size (MB)", "recall", "latency (s)", "overhead (MB)",
+                     "overhead / size"});
+  for (const std::size_t mib : {1u, 5u, 10u, 15u, 20u}) {
+    util::SampleSet recall;
+    util::SampleSet latency;
+    util::SampleSet overhead;
+    for (int r = 0; r < bench::runs(); ++r) {
+      wl::RetrievalGridParams p;
+      p.item_size_bytes = mib * 1024 * 1024;
+      p.seed = static_cast<std::uint64_t>(r + 1);
+      const wl::RetrievalOutcome out = wl::run_retrieval_grid(p);
+      recall.add(out.recall);
+      latency.add(out.latency_s);
+      overhead.add(out.overhead_mb);
+    }
+    table.add_row(
+        {std::to_string(mib), util::Table::num(recall.mean(), 3),
+         util::Table::num(latency.mean(), 1),
+         util::Table::num(overhead.mean(), 1),
+         util::Table::num(overhead.mean() / static_cast<double>(mib), 2)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace pds
+
+int main() { return pds::run(); }

@@ -1,0 +1,49 @@
+// Fig. 16 (paper §VI-B.3): PDR with 1–5 simultaneous consumers retrieving
+// the same 20 MB item (one initial copy of each chunk).
+//
+// Paper series: recall 100%; latency and overhead first grow with the
+// number of consumers, then stabilize — consumers in the same direction of
+// a chunk share its transmissions.
+#include "bench_common.h"
+#include "workload/experiment.h"
+
+namespace pds {
+namespace {
+
+int run() {
+  const int n_runs = bench::runs(2);
+  bench::print_header(
+      "Fig. 16 — PDR with simultaneous consumers (20 MB item)",
+      "recall 100%; latency & overhead rise then stabilize", n_runs);
+
+  util::Table table({"consumers", "recall", "mean latency (s)",
+                     "overhead (MB)"});
+  for (const std::size_t consumers : {1u, 2u, 3u, 4u, 5u}) {
+    util::SampleSet recall;
+    util::SampleSet latency;
+    util::SampleSet overhead;
+    for (int r = 0; r < n_runs; ++r) {
+      wl::RetrievalGridParams p;
+      p.item_size_bytes = 20u * 1024 * 1024;
+      p.consumers = consumers;
+      p.sequential = false;
+      p.horizon = SimTime::seconds(1800);
+      p.seed = static_cast<std::uint64_t>(r + 1);
+      const wl::RetrievalOutcome out = wl::run_retrieval_grid(p);
+      recall.add(out.recall);
+      latency.add(out.latency_s);
+      overhead.add(out.overhead_mb);
+    }
+    table.add_row({std::to_string(consumers),
+                   util::Table::num(recall.mean(), 3),
+                   util::Table::num(latency.mean(), 1),
+                   util::Table::num(overhead.mean(), 1)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace pds
+
+int main() { return pds::run(); }

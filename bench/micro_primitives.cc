@@ -1,0 +1,155 @@
+// google-benchmark microbenchmarks for the hot primitives: Bloom filter
+// operations, descriptor hashing, data-store matching, wire codec, GAP
+// assignment and the event queue.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/data_store.h"
+#include "net/codec.h"
+#include "sim/event_queue.h"
+#include "util/bloom_filter.h"
+#include "util/gap_assign.h"
+#include "workload/generator.h"
+
+namespace pds {
+namespace {
+
+void BM_BloomInsert(benchmark::State& state) {
+  util::BloomFilter f = util::BloomFilter::with_capacity(
+      static_cast<std::size_t>(state.range(0)), 0.01, 1);
+  Rng rng(1);
+  for (auto _ : state) {
+    f.insert(rng.next_u64());
+  }
+}
+BENCHMARK(BM_BloomInsert)->Arg(1000)->Arg(100000);
+
+void BM_BloomQuery(benchmark::State& state) {
+  util::BloomFilter f = util::BloomFilter::with_capacity(
+      static_cast<std::size_t>(state.range(0)), 0.01, 1);
+  Rng rng(1);
+  for (std::int64_t i = 0; i < state.range(0); ++i) f.insert(rng.next_u64());
+  std::uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.maybe_contains(probe++));
+  }
+}
+BENCHMARK(BM_BloomQuery)->Arg(1000)->Arg(100000);
+
+void BM_DescriptorEntryKey(benchmark::State& state) {
+  Rng rng(2);
+  const auto entries =
+      wl::make_sample_descriptors(1000, wl::SampleSpace{}, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // Fresh copy defeats the key memoization so the canonical encoding and
+    // hash are measured.
+    core::DataDescriptor d = entries[i++ % entries.size()];
+    benchmark::DoNotOptimize(d.entry_key());
+  }
+}
+BENCHMARK(BM_DescriptorEntryKey);
+
+void BM_DataStoreMatchAll(benchmark::State& state) {
+  core::DataStore store;
+  Rng rng(3);
+  for (auto& d : wl::make_sample_descriptors(
+           static_cast<std::size_t>(state.range(0)), wl::SampleSpace{}, rng)) {
+    store.insert_metadata(d, true, SimTime::zero(), SimTime::zero());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.match_metadata(core::Filter{}, SimTime::zero()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataStoreMatchAll)->Arg(1000)->Arg(10000);
+
+void BM_DataStoreMatchFiltered(benchmark::State& state) {
+  core::DataStore store;
+  Rng rng(4);
+  for (auto& d :
+       wl::make_sample_descriptors(10000, wl::SampleSpace{}, rng)) {
+    store.insert_metadata(d, true, SimTime::zero(), SimTime::zero());
+  }
+  core::Filter f;
+  f.where_range("x", 10.0, 20.0).where_range("y", 10.0, 20.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.match_metadata(f, SimTime::zero()));
+  }
+}
+BENCHMARK(BM_DataStoreMatchFiltered);
+
+void BM_CodecEncodeResponse(benchmark::State& state) {
+  Rng rng(5);
+  net::Message m;
+  m.type = net::MessageType::kResponse;
+  m.kind = net::ContentKind::kMetadata;
+  m.response_id = ResponseId(1);
+  m.sender = NodeId(1);
+  m.receivers = {NodeId(2)};
+  for (auto& d : wl::make_sample_descriptors(45, wl::SampleSpace{}, rng)) {
+    m.metadata.push_back(std::move(d));
+  }
+  const net::Codec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(m));
+  }
+}
+BENCHMARK(BM_CodecEncodeResponse);
+
+void BM_CodecWireSize(benchmark::State& state) {
+  Rng rng(6);
+  net::Message m;
+  m.type = net::MessageType::kResponse;
+  m.kind = net::ContentKind::kMetadata;
+  m.sender = NodeId(1);
+  m.receivers = {NodeId(2)};
+  for (auto& d : wl::make_sample_descriptors(45, wl::SampleSpace{}, rng)) {
+    m.metadata.push_back(std::move(d));
+  }
+  const net::Codec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.wire_size(m));
+  }
+}
+BENCHMARK(BM_CodecWireSize);
+
+void BM_GapHeuristic(benchmark::State& state) {
+  Rng rng(7);
+  // The paper's typical per-division instance: ~10 chunks, ~10 neighbors.
+  util::GapInstance inst;
+  inst.neighbor_count = 10;
+  for (int c = 0; c < static_cast<int>(state.range(0)); ++c) {
+    std::vector<std::size_t> eligible;
+    for (std::size_t n = 0; n < 10; ++n) {
+      if (rng.bernoulli(0.4)) eligible.push_back(n);
+    }
+    if (eligible.empty()) eligible.push_back(0);
+    inst.hop.emplace_back(eligible.size(), 1);
+    inst.eligible.push_back(std::move(eligible));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::solve_min_max_heuristic(inst));
+  }
+}
+BENCHMARK(BM_GapHeuristic)->Arg(10)->Arg(80);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::EventQueue q;
+  Rng rng(8);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(SimTime::micros(static_cast<std::int64_t>(rng.next_u64() % 1000)),
+             [] {});
+    }
+    while (!q.empty()) q.pop().action();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueue);
+
+}  // namespace
+}  // namespace pds
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Ablations of the paper's three key mechanisms (DESIGN.md §5): lingering
+// queries, mixedcast, en-route Bloom rewriting, opportunistic overhearing
+// caches and GAP load balancing. Each row flips one toggle while the rest of
+// the system stays at paper defaults.
+#include "bench_common.h"
+#include "workload/experiment.h"
+
+namespace pds {
+namespace {
+
+struct Variant {
+  const char* name;
+  void (*apply)(core::PdsConfig&);
+};
+
+int run() {
+  bench::print_header(
+      "Ablations — each mechanism off vs full PDS",
+      "each mechanism exists to cut overhead/latency; turning one off "
+      "should not break recall but should cost transmissions");
+
+  const Variant variants[] = {
+      {"full PDS (baseline)", [](core::PdsConfig&) {}},
+      {"no lingering queries",
+       [](core::PdsConfig& c) { c.enable_lingering_queries = false; }},
+      {"no mixedcast", [](core::PdsConfig& c) { c.enable_mixedcast = false; }},
+      {"no Bloom rewriting",
+       [](core::PdsConfig& c) { c.enable_bloom_rewriting = false; }},
+      {"no overhearing cache",
+       [](core::PdsConfig& c) { c.enable_overhearing_cache = false; }},
+  };
+
+  // Each mechanism pays off in a different workload: mixedcast and Bloom
+  // rewriting when consumers overlap in time, overhearing caches when they
+  // come one after another. Run both.
+  for (const bool sequential : {false, true}) {
+    std::printf("PDD, 5,000 entries, redundancy 2, 3 %s consumers:\n",
+                sequential ? "sequential" : "simultaneous");
+    util::Table pdd_table({"variant", "recall", "latency (s)",
+                           "overhead (MB)", "rounds"});
+    for (const Variant& v : variants) {
+      util::SampleSet recall;
+      util::SampleSet latency;
+      util::SampleSet overhead;
+      util::SampleSet rounds;
+      for (int r = 0; r < bench::runs(); ++r) {
+        wl::PddGridParams p;
+        p.metadata_count = 5000;
+        p.redundancy = 2;
+        p.consumers = 3;
+        p.sequential = sequential;
+        p.seed = static_cast<std::uint64_t>(r + 1);
+        v.apply(p.pds);
+        const wl::PddOutcome out = wl::run_pdd_grid(p);
+        recall.add(out.recall);
+        latency.add(out.latency_s);
+        overhead.add(out.overhead_mb);
+        rounds.add(out.rounds);
+      }
+      pdd_table.add_row({v.name, util::Table::num(recall.mean(), 3),
+                         util::Table::num(latency.mean(), 2),
+                         util::Table::num(overhead.mean(), 2),
+                         util::Table::num(rounds.mean(), 1)});
+    }
+    pdd_table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPDR, 10 MB item, redundancy 3 — GAP balancing vs naive nearest:\n");
+  util::Table pdr_table({"variant", "recall", "latency (s)",
+                         "overhead (MB)"});
+  for (const bool balanced : {true, false}) {
+    util::SampleSet recall;
+    util::SampleSet latency;
+    util::SampleSet overhead;
+    for (int r = 0; r < bench::runs(1); ++r) {
+      wl::RetrievalGridParams p;
+      p.item_size_bytes = 10u * 1024 * 1024;
+      p.redundancy = 3;
+      p.pds.enable_gap_balancing = balanced;
+      p.seed = static_cast<std::uint64_t>(r + 1);
+      const wl::RetrievalOutcome out = wl::run_retrieval_grid(p);
+      recall.add(out.recall);
+      latency.add(out.latency_s);
+      overhead.add(out.overhead_mb);
+    }
+    pdr_table.add_row({balanced ? "min-max GAP balancing" : "naive nearest",
+                       util::Table::num(recall.mean(), 3),
+                       util::Table::num(latency.mean(), 1),
+                       util::Table::num(overhead.mean(), 1)});
+  }
+  pdr_table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace pds
+
+int main() { return pds::run(); }

@@ -1,0 +1,66 @@
+// Chunk-cache strategies (paper §VII future work: "proper data chunk
+// caching strategies based on their popularity and devices' resource
+// availability").
+//
+// Two consumers fetch the same 10 MB item one after another. Relays cache
+// chunks opportunistically, bounded by the configured budget; the second
+// consumer's latency and the network's total overhead show how much of the
+// first transfer's caching survives under each policy.
+#include "bench_common.h"
+#include "workload/experiment.h"
+
+namespace pds {
+namespace {
+
+struct CachePoint {
+  const char* name;
+  std::size_t budget_bytes;
+  core::ChunkEvictionPolicy policy;
+};
+
+int run() {
+  bench::print_header(
+      "Chunk-cache policies — second-consumer benefit vs cache budget",
+      "§VII future work; unlimited caching is the paper's implicit default");
+
+  const CachePoint points[] = {
+      {"unlimited (paper)", 0, core::ChunkEvictionPolicy::kLru},
+      {"4 MB, LRU", 4u << 20, core::ChunkEvictionPolicy::kLru},
+      {"4 MB, LFU", 4u << 20, core::ChunkEvictionPolicy::kLfu},
+      {"1 MB, LRU", 1u << 20, core::ChunkEvictionPolicy::kLru},
+      {"1 MB, LFU", 1u << 20, core::ChunkEvictionPolicy::kLfu},
+  };
+
+  util::Table table({"cache", "recall", "2nd consumer latency (s)",
+                     "total overhead (MB)"});
+  for (const CachePoint& point : points) {
+    util::SampleSet recall;
+    util::SampleSet second_latency;
+    util::SampleSet overhead;
+    for (int r = 0; r < bench::runs(); ++r) {
+      wl::RetrievalGridParams p;
+      p.item_size_bytes = 10u << 20;
+      p.consumers = 2;
+      p.sequential = true;
+      p.pds.chunk_cache_bytes = point.budget_bytes;
+      p.pds.chunk_eviction_policy = point.policy;
+      p.seed = static_cast<std::uint64_t>(r + 1);
+      const wl::RetrievalOutcome out = wl::run_retrieval_grid(p);
+      recall.add(out.recall);
+      if (out.per_consumer_latency_s.size() >= 2) {
+        second_latency.add(out.per_consumer_latency_s[1]);
+      }
+      overhead.add(out.overhead_mb);
+    }
+    table.add_row({point.name, util::Table::num(recall.mean(), 3),
+                   util::Table::num(second_latency.mean(), 1),
+                   util::Table::num(overhead.mean(), 1)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace pds
+
+int main() { return pds::run(); }

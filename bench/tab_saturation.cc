@@ -1,0 +1,47 @@
+// §VI-B text: saturation of single-round PDD *without* ack/retransmission
+// under growing metadata amounts and redundancy.
+//
+// Paper series: with one copy per entry recall stays ≈0.35 up to ~10,000
+// entries and degrades beyond (≈0.20 at 20,000); with two copies ≈0.55 up to
+// ~5,000 entries. 5,000 entries is the paper's "normal load".
+#include "bench_common.h"
+#include "workload/experiment.h"
+
+namespace pds {
+namespace {
+
+int run() {
+  bench::print_header(
+      "Saturation — single-round PDD without ack (10×10 grid)",
+      "1 copy: ~0.35 recall up to 10k entries, ~0.20 at 20k; 2 copies: "
+      "~0.55 up to 5k");
+
+  util::Table table(
+      {"entries", "redundancy", "recall", "latency (s)", "overhead (MB)"});
+  for (const int redundancy : {1, 2}) {
+    for (const std::size_t entries : {2500u, 5000u, 10000u, 20000u}) {
+      const bench::Series s =
+          bench::average(bench::runs(), [&](std::uint64_t seed) {
+            wl::PddGridParams p;
+            p.metadata_count = entries;
+            p.redundancy = redundancy;
+            p.multi_round = false;
+            p.ack = false;
+            p.seed = seed;
+            const wl::PddOutcome out = wl::run_pdd_grid(p);
+            return std::tuple{out.recall, out.latency_s, out.overhead_mb};
+          });
+      table.add_row({std::to_string(entries), std::to_string(redundancy),
+                     util::Table::num(s.recall.mean(), 3),
+                     util::Table::num(s.latency_s.mean(), 2),
+                     util::Table::num(s.overhead_mb.mean(), 2)});
+    }
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace pds
+
+int main() { return pds::run(); }

@@ -1,0 +1,94 @@
+// Progress-over-time curves (supplementary to the paper's scalar Latency
+// metric): how long a consumer waits to reach each fraction of the final
+// result, for multi-round discovery (5,000 entries) and 20 MB PDR. The paper
+// reports only the time of the *last* arrival; these deciles show the shape
+// behind it — the bulk arrives early, the tail (loss recovery, later rounds)
+// dominates the headline latency.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace pds {
+namespace {
+
+// Time at which `fraction` of the final arrivals had been seen.
+template <typename ArrivalMap>
+double time_to_fraction(const ArrivalMap& arrivals, double fraction) {
+  std::vector<double> times;
+  times.reserve(arrivals.size());
+  for (const auto& [key, when] : arrivals) {
+    times.push_back(when.as_seconds());
+  }
+  std::sort(times.begin(), times.end());
+  if (times.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      fraction * static_cast<double>(times.size() - 1));
+  return times[idx];
+}
+
+constexpr double kFractions[] = {0.25, 0.50, 0.75, 0.90, 0.99, 1.0};
+
+int run() {
+  bench::print_header(
+      "Progress timelines — time to reach X% of the final result",
+      "(supplementary; paper reports only the final-arrival latency)");
+
+  {
+    core::PdsConfig pds;
+    wl::GridSetup setup;
+    setup.pds = pds;
+    wl::Grid grid = wl::make_grid(setup, 1);
+    Rng rng(11);
+    auto entries = wl::make_sample_descriptors(5000, wl::SampleSpace{}, rng);
+    auto nodes = grid.scenario->nodes();
+    wl::distribute_metadata(nodes, entries, 1, rng, {grid.center});
+    const core::DiscoverySession& session = grid.center_node().discover(
+        core::Filter{}, [](const core::DiscoverySession::Result&) {});
+    grid.scenario->run_until(SimTime::seconds(60));
+
+    std::printf("PDD, 5,000 entries (final recall %.3f):\n",
+                static_cast<double>(session.arrivals().size()) / 5000.0);
+    util::Table table({"fraction", "time (s)"});
+    for (double f : kFractions) {
+      table.add_row({util::Table::num(f * 100, 0) + "%",
+                     util::Table::num(time_to_fraction(session.arrivals(), f),
+                                      2)});
+    }
+    table.print();
+  }
+
+  {
+    core::PdsConfig pds;
+    wl::GridSetup setup;
+    setup.radio = sim::clean_radio_profile();
+    setup.pds = pds;
+    wl::Grid grid = wl::make_grid(setup, 1);
+    Rng rng(13);
+    const auto item =
+        wl::make_chunked_item("clip", 20u << 20, pds.chunk_size_bytes);
+    auto nodes = grid.scenario->nodes();
+    wl::distribute_chunks(nodes, item, 20u << 20, pds.chunk_size_bytes, 1,
+                          rng, {grid.center});
+    const core::PdrSession& session = grid.center_node().retrieve(
+        item, [](const core::RetrievalResult&) {});
+    grid.scenario->run_until(SimTime::seconds(600));
+
+    std::printf("\nPDR, 20 MB item (%zu/80 chunks):\n",
+                session.chunks().size());
+    util::Table table({"fraction", "time (s)"});
+    for (double f : kFractions) {
+      table.add_row({util::Table::num(f * 100, 0) + "%",
+                     util::Table::num(time_to_fraction(session.arrivals(), f),
+                                      1)});
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pds
+
+int main() { return pds::run(); }

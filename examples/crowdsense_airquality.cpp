@@ -1,0 +1,63 @@
+// Crowdsensed air quality — the paper's many-small-items scenario (§II-A,
+// §IV intro): phones scattered across a park have each collected NOx
+// samples; a consumer wants *complete samples* (descriptor + payload) of
+// one pollutant inside a spatial box and time window, without any backend.
+//
+//   ./crowdsense_airquality
+#include <cstdio>
+
+#include "core/node.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+using namespace pds;
+
+int main() {
+  // 7×7 grid of parked phones across a "park".
+  wl::GridSetup setup;
+  setup.nx = 7;
+  setup.ny = 7;
+  wl::Grid grid = wl::make_grid(setup, /*seed=*/11);
+  wl::Scenario& world = *grid.scenario;
+
+  // Phones hold 400 samples of two pollutant types, spread uniformly.
+  Rng rng(3);
+  wl::SampleSpace nox;
+  nox.data_type = "nox";
+  wl::SampleSpace co2;
+  co2.data_type = "co2";
+  auto nodes = world.nodes();
+  const auto nox_items = wl::make_sample_items(200, 96, nox, rng);
+  const auto co2_items = wl::make_sample_items(200, 96, co2, rng);
+  wl::distribute_items(nodes, nox_items, /*redundancy=*/1, rng,
+                       {grid.center});
+  wl::distribute_items(nodes, co2_items, 1, rng, {grid.center});
+
+  // How many NOx samples actually fall in the query box?
+  core::Filter query;
+  query.where(std::string(core::kAttrDataType), core::Relation::kEq,
+              std::string("nox"))
+      .where_range("x", 25.0, 75.0)
+      .where_range("y", 25.0, 75.0);
+  std::size_t in_box = 0;
+  for (const auto& item : nox_items) {
+    if (query.matches(item.descriptor)) ++in_box;
+  }
+
+  std::printf("400 samples in the park; %zu NOx samples inside the box\n",
+              in_box);
+
+  core::PdsNode& consumer = world.node(grid.center);
+  consumer.collect_items(
+      query, [&](const core::DiscoverySession::Result& r) {
+        std::printf("collected %zu matching samples in %.2f s (%d rounds)\n",
+                    r.distinct_received, r.latency.as_seconds(), r.rounds);
+      });
+  world.run_until(SimTime::seconds(60));
+
+  std::printf("on-air bytes: %.2f MB\n", world.overhead_mb());
+  std::printf(
+      "note: only matching samples crossed the air — en-route pruning kept\n"
+      "co2 and out-of-box nox samples at their producers.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Lightweight always-on assertions for protocol invariants.
+//
+// Simulation code checks invariants that, when violated, indicate a protocol
+// bug rather than bad user input; we terminate with a readable message instead
+// of continuing with corrupted state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pds::detail {
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line) {
+  std::fprintf(stderr, "PDS invariant violated: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace pds::detail
+
+#define PDS_ENSURE(cond)                                       \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::pds::detail::assertion_failure(#cond, __FILE__, __LINE__); \
+    }                                                          \
+  } while (false)

@@ -1,0 +1,99 @@
+#include "common/bytes.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace pds {
+
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::byte>& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+void ByteWriter::put_u16(std::uint16_t v) { append_le(buf_, v); }
+void ByteWriter::put_u32(std::uint32_t v) { append_le(buf_, v); }
+void ByteWriter::put_u64(std::uint64_t v) { append_le(buf_, v); }
+
+void ByteWriter::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::put_string(std::string_view s) {
+  if (s.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw DecodeError("string too long to encode");
+  }
+  put_u16(static_cast<std::uint16_t>(s.size()));
+  for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+}
+
+void ByteWriter::put_bytes(std::span<const std::byte> bytes) {
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::uint8_t ByteReader::get_u8() {
+  require(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+namespace {
+
+template <typename T>
+T read_le(std::span<const std::byte> data, std::size_t pos) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint16_t ByteReader::get_u16() {
+  require(2);
+  auto v = read_le<std::uint16_t>(data_, pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  require(4);
+  auto v = read_le<std::uint32_t>(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  require(8);
+  auto v = read_le<std::uint64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::string ByteReader::get_string() {
+  const std::uint16_t n = get_u16();
+  require(n);
+  std::string s(n, '\0');
+  std::memcpy(s.data(), data_.data() + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::byte> ByteReader::get_bytes() {
+  const std::uint32_t n = get_u32();
+  require(n);
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace pds

@@ -1,0 +1,74 @@
+// Byte-level serialization.
+//
+// Messages are encoded to concrete bytes so that (1) the simulator charges
+// every transmission its true wire size — the paper's "message overhead"
+// metric is bytes on air — and (2) descriptor identity is a hash of a
+// canonical encoding rather than of in-memory layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pds {
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v);
+  // Length-prefixed (u16) string.
+  void put_string(std::string_view s);
+  // Length-prefixed (u32) raw bytes.
+  void put_bytes(std::span<const std::byte> bytes);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+// Thrown when a reader runs past the end of its buffer or a length prefix is
+// inconsistent — i.e., a malformed message.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint16_t get_u16();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::int64_t get_i64() {
+    return static_cast<std::int64_t>(get_u64());
+  }
+  [[nodiscard]] double get_f64();
+  [[nodiscard]] std::string get_string();
+  [[nodiscard]] std::vector<std::byte> get_bytes();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("buffer underrun");
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pds

@@ -1,0 +1,43 @@
+// Hashing primitives used for content identity and Bloom filters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace pds {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::span<const std::byte> bytes, std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view s,
+                                           std::uint64_t seed = kFnvOffset) {
+  return fnv1a64(std::as_bytes(std::span(s.data(), s.size())), seed);
+}
+
+// Strong 64-bit mix (SplitMix64 finalizer); turns one hash into a family of
+// hashes for Bloom filter double hashing with per-round seeds.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace pds

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace pds {
+
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("PDS_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  const std::string v(env);
+  if (v == "error") return LogLevel::kError;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "debug") return LogLevel::kDebug;
+  return LogLevel::kOff;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kOff:
+      break;
+  }
+  return "OFF";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  static const LogLevel level = parse_env_level();
+  return level;
+}
+
+void log_line(LogLevel level, std::string_view module, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace pds

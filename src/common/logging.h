@@ -1,0 +1,38 @@
+// Minimal leveled logging, off by default.
+//
+// Set PDS_LOG=error|warn|info|debug to enable. Logging is for debugging
+// protocol traces; metrics never flow through the logger.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace pds {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+[[nodiscard]] LogLevel log_level();
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+void log_line(LogLevel level, std::string_view module, std::string_view msg);
+
+// Usage: PDS_LOG_DEBUG("pdd", "round " << n << " finished");
+#define PDS_LOG_AT(level, module, expr)                     \
+  do {                                                      \
+    if (::pds::log_enabled(level)) {                        \
+      std::ostringstream pds_log_os;                        \
+      pds_log_os << expr;                                   \
+      ::pds::log_line(level, module, pds_log_os.str());     \
+    }                                                       \
+  } while (false)
+
+#define PDS_LOG_DEBUG(module, expr) \
+  PDS_LOG_AT(::pds::LogLevel::kDebug, module, expr)
+#define PDS_LOG_INFO(module, expr) \
+  PDS_LOG_AT(::pds::LogLevel::kInfo, module, expr)
+#define PDS_LOG_WARN(module, expr) \
+  PDS_LOG_AT(::pds::LogLevel::kWarn, module, expr)
+
+}  // namespace pds

@@ -1,0 +1,19 @@
+#include "common/rng.h"
+
+namespace pds {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates sequentially drawn fork seeds.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::fork() { return Rng(mix(next_u64())); }
+
+}  // namespace pds

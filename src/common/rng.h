@@ -1,0 +1,73 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (channel loss, workload placement, mobility,
+// backoff jitter) draws from an explicitly seeded Rng so that simulations are
+// reproducible run-to-run; `fork()` derives independent streams for
+// subcomponents without sharing state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace pds {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    PDS_ENSURE(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  // Exponential variate with the given mean (inter-arrival times of Poisson
+  // processes in the mobility trace generator).
+  [[nodiscard]] double exponential(double mean) {
+    PDS_ENSURE(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) {
+    PDS_ENSURE(!v.empty());
+    return v[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Derive an independent stream; used to give each node / subsystem its own
+  // generator while keeping the whole simulation a function of one seed.
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pds

@@ -1,0 +1,78 @@
+// Simulation time.
+//
+// A single microsecond-resolution type is used for both instants and
+// durations, as is conventional in discrete-event simulators: the scheduler
+// works with absolute times, and protocol parameters (timeouts, windows) are
+// durations added to them.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace pds {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) {
+    return SimTime(us);
+  }
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) {
+    return SimTime(ms * 1000);
+  }
+  [[nodiscard]] static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  [[nodiscard]] static constexpr SimTime minutes(double m) {
+    return seconds(m * 60.0);
+  }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime(0); }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_seconds() const { return us_ / 1e6; }
+  [[nodiscard]] constexpr double as_millis() const { return us_ / 1e3; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    us_ += rhs.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    us_ -= rhs.us_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return a += b; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return a -= b; }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return SimTime(static_cast<std::int64_t>(a.us_ * k));
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.us_) / static_cast<double>(b.us_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.as_seconds() << "s";
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+// Time to transmit `bytes` at `bits_per_second` (rounded up to whole µs).
+[[nodiscard]] constexpr SimTime transmission_time(std::size_t bytes,
+                                                  double bits_per_second) {
+  const double seconds = static_cast<double>(bytes) * 8.0 / bits_per_second;
+  const auto us = static_cast<std::int64_t>(seconds * 1e6) + 1;
+  return SimTime::micros(us);
+}
+
+}  // namespace pds

@@ -1,0 +1,70 @@
+// Strong identifier types shared across the PDS stack.
+//
+// Node, query, response and data-item identifiers are all integers on the
+// wire, but mixing them up is a classic source of routing bugs; each gets its
+// own incompatible wrapper type.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace pds {
+
+template <typename Tag, typename Rep>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  static constexpr StrongId invalid() { return StrongId(); }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalid;
+};
+
+struct NodeIdTag {};
+struct QueryIdTag {};
+struct ResponseIdTag {};
+struct ItemIdTag {};
+
+// A device participating in peer data sharing.
+using NodeId = StrongId<NodeIdTag, std::uint32_t>;
+// Globally unique query identifier (random; detects redundant copies).
+using QueryId = StrongId<QueryIdTag, std::uint64_t>;
+// Globally unique response identifier (random; detects redundant copies).
+using ResponseId = StrongId<ResponseIdTag, std::uint64_t>;
+// Identity of a data item: hash of its canonical descriptor encoding.
+using ItemId = StrongId<ItemIdTag, std::uint64_t>;
+
+// Index of a chunk within a large data item (0-based).
+using ChunkIndex = std::uint32_t;
+
+}  // namespace pds
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<pds::StrongId<Tag, Rep>> {
+  size_t operator()(pds::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+}  // namespace std

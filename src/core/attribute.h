@@ -1,0 +1,42 @@
+// Attributes: the typed name/value pairs data descriptors are made of
+// (paper §II-B). Values are one of the primitive types the paper lists —
+// integers (also used for Unix times), floats (e.g., GPS coordinates) and
+// strings (names, types, namespaces).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+
+namespace pds::core {
+
+using AttrValue = std::variant<std::int64_t, double, std::string>;
+
+struct Attribute {
+  std::string name;
+  AttrValue value;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+// Total order over values of the same alternative; numeric alternatives
+// (int64/double) compare with each other numerically so a query written with
+// an integer literal matches a float attribute. Strings are ordered
+// lexicographically and never compare equal/less against numbers.
+//
+// Returns std::partial_ordering::unordered for string-vs-number.
+[[nodiscard]] std::partial_ordering compare_values(const AttrValue& a,
+                                                   const AttrValue& b);
+
+// Canonical encoding (type tag + value, little endian); identical values
+// encode identically, which descriptor hashing depends on.
+void encode_value(ByteWriter& w, const AttrValue& v);
+[[nodiscard]] AttrValue decode_value(ByteReader& r);
+
+void encode_attribute(ByteWriter& w, const Attribute& a);
+[[nodiscard]] Attribute decode_attribute(ByteReader& r);
+
+}  // namespace pds::core

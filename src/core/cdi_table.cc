@@ -1,0 +1,52 @@
+#include "core/cdi_table.h"
+
+#include <algorithm>
+
+namespace pds::core {
+
+bool CdiTable::update(ItemId item, ChunkIndex chunk, std::uint32_t hop_count,
+                      NodeId neighbor, SimTime now, SimTime ttl) {
+  const SimTime expire = now + ttl;
+  auto it = table_.find({item, chunk});
+  if (it == table_.end() || it->second.expired(now) ||
+      hop_count < it->second.hop_count) {
+    table_[{item, chunk}] = CdiRecord{.hop_count = hop_count,
+                                      .neighbors = {neighbor},
+                                      .expire_at = expire};
+    return true;
+  }
+  CdiRecord& rec = it->second;
+  if (hop_count > rec.hop_count) return false;
+  rec.expire_at = std::max(rec.expire_at, expire);
+  if (std::find(rec.neighbors.begin(), rec.neighbors.end(), neighbor) ==
+      rec.neighbors.end()) {
+    rec.neighbors.push_back(neighbor);
+    return true;
+  }
+  return false;
+}
+
+const CdiRecord* CdiTable::lookup(ItemId item, ChunkIndex chunk,
+                                  SimTime now) const {
+  auto it = table_.find({item, chunk});
+  if (it == table_.end() || it->second.expired(now)) return nullptr;
+  return &it->second;
+}
+
+std::vector<std::pair<ChunkIndex, CdiRecord>> CdiTable::lookup_item(
+    ItemId item, SimTime now) const {
+  std::vector<std::pair<ChunkIndex, CdiRecord>> out;
+  for (auto it = table_.lower_bound({item, 0});
+       it != table_.end() && it->first.first == item; ++it) {
+    if (!it->second.expired(now)) out.emplace_back(it->first.second, it->second);
+  }
+  return out;
+}
+
+void CdiTable::sweep(SimTime now) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    it = it->second.expired(now) ? table_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace pds::core

@@ -1,0 +1,50 @@
+// Chunk Distribution Information table (paper §IV-A).
+//
+// Distance-vector routing state per (item, chunk): the least hop count at
+// which a copy of the chunk is reachable and the neighbor(s) through which
+// that least-hop copy can be retrieved. When a chunk is reachable at the same
+// least hop count via several neighbors, an entry is kept for each (the GAP
+// assigner exploits the choice). Entries for chunks not held locally expire
+// so obsolete information does not stay forever.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace pds::core {
+
+struct CdiRecord {
+  std::uint32_t hop_count = 0;
+  std::vector<NodeId> neighbors;  // all giving the least hop count
+  SimTime expire_at;
+
+  [[nodiscard]] bool expired(SimTime now) const { return expire_at <= now; }
+};
+
+class CdiTable {
+ public:
+  // Learns that `chunk` of `item` is reachable via `neighbor` at `hop_count`.
+  // Replaces the record when strictly closer, extends the neighbor set when
+  // equal, and is ignored when farther than the current record. Returns true
+  // when the record improved (new chunk, smaller hop, or new neighbor).
+  bool update(ItemId item, ChunkIndex chunk, std::uint32_t hop_count,
+              NodeId neighbor, SimTime now, SimTime ttl);
+
+  [[nodiscard]] const CdiRecord* lookup(ItemId item, ChunkIndex chunk,
+                                        SimTime now) const;
+  // All unexpired records for an item.
+  [[nodiscard]] std::vector<std::pair<ChunkIndex, CdiRecord>> lookup_item(
+      ItemId item, SimTime now) const;
+
+  void sweep(SimTime now);
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+ private:
+  std::map<std::pair<ItemId, ChunkIndex>, CdiRecord> table_;
+};
+
+}  // namespace pds::core

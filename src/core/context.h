@@ -1,0 +1,56 @@
+// Shared per-node context handed to protocol engines and consumer sessions.
+//
+// PdsNode owns all the state (stores, tables, transport) and wires this
+// context together; engines and sessions hold a reference and never own
+// anything, which keeps the dependency graph acyclic: engines depend only on
+// this header, the node depends on the engines.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/cdi_table.h"
+#include "core/config.h"
+#include "core/data_store.h"
+#include "core/lingering_query_table.h"
+#include "net/message.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+#include "util/dedup_cache.h"
+
+namespace pds::core {
+
+// Invoked when a response reaches a locally originated query; the message's
+// payload has already been pruned to what this query still needs.
+using LocalResponseHandler = std::function<void(const net::Message&)>;
+
+struct NodeContext {
+  NodeId self;
+  sim::Simulator& sim;
+  net::Transport& transport;
+  const PdsConfig& config;
+  DataStore& store;
+  LingeringQueryTable& lqt;
+  util::DedupCache<std::uint64_t>& recent_responses;
+  CdiTable& cdi;
+  Rng& rng;
+
+  // Registers a locally originated query: inserts it into the LQT (with this
+  // node as upstream) and remembers the handler for responses that arrive
+  // for it. Provided by PdsNode.
+  std::function<void(const net::MessagePtr&, LocalResponseHandler)>
+      register_local_query;
+
+  // Routes a response that reached a locally originated query to its
+  // session. Provided by PdsNode.
+  std::function<void(QueryId, const net::Message&)> deliver_local;
+
+  [[nodiscard]] QueryId new_query_id() { return QueryId(rng.next_u64()); }
+  [[nodiscard]] ResponseId new_response_id() {
+    return ResponseId(rng.next_u64());
+  }
+  [[nodiscard]] SimTime now() const { return sim.now(); }
+};
+
+}  // namespace pds::core

@@ -1,0 +1,129 @@
+#include "core/descriptor.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/hash.h"
+
+namespace pds::core {
+
+DataDescriptor& DataDescriptor::set(std::string_view name, AttrValue value) {
+  key_cache_.reset();
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const Attribute& a, std::string_view n) { return a.name < n; });
+  if (it != attrs_.end() && it->name == name) {
+    it->value = std::move(value);
+  } else {
+    attrs_.insert(it, Attribute{std::string(name), std::move(value)});
+  }
+  return *this;
+}
+
+const AttrValue* DataDescriptor::find(std::string_view name) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const Attribute& a, std::string_view n) { return a.name < n; });
+  if (it != attrs_.end() && it->name == name) return &it->value;
+  return nullptr;
+}
+
+namespace {
+
+std::string_view string_attr(const DataDescriptor& d, std::string_view name) {
+  const AttrValue* v = d.find(name);
+  if (v == nullptr) return {};
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  return {};
+}
+
+std::optional<std::int64_t> int_attr(const DataDescriptor& d,
+                                     std::string_view name) {
+  const AttrValue* v = d.find(name);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view DataDescriptor::namespace_name() const {
+  return string_attr(*this, kAttrNamespace);
+}
+
+std::string_view DataDescriptor::data_type() const {
+  return string_attr(*this, kAttrDataType);
+}
+
+std::optional<std::int64_t> DataDescriptor::total_chunks() const {
+  return int_attr(*this, kAttrTotalChunks);
+}
+
+std::optional<ChunkIndex> DataDescriptor::chunk_id() const {
+  const auto v = int_attr(*this, kAttrChunkId);
+  if (!v.has_value()) return std::nullopt;
+  return static_cast<ChunkIndex>(*v);
+}
+
+DataDescriptor DataDescriptor::chunk_descriptor(ChunkIndex index) const {
+  DataDescriptor d = *this;
+  d.set(kAttrChunkId, static_cast<std::int64_t>(index));
+  return d;
+}
+
+DataDescriptor DataDescriptor::item_descriptor() const {
+  DataDescriptor d;
+  for (const Attribute& a : attrs_) {
+    if (a.name != kAttrChunkId) d.attrs_.push_back(a);
+  }
+  return d;
+}
+
+ItemId DataDescriptor::item_id() const {
+  ByteWriter w;
+  item_descriptor().encode(w);
+  return ItemId(fnv1a64(w.bytes()));
+}
+
+std::uint64_t DataDescriptor::entry_key() const {
+  if (!key_cache_.has_value()) {
+    ByteWriter w;
+    encode(w);
+    key_cache_ = fnv1a64(w.bytes());
+  }
+  return *key_cache_;
+}
+
+void DataDescriptor::encode(ByteWriter& w) const {
+  w.put_u16(static_cast<std::uint16_t>(attrs_.size()));
+  for (const Attribute& a : attrs_) encode_attribute(w, a);
+}
+
+DataDescriptor DataDescriptor::decode(ByteReader& r) {
+  DataDescriptor d;
+  const std::uint16_t n = r.get_u16();
+  for (std::uint16_t i = 0; i < n; ++i) {
+    d.attrs_.push_back(decode_attribute(r));
+  }
+  // The wire is produced by encode() and therefore sorted, but a malformed
+  // message must not break the sorted-invariant other code relies on.
+  const bool sorted = std::is_sorted(
+      d.attrs_.begin(), d.attrs_.end(),
+      [](const Attribute& a, const Attribute& b) { return a.name < b.name; });
+  if (!sorted) throw DecodeError("descriptor attributes not canonical");
+  return d;
+}
+
+std::vector<std::byte> DataDescriptor::canonical_bytes() const {
+  ByteWriter w;
+  encode(w);
+  return w.take();
+}
+
+std::size_t DataDescriptor::encoded_size() const {
+  ByteWriter w;
+  encode(w);
+  return w.size();
+}
+
+}  // namespace pds::core

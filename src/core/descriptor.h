@@ -1,0 +1,89 @@
+// Data descriptors — the self-contained metadata identifying a data item or
+// chunk (paper §II-B).
+//
+// A descriptor is a set of attributes, kept sorted by name so that logically
+// equal descriptors have identical canonical encodings. Identity is
+// hash-based:
+//
+//  * item_id()   — hash of the canonical encoding *excluding* chunk_id:
+//                  all chunks of one large item share it;
+//  * entry_key() — hash *including* chunk_id: the key used in Bloom filters
+//                  and redundancy detection, unique per metadata entry.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "core/attribute.h"
+
+namespace pds::core {
+
+// Well-known attribute names.
+inline constexpr std::string_view kAttrNamespace = "ns";
+inline constexpr std::string_view kAttrDataType = "type";
+inline constexpr std::string_view kAttrName = "name";
+inline constexpr std::string_view kAttrTime = "time";
+inline constexpr std::string_view kAttrTotalChunks = "total_chunks";
+inline constexpr std::string_view kAttrChunkId = "chunk_id";
+
+// Reserved namespace / data types for protocol-internal exchanges (§III-A:
+// metadata queries use namespace "system", data type "metadata"; §IV-A: CDI
+// uses data type "cdi").
+inline constexpr std::string_view kSystemNamespace = "system";
+inline constexpr std::string_view kMetadataType = "metadata";
+inline constexpr std::string_view kCdiType = "cdi";
+
+class DataDescriptor {
+ public:
+  DataDescriptor() = default;
+
+  // Sets (or replaces) an attribute.
+  DataDescriptor& set(std::string_view name, AttrValue value);
+
+  [[nodiscard]] const AttrValue* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<Attribute>& attributes() const {
+    return attrs_;
+  }
+
+  // Convenience accessors for well-known attributes.
+  [[nodiscard]] std::string_view namespace_name() const;
+  [[nodiscard]] std::string_view data_type() const;
+  [[nodiscard]] std::optional<std::int64_t> total_chunks() const;
+  [[nodiscard]] std::optional<ChunkIndex> chunk_id() const;
+  [[nodiscard]] bool is_chunk() const { return chunk_id().has_value(); }
+
+  // The descriptor of chunk `index` of this item: this descriptor with a
+  // chunk_id attribute appended (paper §II-B).
+  [[nodiscard]] DataDescriptor chunk_descriptor(ChunkIndex index) const;
+  // This descriptor with the chunk_id attribute removed.
+  [[nodiscard]] DataDescriptor item_descriptor() const;
+
+  [[nodiscard]] ItemId item_id() const;
+  [[nodiscard]] std::uint64_t entry_key() const;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static DataDescriptor decode(ByteReader& r);
+  [[nodiscard]] std::vector<std::byte> canonical_bytes() const;
+
+  // Size of the canonical encoding; the wire codec may override this with
+  // the paper's parameterized 30-byte entry size.
+  [[nodiscard]] std::size_t encoded_size() const;
+
+  friend bool operator==(const DataDescriptor& a, const DataDescriptor& b) {
+    return a.attrs_ == b.attrs_;
+  }
+
+ private:
+  // Sorted by attribute name; unique names.
+  std::vector<Attribute> attrs_;
+  // entry_key() is on several hot paths (store matching, Bloom pruning); the
+  // canonical-encoding hash is memoized and invalidated by set().
+  mutable std::optional<std::uint64_t> key_cache_;
+};
+
+}  // namespace pds::core

@@ -1,0 +1,94 @@
+// Consumer-side multi-round discovery controller (paper §III-B.2).
+//
+// One session discovers metadata entries (PDD proper) or collects small data
+// items (§IV's first scenario, which "follows almost the same process as
+// metadata discovery"). Each round floods one lingering query and watches the
+// stream of returning responses; the round ends when responses diminish —
+// the fraction of responses received within the recent window T, out of all
+// responses this round, drops to threshold T_r — and a new round starts when
+// the round contributed more than fraction T_d of everything received so far
+// (redundancy detection: later rounds carry a Bloom filter of everything
+// already received, rebuilt each round with a fresh hash family, §V.3).
+//
+// The paper's Latency metric is the interval from sending the first query to
+// the arrival of the last returned (new) entry, which is what `Result::
+// latency` reports.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/context.h"
+
+namespace pds::core {
+
+class DiscoverySession {
+ public:
+  struct Result {
+    std::size_t distinct_received = 0;
+    SimTime latency = SimTime::zero();
+    int rounds = 0;
+    SimTime finished_at = SimTime::zero();
+  };
+  using Callback = std::function<void(const Result&)>;
+
+  // `kind` must be kMetadata or kItem.
+  DiscoverySession(NodeContext& ctx, net::ContentKind kind, Filter filter,
+                   Callback done);
+
+  DiscoverySession(const DiscoverySession&) = delete;
+  DiscoverySession& operator=(const DiscoverySession&) = delete;
+
+  void start();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const Result& result() const { return result_; }
+
+  // Distinct entry keys received so far with their arrival times.
+  [[nodiscard]] const std::unordered_map<std::uint64_t, SimTime>& arrivals()
+      const {
+    return arrivals_;
+  }
+  // Item mode: the received payloads.
+  [[nodiscard]] const std::vector<net::ItemPayload>& received_items() const {
+    return items_;
+  }
+  // Metadata mode: the received descriptors.
+  [[nodiscard]] const std::vector<DataDescriptor>& received_entries() const {
+    return entries_;
+  }
+
+ private:
+  void start_round();
+  void on_local_response(const net::Message& response);
+  void schedule_check();
+  void check_round();
+  void finish();
+  void record_key(std::uint64_t key);
+
+  NodeContext& ctx_;
+  net::ContentKind kind_;
+  Filter filter_;
+  Callback done_;
+  std::uint64_t bloom_seed_base_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  Result result_;
+
+  SimTime start_time_ = SimTime::zero();
+  SimTime last_new_arrival_ = SimTime::zero();
+  std::unordered_map<std::uint64_t, SimTime> arrivals_;
+  std::vector<DataDescriptor> entries_;
+  std::vector<net::ItemPayload> items_;
+
+  int rounds_ = 0;
+  int empty_retries_ = 0;
+  SimTime round_start_ = SimTime::zero();
+  std::size_t round_new_ = 0;
+  std::vector<SimTime> round_response_times_;
+};
+
+}  // namespace pds::core

@@ -1,0 +1,41 @@
+#include "core/flood.h"
+
+#include <memory>
+#include <utility>
+
+namespace pds::core {
+
+void note_duplicate_flood_copy(NodeContext& ctx, QueryId query_id) {
+  if (LingeringQuery* lq = ctx.lqt.find(query_id)) {
+    ++lq->duplicate_copies_heard;
+  }
+}
+
+void maybe_forward_flood(NodeContext& ctx, QueryId query_id,
+                         std::shared_ptr<net::Message> fwd) {
+  const PdsConfig& cfg = ctx.config;
+
+  if (cfg.flood_forward_probability < 1.0 &&
+      !ctx.rng.bernoulli(cfg.flood_forward_probability)) {
+    return;  // probabilistic scheme: this node sits the flood out
+  }
+
+  if (cfg.flood_assessment_delay <= SimTime::zero()) {
+    ctx.transport.send(std::move(fwd));
+    return;
+  }
+
+  // Counter-based scheme: wait a random fraction of the assessment delay,
+  // then forward only if few duplicate copies were overheard meanwhile.
+  const SimTime delay = cfg.flood_assessment_delay * ctx.rng.uniform();
+  ctx.sim.schedule(delay, [&ctx, query_id, fwd = std::move(fwd)] {
+    LingeringQuery* lq = ctx.lqt.find(query_id);
+    if (lq == nullptr || lq->expired(ctx.now())) return;
+    if (lq->duplicate_copies_heard >= ctx.config.flood_copy_threshold) {
+      return;  // neighbors already covered by other copies
+    }
+    ctx.transport.send(fwd);
+  });
+}
+
+}  // namespace pds::core

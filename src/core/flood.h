@@ -1,0 +1,34 @@
+// Flood-control countermeasures (paper §VII).
+//
+// The paper floods queries when no routing state exists and notes that
+// "well studied mechanisms reducing broadcast and contentions in flooding
+// can be used" (its refs [26][27]: the broadcast-storm problem and
+// probabilistic broadcast). Two classic schemes are provided, off by
+// default:
+//
+//  * probabilistic forwarding — each node re-broadcasts a flooded query
+//    only with probability p;
+//  * counter-based suppression — a node defers its re-broadcast by a random
+//    assessment delay and cancels it if it overhears enough duplicate
+//    copies of the same query meanwhile (its neighbors are already
+//    covered).
+//
+// Both engines (PDD and the CDI phase of PDR) route their flood forwarding
+// through maybe_forward_flood so the schemes apply uniformly.
+#pragma once
+
+#include "core/context.h"
+
+namespace pds::core {
+
+// Forwards the (already rewritten) flooded query `fwd`, subject to the
+// configured flood-control scheme. `query_id` identifies the lingering
+// query whose duplicate-copy counter gates counter-based suppression.
+void maybe_forward_flood(NodeContext& ctx, QueryId query_id,
+                         std::shared_ptr<net::Message> fwd);
+
+// Records an overheard duplicate copy of a flooded query (LQT hit); feeds
+// the counter-based scheme.
+void note_duplicate_flood_copy(NodeContext& ctx, QueryId query_id);
+
+}  // namespace pds::core

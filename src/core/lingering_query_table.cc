@@ -1,0 +1,43 @@
+#include "core/lingering_query_table.h"
+
+#include "common/assert.h"
+
+namespace pds::core {
+
+LingeringQuery& LingeringQueryTable::insert(const net::MessagePtr& query,
+                                            SimTime now) {
+  PDS_ENSURE(query->is_query());
+  PDS_ENSURE(!table_.contains(query->query_id));
+  LingeringQuery lq;
+  lq.query = query;
+  lq.upstream = query->sender;
+  lq.expire_at = std::min(query->expire_at, now + SimTime::minutes(10.0));
+  lq.exclude = query->exclude;
+  auto [it, inserted] = table_.emplace(query->query_id, std::move(lq));
+  PDS_ENSURE(inserted);
+  return it->second;
+}
+
+LingeringQuery* LingeringQueryTable::find(QueryId id) {
+  auto it = table_.find(id);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<LingeringQuery*> LingeringQueryTable::live_queries(
+    net::ContentKind kind, SimTime now) {
+  std::vector<LingeringQuery*> out;
+  for (auto& [id, lq] : table_) {
+    if (lq.expired(now) || lq.consumed) continue;
+    if (lq.query->kind != kind) continue;
+    out.push_back(&lq);
+  }
+  return out;
+}
+
+void LingeringQueryTable::sweep(SimTime now) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    it = it->second.expired(now) ? table_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace pds::core

@@ -1,0 +1,79 @@
+// Lingering Query Table (paper §III-A.1).
+//
+// A lingering query stays in the table until its expiration and can direct a
+// continuous stream of returning responses back toward the consumer — unlike
+// NDN/CCN Interests, which are consumed by a single Data message. Each entry
+// remembers:
+//  * the query itself (filter, target item, requested chunks),
+//  * the upstream neighbor that transmitted it (the reverse-path next hop),
+//  * a mutable copy of the query's Bloom filter, updated by en-route message
+//    rewriting as entries are served or relayed through this node,
+//  * for CDI/chunk streams, per-chunk bookkeeping that suppresses relaying
+//    the same information to the same upstream twice.
+//
+// An entry whose upstream is this node itself represents a locally
+// originated query; responses that reach it are delivered to the consumer
+// session instead of being relayed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "util/bloom_filter.h"
+
+namespace pds::core {
+
+struct LingeringQuery {
+  net::MessagePtr query;
+  NodeId upstream;
+  SimTime expire_at;
+  // Mutable Bloom filter for redundancy detection (metadata/item streams).
+  util::BloomFilter exclude;
+  // Entry keys already relayed/served toward this query's upstream; backs up
+  // the Bloom filter when rewriting is disabled and suppresses duplicates.
+  std::unordered_set<std::uint64_t> served_keys;
+  // CDI streams: best hop count already relayed per chunk (relay only
+  // improvements).
+  std::unordered_map<ChunkIndex, std::uint32_t> relayed_cdi_hops;
+  // Chunk streams: chunk ids already relayed/served for this query.
+  std::unordered_set<ChunkIndex> served_chunks;
+  // When true this query was consumed (one-shot mode for the lingering-query
+  // ablation).
+  bool consumed = false;
+  // Duplicate copies of this flooded query overheard from other relays;
+  // feeds counter-based flood suppression (core/flood.h).
+  int duplicate_copies_heard = 0;
+
+  [[nodiscard]] bool expired(SimTime now) const { return expire_at <= now; }
+};
+
+class LingeringQueryTable {
+ public:
+  [[nodiscard]] bool contains(QueryId id) const { return table_.contains(id); }
+
+  // Inserts a newly received query; captures upstream = query->sender and
+  // copies its Bloom filter. Returns the new entry.
+  LingeringQuery& insert(const net::MessagePtr& query, SimTime now);
+
+  [[nodiscard]] LingeringQuery* find(QueryId id);
+
+  // All live (unexpired, unconsumed) queries of the given content kind.
+  [[nodiscard]] std::vector<LingeringQuery*> live_queries(
+      net::ContentKind kind, SimTime now);
+
+  void sweep(SimTime now);
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<QueryId, LingeringQuery> table_;
+};
+
+}  // namespace pds::core

@@ -1,0 +1,69 @@
+// Multi-round Data Retrieval — the baseline PDS is compared against in
+// Figs. 13/14 (paper §VI-B.3).
+//
+// MDR retrieves chunks the way PDD retrieves metadata: the consumer floods a
+// chunk query for everything it is still missing, nodes holding requested
+// chunks reply them, and redundancy detection (en-route rewriting of the
+// requested list, per-lingering-query served sets) limits — but cannot fully
+// eliminate — duplicate copies arriving along different reverse paths. Rounds
+// repeat with the remaining chunks until everything arrives or progress
+// stops.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/context.h"
+#include "core/descriptor.h"
+#include "core/retrieval.h"
+
+namespace pds::core {
+
+class MdrSession {
+ public:
+  using Callback = std::function<void(const RetrievalResult&)>;
+
+  MdrSession(NodeContext& ctx, DataDescriptor item_descriptor, Callback done);
+
+  MdrSession(const MdrSession&) = delete;
+  MdrSession& operator=(const MdrSession&) = delete;
+
+  void start();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const RetrievalResult& result() const { return result_; }
+
+ private:
+  void start_round();
+  void on_local_response(const net::Message& response);
+  void check_round();
+  // Picks up chunks that reached the local Data Store outside the session's
+  // lingering query (overheard copies, arrivals after query expiry).
+  void sync_from_store();
+  [[nodiscard]] SimTime round_window() const;
+  [[nodiscard]] SimTime min_round_duration() const;
+  [[nodiscard]] std::vector<ChunkIndex> missing_chunks() const;
+  void finish(bool complete);
+
+  NodeContext& ctx_;
+  DataDescriptor item_descriptor_;
+  ItemId item_;
+  std::size_t total_chunks_ = 0;
+  Callback done_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  RetrievalResult result_;
+  SimTime start_time_ = SimTime::zero();
+  SimTime last_new_chunk_ = SimTime::zero();
+
+  std::map<ChunkIndex, net::ChunkPayload> chunks_;
+  int rounds_ = 0;
+  int no_progress_rounds_ = 0;
+  std::size_t round_new_ = 0;
+  std::vector<SimTime> round_response_times_;
+  SimTime round_start_ = SimTime::zero();
+};
+
+}  // namespace pds::core

@@ -1,0 +1,318 @@
+#include "core/pdd.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "common/assert.h"
+#include "core/flood.h"
+
+namespace pds::core {
+
+namespace {
+
+bool is_pdd_kind(net::ContentKind kind) {
+  return kind == net::ContentKind::kMetadata ||
+         kind == net::ContentKind::kItem;
+}
+
+// Does this lingering query still need the entry with the given descriptor
+// and key? (filter match, not yet served through this node, not already held
+// by the consumer per the query's Bloom filter)
+bool wants(const LingeringQuery& lq, const DataDescriptor& d,
+           std::uint64_t key) {
+  if (!lq.query->filter.matches(d)) return false;
+  if (lq.served_keys.contains(key)) return false;
+  if (lq.exclude.maybe_contains(key)) return false;
+  return true;
+}
+
+void mark_served(LingeringQuery& lq, std::uint64_t key, bool bloom_rewriting) {
+  lq.served_keys.insert(key);
+  if (bloom_rewriting && !lq.exclude.empty_filter()) lq.exclude.insert(key);
+}
+
+// Builds a copy of `r` whose payload is restricted to the given indices
+// (sorted). Used both for pruned relays and local delivery.
+net::Message prune_payload(const net::Message& r,
+                           const std::vector<std::size_t>& keep) {
+  net::Message out = r;
+  if (r.kind == net::ContentKind::kMetadata) {
+    out.metadata.clear();
+    for (std::size_t i : keep) out.metadata.push_back(r.metadata[i]);
+  } else {
+    out.items.clear();
+    for (std::size_t i : keep) out.items.push_back(r.items[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> PddEngine::payload_keys(const net::Message& r) {
+  std::vector<std::uint64_t> keys;
+  if (r.kind == net::ContentKind::kMetadata) {
+    keys.reserve(r.metadata.size());
+    for (const DataDescriptor& d : r.metadata) keys.push_back(d.entry_key());
+  } else {
+    keys.reserve(r.items.size());
+    for (const net::ItemPayload& item : r.items) {
+      keys.push_back(item.descriptor.entry_key());
+    }
+  }
+  return keys;
+}
+
+void PddEngine::handle_query(const net::MessagePtr& query) {
+  PDS_ENSURE(query->is_query() && is_pdd_kind(query->kind));
+  const SimTime now = ctx_.now();
+  if (query->expire_at <= now) return;
+
+  // {LQT Lookup} — discard redundant copies of an already-lingering query
+  // (counting them for counter-based flood suppression).
+  if (ctx_.lqt.contains(query->query_id)) {
+    note_duplicate_flood_copy(ctx_, query->query_id);
+    return;
+  }
+  LingeringQuery& lq = ctx_.lqt.insert(query, now);
+
+  // {DS Lookup} — answer with matching local entries.
+  serve_from_store(lq);
+
+  // {Receiver Check}.
+  if (!query->addressed_to(ctx_.self)) return;
+
+  // {Forwarding} — rewrite sender and receiver list; with en-route query
+  // rewriting the forwarded Bloom filter includes the entries just served so
+  // downstream nodes do not return them again. An optional hop budget
+  // (§III-A.1: "a hop counter if needed") limits flood scope.
+  if (query->ttl == 1) return;
+  auto fwd = std::make_shared<net::Message>(*query);
+  fwd->sender = ctx_.self;
+  fwd->receivers.clear();
+  if (fwd->ttl > 0) --fwd->ttl;
+  if (ctx_.config.enable_bloom_rewriting) fwd->exclude = lq.exclude;
+  maybe_forward_flood(ctx_, query->query_id, std::move(fwd));
+}
+
+void PddEngine::serve_from_store(LingeringQuery& lq) {
+  const SimTime now = ctx_.now();
+  const net::Message& q = *lq.query;
+  const PdsConfig& cfg = ctx_.config;
+
+  if (q.kind == net::ContentKind::kMetadata) {
+    std::vector<DataDescriptor> fresh;
+    for (DataDescriptor& d : ctx_.store.match_metadata(q.filter, now)) {
+      const std::uint64_t key = d.entry_key();
+      if (lq.served_keys.contains(key) || lq.exclude.maybe_contains(key)) {
+        continue;
+      }
+      fresh.push_back(std::move(d));
+    }
+    for (std::size_t begin = 0; begin < fresh.size();
+         begin += cfg.max_entries_per_response) {
+      const std::size_t end =
+          std::min(begin + cfg.max_entries_per_response, fresh.size());
+      auto resp = std::make_shared<net::Message>();
+      resp->type = net::MessageType::kResponse;
+      resp->kind = q.kind;
+      resp->response_id = ctx_.new_response_id();
+      resp->sender = ctx_.self;
+      resp->receivers = {lq.upstream};
+      resp->metadata.assign(fresh.begin() + static_cast<std::ptrdiff_t>(begin),
+                            fresh.begin() + static_cast<std::ptrdiff_t>(end));
+      for (const DataDescriptor& d : resp->metadata) {
+        mark_served(lq, d.entry_key(), cfg.enable_bloom_rewriting);
+      }
+      ctx_.transport.send(std::move(resp));
+    }
+    return;
+  }
+
+  // Small items: batch by payload bytes rather than entry count.
+  std::vector<net::ItemPayload> fresh;
+  for (net::ItemPayload& item : ctx_.store.match_items(q.filter, now)) {
+    const std::uint64_t key = item.descriptor.entry_key();
+    if (lq.served_keys.contains(key) || lq.exclude.maybe_contains(key)) {
+      continue;
+    }
+    fresh.push_back(std::move(item));
+  }
+  std::size_t begin = 0;
+  while (begin < fresh.size()) {
+    auto resp = std::make_shared<net::Message>();
+    resp->type = net::MessageType::kResponse;
+    resp->kind = q.kind;
+    resp->response_id = ctx_.new_response_id();
+    resp->sender = ctx_.self;
+    resp->receivers = {lq.upstream};
+    std::size_t bytes = 0;
+    while (begin < fresh.size() &&
+           (resp->items.empty() ||
+            bytes + fresh[begin].size_bytes <= cfg.max_item_payload_bytes)) {
+      bytes += fresh[begin].size_bytes;
+      resp->items.push_back(std::move(fresh[begin]));
+      ++begin;
+    }
+    for (const net::ItemPayload& item : resp->items) {
+      mark_served(lq, item.descriptor.entry_key(),
+                  cfg.enable_bloom_rewriting);
+    }
+    ctx_.transport.send(std::move(resp));
+  }
+}
+
+namespace {
+
+// Shared by both serve_new_publication overloads: collect the matching
+// lingering queries' upstreams (mixedcast — one transmission, many
+// overlapping subscriptions) and mark the entry served everywhere.
+struct PushPlan {
+  std::vector<NodeId> relay_receivers;
+  std::vector<QueryId> local_queries;
+};
+
+PushPlan plan_push(NodeContext& ctx, net::ContentKind kind,
+                   const DataDescriptor& descriptor, std::uint64_t key) {
+  PushPlan plan;
+  for (LingeringQuery* lq : ctx.lqt.live_queries(kind, ctx.now())) {
+    if (!wants(*lq, descriptor, key)) continue;
+    mark_served(*lq, key, ctx.config.enable_bloom_rewriting);
+    if (lq->upstream == ctx.self) {
+      plan.local_queries.push_back(lq->query->query_id);
+    } else {
+      plan.relay_receivers.push_back(lq->upstream);
+    }
+  }
+  std::sort(plan.relay_receivers.begin(), plan.relay_receivers.end());
+  plan.relay_receivers.erase(
+      std::unique(plan.relay_receivers.begin(), plan.relay_receivers.end()),
+      plan.relay_receivers.end());
+  return plan;
+}
+
+}  // namespace
+
+void PddEngine::serve_new_publication(const DataDescriptor& entry) {
+  const PushPlan plan = plan_push(ctx_, net::ContentKind::kMetadata, entry,
+                                  entry.entry_key());
+  if (plan.relay_receivers.empty() && plan.local_queries.empty()) return;
+  auto resp = std::make_shared<net::Message>();
+  resp->type = net::MessageType::kResponse;
+  resp->kind = net::ContentKind::kMetadata;
+  resp->response_id = ctx_.new_response_id();
+  resp->sender = ctx_.self;
+  resp->metadata = {entry};
+  for (QueryId q : plan.local_queries) ctx_.deliver_local(q, *resp);
+  if (!plan.relay_receivers.empty()) {
+    resp->receivers = plan.relay_receivers;
+    ctx_.transport.send(std::move(resp));
+  }
+}
+
+void PddEngine::serve_new_publication(const net::ItemPayload& item) {
+  const PushPlan plan = plan_push(ctx_, net::ContentKind::kItem,
+                                  item.descriptor,
+                                  item.descriptor.entry_key());
+  if (plan.relay_receivers.empty() && plan.local_queries.empty()) return;
+  auto resp = std::make_shared<net::Message>();
+  resp->type = net::MessageType::kResponse;
+  resp->kind = net::ContentKind::kItem;
+  resp->response_id = ctx_.new_response_id();
+  resp->sender = ctx_.self;
+  resp->items = {item};
+  for (QueryId q : plan.local_queries) ctx_.deliver_local(q, *resp);
+  if (!plan.relay_receivers.empty()) {
+    resp->receivers = plan.relay_receivers;
+    ctx_.transport.send(std::move(resp));
+  }
+}
+
+void PddEngine::handle_response(const net::MessagePtr& response) {
+  PDS_ENSURE(response->is_response() && is_pdd_kind(response->kind));
+  const SimTime now = ctx_.now();
+  const PdsConfig& cfg = ctx_.config;
+
+  // {RR Lookup} — discard redundant copies (retransmissions, multi-path).
+  if (!ctx_.recent_responses.insert(response->response_id.value())) return;
+
+  const bool addressed = response->addressed_to(ctx_.self) &&
+                         !response->receivers.empty();
+
+  // {DS Lookup} — opportunistic caching, including overheard responses.
+  if (addressed || cfg.enable_overhearing_cache) {
+    for (const DataDescriptor& d : response->metadata) {
+      ctx_.store.insert_metadata(d, /*has_payload=*/false, now,
+                                 cfg.metadata_ttl);
+    }
+    for (const net::ItemPayload& item : response->items) {
+      ctx_.store.insert_item(item, now);
+    }
+  }
+
+  // {Receiver Check} — only intended receivers relay.
+  if (!addressed) return;
+
+  // {LQT Lookup} + {Forwarding} with mixedcast and en-route rewriting.
+  const std::vector<std::uint64_t> keys = payload_keys(*response);
+  const auto& descriptors_of = [&](std::size_t i) -> const DataDescriptor& {
+    return response->kind == net::ContentKind::kMetadata
+               ? response->metadata[i]
+               : response->items[i].descriptor;
+  };
+
+  std::vector<NodeId> relay_receivers;
+  std::vector<std::size_t> relay_union;
+  std::unordered_set<std::size_t> relay_union_set;
+
+  for (LingeringQuery* lq : ctx_.lqt.live_queries(response->kind, now)) {
+    if (lq->upstream == response->sender) continue;  // never bounce back
+    std::vector<std::size_t> needed;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (wants(*lq, descriptors_of(i), keys[i])) needed.push_back(i);
+    }
+    if (needed.empty()) continue;
+
+    for (std::size_t i : needed) {
+      mark_served(*lq, keys[i], cfg.enable_bloom_rewriting);
+    }
+    if (!cfg.enable_lingering_queries) lq->consumed = true;
+
+    if (lq->upstream == ctx_.self) {
+      // Locally originated query: deliver to the consumer session.
+      ctx_.deliver_local(lq->query->query_id,
+                         prune_payload(*response, needed));
+      continue;
+    }
+    if (cfg.enable_mixedcast) {
+      relay_receivers.push_back(lq->upstream);
+      for (std::size_t i : needed) {
+        if (relay_union_set.insert(i).second) relay_union.push_back(i);
+      }
+    } else {
+      // Ablation: one response per matching query, fresh id each (no joint
+      // payload, no shared redundancy detection across paths).
+      auto single = std::make_shared<net::Message>(
+          prune_payload(*response, needed));
+      single->response_id = ctx_.new_response_id();
+      single->sender = ctx_.self;
+      single->receivers = {lq->upstream};
+      ctx_.transport.send(std::move(single));
+    }
+  }
+
+  if (!relay_receivers.empty()) {
+    std::sort(relay_receivers.begin(), relay_receivers.end());
+    relay_receivers.erase(
+        std::unique(relay_receivers.begin(), relay_receivers.end()),
+        relay_receivers.end());
+    std::sort(relay_union.begin(), relay_union.end());
+    auto relay =
+        std::make_shared<net::Message>(prune_payload(*response, relay_union));
+    relay->sender = ctx_.self;
+    relay->receivers = std::move(relay_receivers);
+    ctx_.transport.send(std::move(relay));
+  }
+}
+
+}  // namespace pds::core

@@ -1,0 +1,54 @@
+// Peer Data Discovery engine (paper §III, Algorithms 1 and 2).
+//
+// Handles the metadata stream (ContentKind::kMetadata) and the small-item
+// stream (ContentKind::kItem), which follows "almost the same process as
+// metadata discovery" (§IV) with whole items as payload.
+//
+// Query processing (Alg. 1):  LQT Lookup → DS Lookup → Receiver Check →
+// Forwarding, extended with en-route query rewriting: entries served from the
+// local Data Store are inserted into the forwarded query's Bloom filter so
+// downstream nodes do not return them again (§III-B.2).
+//
+// Response processing (Alg. 2): RR Lookup → DS Lookup (opportunistic
+// caching) → Receiver Check → LQT Lookup → Forwarding, extended with
+// mixedcast (§III-B.1): one relayed response carries the union of the entries
+// still needed by all matching lingering queries, its receiver list is the
+// set of their upstreams, and every relayed entry is inserted into each
+// matching query's Bloom filter (en-route response rewriting).
+#pragma once
+
+#include "core/context.h"
+
+namespace pds::core {
+
+class PddEngine {
+ public:
+  explicit PddEngine(NodeContext& ctx) : ctx_(ctx) {}
+
+  PddEngine(const PddEngine&) = delete;
+  PddEngine& operator=(const PddEngine&) = delete;
+
+  void handle_query(const net::MessagePtr& query);
+  void handle_response(const net::MessagePtr& response);
+
+  // Publish-time serving: a freshly produced entry/item is offered to every
+  // live lingering query immediately. This is what makes long-lived
+  // subscriptions stream (§IV's future-work scenario): the lingering query
+  // sits in the LQT and newly appearing data flows back without any
+  // re-query.
+  void serve_new_publication(const DataDescriptor& entry);
+  void serve_new_publication(const net::ItemPayload& item);
+
+ private:
+  // Serves matching local entries to a just-inserted lingering query;
+  // updates the query's Bloom filter / served sets.
+  void serve_from_store(LingeringQuery& lq);
+
+  // Keys (entry_key) of payload units in a response, parallel to payload
+  // order.
+  static std::vector<std::uint64_t> payload_keys(const net::Message& r);
+
+  NodeContext& ctx_;
+};
+
+}  // namespace pds::core

@@ -1,0 +1,95 @@
+// Peer Data Retrieval engine (paper §IV).
+//
+// Phase 1 — Chunk Distribution Information (CDI): CDI queries flood like PDD
+// queries; every node holding chunks or unexpired CDI entries of the target
+// item answers with ChunkId–HopCount pairs *relative to itself* (hop 0 for
+// chunks in its own Data Store). A node receiving a CDI response creates
+// table entries at HopCount+1 via the transmitting neighbor, then relays
+// pairs rebuilt from its own (possibly improved) view toward upstreams of
+// matching lingering CDI queries. Per-query bookkeeping relays only strict
+// hop-count improvements, so the distance-vector computation converges
+// without flooding storms.
+//
+// Phase 2 — recursive chunk retrieval: a chunk query directed at this node
+// is answered with requested chunks held locally (one chunk per response
+// message); the remaining set is divided among neighbors according to the
+// CDI table with the min–max GAP heuristic balancing per-neighbor load, and
+// one sub-query is sent to each. Chunk responses travel back along the
+// reverse paths of the lingering chunk queries and are cached by every
+// overhearing node.
+//
+// The MDR baseline (§VI-B.3) shares these handlers: an MDR chunk query is
+// flooded (empty receiver list) instead of directed, is answered from the
+// local store, and is re-flooded with its requested-chunk list rewritten to
+// exclude the chunks just served (redundancy detection en route).
+#pragma once
+
+#include <vector>
+
+#include "core/context.h"
+#include "util/gap_assign.h"
+
+namespace pds::core {
+
+// Splits `chunks` of `item` among neighbors according to the node's CDI
+// table, balancing per-neighbor load with the min–max GAP heuristic (or
+// naive nearest assignment when the ablation toggle disables balancing).
+// Chunks with no live CDI record are returned in `unroutable`. Used both by
+// the engine's recursive division and by the consumer session's initial
+// requests.
+struct ChunkPlan {
+  std::vector<std::pair<NodeId, std::vector<ChunkIndex>>> by_neighbor;
+  std::vector<ChunkIndex> unroutable;
+};
+// `exclude` (split horizon): never assign a chunk to this neighbor — used
+// so a division never sends a sub-query back to the node it came from.
+[[nodiscard]] ChunkPlan plan_chunk_requests(
+    const NodeContext& ctx, ItemId item, const std::vector<ChunkIndex>& chunks,
+    NodeId exclude = NodeId::invalid());
+
+class PdrEngine {
+ public:
+  explicit PdrEngine(NodeContext& ctx) : ctx_(ctx) {}
+
+  PdrEngine(const PdrEngine&) = delete;
+  PdrEngine& operator=(const PdrEngine&) = delete;
+
+  void handle_cdi_query(const net::MessagePtr& query);
+  void handle_cdi_response(const net::MessagePtr& response);
+  void handle_chunk_query(const net::MessagePtr& query);
+  void handle_chunk_response(const net::MessagePtr& response);
+
+ private:
+  // Best local view of ChunkId→HopCount for an item: hop 0 for chunks in the
+  // Data Store, CDI-table distance otherwise.
+  [[nodiscard]] std::vector<net::CdiEntry> local_cdi_view(
+      ItemId item, const DataDescriptor& item_descriptor) const;
+
+  // Sends pairs that improve on what was already relayed for `lq`.
+  void answer_cdi(LingeringQuery& lq,
+                  const std::vector<net::CdiEntry>& view);
+
+  // Sends one response per requested chunk present in the store; returns the
+  // chunks treated as satisfied.
+  std::vector<ChunkIndex> serve_chunks(LingeringQuery& lq,
+                                       const DataDescriptor& item_descriptor,
+                                       const std::vector<ChunkIndex>& wanted);
+
+  // True (and records the send) when no copy of the chunk was sent — by this
+  // node or, overheard, by anyone nearby — toward `receiver` within the
+  // serve-cooldown window. The single map backs all chunk duplicate
+  // suppression: own serves, relay forks across query generations, and
+  // parallel holders answering the same flood.
+  bool claim_chunk_delivery(ItemId item, ChunkIndex chunk, NodeId receiver);
+  void note_chunk_delivery(ItemId item, ChunkIndex chunk, NodeId receiver);
+
+  NodeContext& ctx_;
+  std::map<std::tuple<ItemId, ChunkIndex, NodeId>, SimTime> delivered_;
+  // (item, chunk) -> last time any copy was received or overheard in
+  // flight; flooded serves within mdr_suppression_window are skipped (not
+  // marked served — the consumer's next round retries if the observed copy
+  // never arrives).
+  std::map<std::pair<ItemId, ChunkIndex>, SimTime> seen_in_flight_;
+};
+
+}  // namespace pds::core

@@ -1,0 +1,93 @@
+#include "core/predicate.h"
+
+#include "common/assert.h"
+
+namespace pds::core {
+
+bool Predicate::matches(const DataDescriptor& d) const {
+  const AttrValue* v = d.find(attr);
+  if (v == nullptr) return false;
+  const std::partial_ordering cmp = compare_values(*v, value);
+  if (cmp == std::partial_ordering::unordered) return false;
+  switch (rel) {
+    case Relation::kEq:
+      return cmp == std::partial_ordering::equivalent;
+    case Relation::kNe:
+      return cmp != std::partial_ordering::equivalent;
+    case Relation::kLt:
+      return cmp == std::partial_ordering::less;
+    case Relation::kLe:
+      return cmp != std::partial_ordering::greater;
+    case Relation::kGt:
+      return cmp == std::partial_ordering::greater;
+    case Relation::kGe:
+      return cmp != std::partial_ordering::less;
+    case Relation::kInRange: {
+      if (cmp == std::partial_ordering::less) return false;
+      const std::partial_ordering hi = compare_values(*v, value_hi);
+      return hi == std::partial_ordering::less ||
+             hi == std::partial_ordering::equivalent;
+    }
+  }
+  return false;
+}
+
+Filter& Filter::where(std::string attr, Relation rel, AttrValue value) {
+  PDS_ENSURE(rel != Relation::kInRange);
+  preds_.push_back(Predicate{.attr = std::move(attr),
+                             .rel = rel,
+                             .value = std::move(value),
+                             .value_hi = {}});
+  return *this;
+}
+
+Filter& Filter::where_range(std::string attr, AttrValue lo, AttrValue hi) {
+  preds_.push_back(Predicate{.attr = std::move(attr),
+                             .rel = Relation::kInRange,
+                             .value = std::move(lo),
+                             .value_hi = std::move(hi)});
+  return *this;
+}
+
+bool Filter::matches(const DataDescriptor& d) const {
+  for (const Predicate& p : preds_) {
+    if (!p.matches(d)) return false;
+  }
+  return true;
+}
+
+void Filter::encode(ByteWriter& w) const {
+  w.put_u16(static_cast<std::uint16_t>(preds_.size()));
+  for (const Predicate& p : preds_) {
+    w.put_string(p.attr);
+    w.put_u8(static_cast<std::uint8_t>(p.rel));
+    encode_value(w, p.value);
+    if (p.rel == Relation::kInRange) encode_value(w, p.value_hi);
+  }
+}
+
+Filter Filter::decode(ByteReader& r) {
+  Filter f;
+  const std::uint16_t n = r.get_u16();
+  for (std::uint16_t i = 0; i < n; ++i) {
+    Predicate p;
+    p.attr = r.get_string();
+    p.rel = static_cast<Relation>(r.get_u8());
+    if (static_cast<std::uint8_t>(p.rel) >
+        static_cast<std::uint8_t>(Relation::kInRange)) {
+      throw DecodeError("unknown predicate relation");
+    }
+    p.value = decode_value(r);
+    if (p.rel == Relation::kInRange) p.value_hi = decode_value(r);
+    f.preds_.push_back(std::move(p));
+  }
+  return f;
+}
+
+std::size_t Filter::encoded_size() const {
+  ByteWriter w;
+  encode(w);
+  return w.size();
+}
+
+}  // namespace pds::core

@@ -1,0 +1,89 @@
+// Consumer-side two-phase retrieval session (paper §IV).
+//
+// Phase 1 floods a CDI query for the target item and waits for the
+// distance-vector state to build (coverage of every chunk, or a silent
+// window — CDI responses are tiny and return fast). Phase 2 partitions the
+// missing chunks among the least-hop neighbors (min–max GAP balancing) and
+// sends one directed chunk query per neighbor; nodes along the way serve and
+// recursively divide. A stall timer re-plans still-missing chunks, and
+// refreshes CDI when some chunks have no routing entry at all.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_set>
+
+#include "core/context.h"
+#include "core/descriptor.h"
+
+namespace pds::core {
+
+struct RetrievalResult {
+  bool complete = false;
+  std::size_t chunks_received = 0;
+  std::size_t total_chunks = 0;
+  SimTime latency = SimTime::zero();
+  int cdi_rounds = 0;       // PDR only
+  int request_rounds = 0;   // chunk request (re)planning rounds
+  SimTime finished_at = SimTime::zero();
+};
+
+class PdrSession {
+ public:
+  using Callback = std::function<void(const RetrievalResult&)>;
+
+  // `item_descriptor` must carry a total_chunks attribute (it came from
+  // discovery).
+  PdrSession(NodeContext& ctx, DataDescriptor item_descriptor, Callback done);
+
+  PdrSession(const PdrSession&) = delete;
+  PdrSession& operator=(const PdrSession&) = delete;
+
+  void start();
+
+  [[nodiscard]] bool finished() const { return phase_ == Phase::kDone; }
+  [[nodiscard]] const RetrievalResult& result() const { return result_; }
+  [[nodiscard]] const std::map<ChunkIndex, net::ChunkPayload>& chunks() const {
+    return chunks_;
+  }
+  // Arrival time of each chunk (progress-over-time instrumentation).
+  [[nodiscard]] const std::map<ChunkIndex, SimTime>& arrivals() const {
+    return arrivals_;
+  }
+
+ private:
+  enum class Phase { kIdle, kCdi, kFetch, kDone };
+
+  void send_cdi_query();
+  void check_cdi();
+  [[nodiscard]] bool cdi_covers_missing() const;
+  void begin_fetch();
+  void issue_requests();
+  void check_stall();
+  // Picks up chunks that reached the local Data Store outside the session's
+  // lingering queries (overheard copies, arrivals after query expiry).
+  void sync_from_store();
+  void on_local_response(const net::Message& response);
+  [[nodiscard]] std::vector<ChunkIndex> missing_chunks() const;
+  void finish(bool complete);
+
+  NodeContext& ctx_;
+  DataDescriptor item_descriptor_;
+  ItemId item_;
+  std::size_t total_chunks_ = 0;
+  Callback done_;
+
+  Phase phase_ = Phase::kIdle;
+  RetrievalResult result_;
+  SimTime start_time_ = SimTime::zero();
+  SimTime last_new_chunk_ = SimTime::zero();
+  SimTime last_cdi_activity_ = SimTime::zero();
+  SimTime last_progress_ = SimTime::zero();
+
+  std::map<ChunkIndex, net::ChunkPayload> chunks_;
+  std::map<ChunkIndex, SimTime> arrivals_;
+  int cdi_rounds_ = 0;
+  int request_rounds_ = 0;
+};
+
+}  // namespace pds::core

@@ -1,0 +1,93 @@
+#include "core/subscription.h"
+
+#include <memory>
+
+#include "common/assert.h"
+#include "common/hash.h"
+
+namespace pds::core {
+
+SubscriptionSession::SubscriptionSession(NodeContext& ctx,
+                                         net::ContentKind kind, Filter filter,
+                                         SimTime duration,
+                                         EntryCallback on_entry)
+    : ctx_(ctx),
+      kind_(kind),
+      filter_(std::move(filter)),
+      expire_at_(ctx.now() + duration),
+      on_entry_(std::move(on_entry)),
+      bloom_seed_base_(ctx.rng.next_u64()) {
+  PDS_ENSURE(kind == net::ContentKind::kMetadata ||
+             kind == net::ContentKind::kItem);
+}
+
+bool SubscriptionSession::active() const {
+  return started_ && !cancelled_ && ctx_.now() < expire_at_;
+}
+
+void SubscriptionSession::start() {
+  PDS_ENSURE(!started_);
+  started_ = true;
+  flood_query();
+  schedule_refresh();
+}
+
+void SubscriptionSession::flood_query() {
+  // The first flood installs a lingering query for the subscription's whole
+  // remaining lifetime: it anchors publish-time pushes along its reverse
+  // paths. Refresh floods are *fresh* queries (relays forward them; a
+  // repeated id would be dropped as a duplicate at the first hop) carrying
+  // a Bloom filter of everything already seen — exactly the multi-round
+  // redundancy detection of §III-B.2 — and live only a few refresh
+  // intervals: they patch losses and install the query on late joiners,
+  // whose pushes then flow until the patch expires and the next refresh
+  // renews it.
+  ++floods_;
+  auto query = std::make_shared<net::Message>();
+  query->type = net::MessageType::kQuery;
+  query->kind = kind_;
+  query->query_id = ctx_.new_query_id();
+  query->sender = ctx_.self;
+  query->filter = filter_;
+  query->expire_at =
+      floods_ == 1 ? expire_at_
+                   : std::min(expire_at_,
+                              ctx_.now() + 3.0 * ctx_.config.subscription_refresh);
+  if (ctx_.config.enable_bloom_rewriting && !seen_.empty()) {
+    util::BloomFilter bloom = util::BloomFilter::with_capacity(
+        seen_.size(), ctx_.config.bloom_fpp,
+        hash_combine(bloom_seed_base_, static_cast<std::uint64_t>(floods_)));
+    for (std::uint64_t key : seen_) bloom.insert(key);
+    query->exclude = std::move(bloom);
+  }
+  ctx_.register_local_query(
+      query, [this](const net::Message& r) { on_local_response(r); });
+  ctx_.transport.send(std::move(query));
+}
+
+void SubscriptionSession::schedule_refresh() {
+  const SimTime interval = ctx_.config.subscription_refresh;
+  ctx_.sim.schedule(interval, [this] {
+    if (!active()) return;
+    flood_query();
+    schedule_refresh();
+  });
+}
+
+void SubscriptionSession::on_local_response(const net::Message& response) {
+  if (!active()) return;
+  if (kind_ == net::ContentKind::kMetadata) {
+    for (const DataDescriptor& d : response.metadata) {
+      if (seen_.insert(d.entry_key()).second && on_entry_) on_entry_(d);
+    }
+  } else {
+    for (const net::ItemPayload& item : response.items) {
+      if (seen_.insert(item.descriptor.entry_key()).second) {
+        items_.push_back(item);
+        if (on_entry_) on_entry_(item.descriptor);
+      }
+    }
+  }
+}
+
+}  // namespace pds::core

@@ -1,0 +1,71 @@
+// Long-lived subscription sessions (paper §IV future work: "subscribing to
+// a data item that keeps growing, e.g., live video streams").
+//
+// A subscription is one long-lived lingering query: it is flooded once,
+// stays in every node's LQT for the subscription's duration, and anything
+// matching that appears anywhere in the network — published after the
+// subscription started, carried in by a joining node, or cached en route —
+// streams back to the subscriber with no re-querying. The flood is
+// refreshed periodically with short-lived patch queries (Bloom-pruned, like
+// discovery rounds) that heal losses and install the query on late joiners.
+//
+// This is the lingering-query mechanism doing exactly what §III-A.1 designed
+// it for, extended in time; nothing new is needed at relays.
+//
+// Relays cap how long any lingering query may stay in their table (10
+// minutes); a subscription outliving that cap degrades gracefully: pushes
+// stop flowing through expired anchors, and the periodic patch floods keep
+// pulling matching entries at refresh-interval latency.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+
+#include "core/context.h"
+
+namespace pds::core {
+
+class SubscriptionSession {
+ public:
+  // Invoked once per newly seen matching entry. Item subscriptions receive
+  // the item's descriptor here; payloads are available via `items()`.
+  using EntryCallback = std::function<void(const DataDescriptor&)>;
+
+  SubscriptionSession(NodeContext& ctx, net::ContentKind kind, Filter filter,
+                      SimTime duration, EntryCallback on_entry);
+
+  SubscriptionSession(const SubscriptionSession&) = delete;
+  SubscriptionSession& operator=(const SubscriptionSession&) = delete;
+
+  void start();
+  // Stops delivering and refreshing; the flooded query simply expires.
+  void cancel() { cancelled_ = true; }
+
+  [[nodiscard]] bool active() const;
+  [[nodiscard]] std::size_t distinct_received() const {
+    return seen_.size();
+  }
+  [[nodiscard]] const std::vector<net::ItemPayload>& items() const {
+    return items_;
+  }
+
+ private:
+  void flood_query();
+  void schedule_refresh();
+  void on_local_response(const net::Message& response);
+
+  NodeContext& ctx_;
+  net::ContentKind kind_;
+  Filter filter_;
+  SimTime expire_at_;
+  EntryCallback on_entry_;
+
+  bool started_ = false;
+  bool cancelled_ = false;
+  std::uint64_t bloom_seed_base_ = 0;
+  int floods_ = 0;
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<net::ItemPayload> items_;
+};
+
+}  // namespace pds::core

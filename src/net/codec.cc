@@ -1,0 +1,195 @@
+#include "net/codec.h"
+
+#include "common/assert.h"
+#include "common/bytes.h"
+
+namespace pds::net {
+
+namespace {
+
+// type + kind + sender(4) + query/response id(8) + expire(8) + ttl(1).
+constexpr std::size_t kCommonHeaderBytes = 1 + 1 + 4 + 8 + 8 + 1;
+
+std::size_t receiver_list_bytes(const Message& m) {
+  return 1 + 4 * m.receivers.size();
+}
+
+}  // namespace
+
+std::size_t Codec::entry_wire_size(const core::DataDescriptor& d) const {
+  if (cfg_.metadata_entry_bytes > 0) return cfg_.metadata_entry_bytes;
+  return d.encoded_size();
+}
+
+std::size_t Codec::wire_size(const Message& m) const {
+  if (m.is_ack()) {
+    // type + count(2) + tokens(8 each) + acker(4).
+    return 1 + 2 + 8 * m.ack_tokens.size() + 4;
+  }
+  if (m.is_repair()) {
+    // type + token(8) + requester(4) + count(2) + indices(4 each).
+    return 1 + 8 + 4 + 2 + 4 * m.requested_chunks.size();
+  }
+  std::size_t size = kCommonHeaderBytes + receiver_list_bytes(m);
+  if (m.target.has_value()) size += m.target->encoded_size();
+  size += 1;  // target-present flag
+  if (m.is_query()) {
+    size += m.filter.encoded_size();
+    size += m.exclude.wire_size();
+    size += 2 + 4 * m.requested_chunks.size();
+  } else {
+    size += 2;  // metadata count
+    for (const core::DataDescriptor& d : m.metadata) {
+      size += entry_wire_size(d);
+    }
+    size += 2 + 8 * m.cdi.size();
+    size += 1;  // chunk-present flag
+    if (m.chunk.has_value()) {
+      size += 4 + 4 + m.chunk->size_bytes;  // index + length + payload
+    }
+    size += 2;  // item count
+    for (const ItemPayload& item : m.items) {
+      size += entry_wire_size(item.descriptor) + 4 + item.size_bytes;
+    }
+  }
+  return size;
+}
+
+std::vector<std::byte> Codec::encode(const Message& m) const {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(m.type));
+  if (m.is_ack()) {
+    w.put_u16(static_cast<std::uint16_t>(m.ack_tokens.size()));
+    for (std::uint64_t token : m.ack_tokens) w.put_u64(token);
+    w.put_u32(m.acker.value());
+    return w.take();
+  }
+  if (m.is_repair()) {
+    w.put_u64(m.ack_tokens.empty() ? 0 : m.ack_tokens.front());
+    w.put_u32(m.acker.value());
+    w.put_u16(static_cast<std::uint16_t>(m.requested_chunks.size()));
+    for (ChunkIndex c : m.requested_chunks) w.put_u32(c);
+    return w.take();
+  }
+  w.put_u8(static_cast<std::uint8_t>(m.kind));
+  w.put_u32(m.sender.value());
+  w.put_u64(m.is_query() ? m.query_id.value() : m.response_id.value());
+  w.put_i64(m.expire_at.as_micros());
+  w.put_u8(m.ttl);
+  w.put_u8(static_cast<std::uint8_t>(m.receivers.size()));
+  for (NodeId r : m.receivers) w.put_u32(r.value());
+  w.put_u8(m.target.has_value() ? 1 : 0);
+  if (m.target.has_value()) m.target->encode(w);
+  if (m.is_query()) {
+    m.filter.encode(w);
+    std::vector<std::byte> bloom_bytes;
+    m.exclude.encode(bloom_bytes);
+    w.put_bytes(bloom_bytes);
+    w.put_u16(static_cast<std::uint16_t>(m.requested_chunks.size()));
+    for (ChunkIndex c : m.requested_chunks) w.put_u32(c);
+  } else {
+    w.put_u16(static_cast<std::uint16_t>(m.metadata.size()));
+    for (const core::DataDescriptor& d : m.metadata) d.encode(w);
+    w.put_u16(static_cast<std::uint16_t>(m.cdi.size()));
+    for (const CdiEntry& e : m.cdi) {
+      w.put_u32(e.chunk);
+      w.put_u32(e.hop_count);
+    }
+    w.put_u8(m.chunk.has_value() ? 1 : 0);
+    if (m.chunk.has_value()) {
+      w.put_u32(m.chunk->index);
+      w.put_u32(m.chunk->size_bytes);
+      w.put_u64(m.chunk->content_hash);
+    }
+    w.put_u16(static_cast<std::uint16_t>(m.items.size()));
+    for (const ItemPayload& item : m.items) {
+      item.descriptor.encode(w);
+      w.put_u32(item.size_bytes);
+      w.put_u64(item.content_hash);
+    }
+  }
+  return w.take();
+}
+
+Message Codec::decode(std::span<const std::byte> bytes) const {
+  ByteReader r(bytes);
+  Message m;
+  m.type = static_cast<MessageType>(r.get_u8());
+  if (static_cast<std::uint8_t>(m.type) > 3) {
+    throw DecodeError("unknown message type");
+  }
+  if (m.is_ack()) {
+    const std::uint16_t n_tokens = r.get_u16();
+    for (std::uint16_t i = 0; i < n_tokens; ++i) {
+      m.ack_tokens.push_back(r.get_u64());
+    }
+    m.acker = NodeId(r.get_u32());
+    return m;
+  }
+  if (m.is_repair()) {
+    m.ack_tokens.push_back(r.get_u64());
+    m.acker = NodeId(r.get_u32());
+    const std::uint16_t n_missing = r.get_u16();
+    for (std::uint16_t i = 0; i < n_missing; ++i) {
+      m.requested_chunks.push_back(r.get_u32());
+    }
+    return m;
+  }
+  m.kind = static_cast<ContentKind>(r.get_u8());
+  if (static_cast<std::uint8_t>(m.kind) > 3) {
+    throw DecodeError("unknown content kind");
+  }
+  m.sender = NodeId(r.get_u32());
+  const std::uint64_t id = r.get_u64();
+  if (m.is_query()) {
+    m.query_id = QueryId(id);
+  } else {
+    m.response_id = ResponseId(id);
+  }
+  m.expire_at = SimTime::micros(r.get_i64());
+  m.ttl = r.get_u8();
+  const std::uint8_t n_recv = r.get_u8();
+  for (std::uint8_t i = 0; i < n_recv; ++i) {
+    m.receivers.emplace_back(r.get_u32());
+  }
+  if (r.get_u8() != 0) m.target = core::DataDescriptor::decode(r);
+  if (m.is_query()) {
+    m.filter = core::Filter::decode(r);
+    const std::vector<std::byte> bloom_bytes = r.get_bytes();
+    m.exclude = util::BloomFilter::decode(bloom_bytes);
+    const std::uint16_t n_chunks = r.get_u16();
+    for (std::uint16_t i = 0; i < n_chunks; ++i) {
+      m.requested_chunks.push_back(r.get_u32());
+    }
+  } else {
+    const std::uint16_t n_meta = r.get_u16();
+    for (std::uint16_t i = 0; i < n_meta; ++i) {
+      m.metadata.push_back(core::DataDescriptor::decode(r));
+    }
+    const std::uint16_t n_cdi = r.get_u16();
+    for (std::uint16_t i = 0; i < n_cdi; ++i) {
+      CdiEntry e;
+      e.chunk = r.get_u32();
+      e.hop_count = r.get_u32();
+      m.cdi.push_back(e);
+    }
+    if (r.get_u8() != 0) {
+      ChunkPayload c;
+      c.index = r.get_u32();
+      c.size_bytes = r.get_u32();
+      c.content_hash = r.get_u64();
+      m.chunk = c;
+    }
+    const std::uint16_t n_items = r.get_u16();
+    for (std::uint16_t i = 0; i < n_items; ++i) {
+      ItemPayload item;
+      item.descriptor = core::DataDescriptor::decode(r);
+      item.size_bytes = r.get_u32();
+      item.content_hash = r.get_u64();
+      m.items.push_back(std::move(item));
+    }
+  }
+  return m;
+}
+
+}  // namespace pds::net

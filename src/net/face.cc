@@ -1,0 +1,76 @@
+#include "net/face.h"
+
+#include "common/assert.h"
+
+namespace pds::net {
+
+BroadcastFace::BroadcastFace(sim::RadioMedium& medium, NodeId self,
+                             sim::Vec2 position, bool enabled)
+    : medium_(medium), self_(self) {
+  medium_.add_node(self, *this, position, enabled);
+}
+
+bool BroadcastFace::send(sim::Frame frame) {
+  return medium_.send(self_, std::move(frame));
+}
+
+std::size_t BroadcastFace::backlog_bytes() const {
+  return medium_.os_backlog_bytes(self_);
+}
+
+double BroadcastFace::link_rate_bps() const {
+  return medium_.config().mac_rate_bps;
+}
+
+void BroadcastFace::set_receiver(Receiver receiver) {
+  receiver_ = std::move(receiver);
+}
+
+void BroadcastFace::on_frame(const sim::Frame& frame) {
+  if (receiver_) receiver_(frame);
+}
+
+class LoopbackFace final : public Face {
+ public:
+  LoopbackFace(LoopbackHub& hub,
+               std::shared_ptr<LoopbackHub::Endpoint> endpoint)
+      : hub_(hub), endpoint_(std::move(endpoint)) {}
+
+  bool send(sim::Frame frame) override;
+  [[nodiscard]] std::size_t backlog_bytes() const override { return 0; }
+  [[nodiscard]] double link_rate_bps() const override;
+  void set_receiver(Receiver receiver) override {
+    endpoint_->receiver = std::move(receiver);
+  }
+
+ private:
+  LoopbackHub& hub_;
+  std::shared_ptr<LoopbackHub::Endpoint> endpoint_;
+};
+
+std::unique_ptr<Face> LoopbackHub::make_face(NodeId self) {
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->id = self;
+  endpoints_.push_back(endpoint);
+  return std::make_unique<LoopbackFace>(*this, std::move(endpoint));
+}
+
+void LoopbackHub::broadcast(NodeId from, sim::Frame frame) {
+  const SimTime arrival =
+      delay_ + transmission_time(frame.size_bytes, rate_bps_);
+  for (const auto& endpoint : endpoints_) {
+    if (endpoint->id == from) continue;
+    sim_.schedule(arrival, [endpoint, frame] {
+      if (endpoint->receiver) endpoint->receiver(frame);
+    });
+  }
+}
+
+bool LoopbackFace::send(sim::Frame frame) {
+  hub_.broadcast(endpoint_->id, std::move(frame));
+  return true;
+}
+
+double LoopbackFace::link_rate_bps() const { return hub_.rate_bps_; }
+
+}  // namespace pds::net

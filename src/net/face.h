@@ -1,0 +1,97 @@
+// Faces (paper §V): "PDS treats all network/link technologies as 'faces'.
+// Such abstraction provides a uniform high-level interface while hiding
+// heterogeneous lower level details of different network/link technologies."
+//
+// A Face is where the transport hands frames to a link and receives frames
+// from it. Two implementations ship:
+//
+//  * BroadcastFace — the simulated UDP-broadcast face over RadioMedium,
+//    which every PdsNode uses;
+//  * LoopbackFace  — a deterministic in-process pipe connecting a set of
+//    transports directly (perfect delivery, configurable per-frame delay),
+//    for unit tests that want protocol behaviour without a radio model.
+//
+// Porting PDS to real hardware means writing one more Face (e.g., over a
+// UDP socket joined to a broadcast group) — nothing above this interface
+// changes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/radio.h"
+#include "sim/simulator.h"
+
+namespace pds::net {
+
+class Face {
+ public:
+  virtual ~Face() = default;
+
+  using Receiver = std::function<void(const sim::Frame&)>;
+
+  // Hands a frame to the link. Returns false when the link's buffer
+  // overflowed and the frame was silently dropped.
+  virtual bool send(sim::Frame frame) = 0;
+
+  // Bytes queued on the link but not yet transmitted; the transport's
+  // retransmission timers account for this drain time.
+  [[nodiscard]] virtual std::size_t backlog_bytes() const = 0;
+
+  // Nominal link transmit rate (for drain estimates).
+  [[nodiscard]] virtual double link_rate_bps() const = 0;
+
+  // Registers the upcall for received frames (intended and overheard).
+  virtual void set_receiver(Receiver receiver) = 0;
+};
+
+// The simulated one-hop UDP-broadcast face (§V: all prototype messages are
+// sent by UDP broadcast).
+class BroadcastFace final : public Face, private sim::FrameSink {
+ public:
+  BroadcastFace(sim::RadioMedium& medium, NodeId self, sim::Vec2 position,
+                bool enabled = true);
+
+  bool send(sim::Frame frame) override;
+  [[nodiscard]] std::size_t backlog_bytes() const override;
+  [[nodiscard]] double link_rate_bps() const override;
+  void set_receiver(Receiver receiver) override;
+
+ private:
+  void on_frame(const sim::Frame& frame) override;
+
+  sim::RadioMedium& medium_;
+  NodeId self_;
+  Receiver receiver_;
+};
+
+// In-process face: frames sent on one endpoint arrive at every other
+// endpoint of the same hub after `delay` (plus serialization at
+// `rate_bps`), with no loss and no contention. Deterministic protocol unit
+// tests plug transports together through this.
+class LoopbackHub {
+ public:
+  LoopbackHub(sim::Simulator& sim, double rate_bps = 7.2e6,
+              SimTime delay = SimTime::micros(50))
+      : sim_(sim), rate_bps_(rate_bps), delay_(delay) {}
+
+  [[nodiscard]] std::unique_ptr<Face> make_face(NodeId self);
+
+ private:
+  friend class LoopbackFace;
+  struct Endpoint {
+    NodeId id;
+    Face::Receiver receiver;
+  };
+
+  void broadcast(NodeId from, sim::Frame frame);
+
+  sim::Simulator& sim_;
+  double rate_bps_;
+  SimTime delay_;
+  std::vector<std::shared_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace pds::net

@@ -1,0 +1,13 @@
+#include "net/message.h"
+
+#include <algorithm>
+
+namespace pds::net {
+
+bool Message::addressed_to(NodeId id) const {
+  if (is_ack() || is_repair()) return false;  // transport-internal frames
+  if (receivers.empty()) return true;  // all neighbors are intended
+  return std::find(receivers.begin(), receivers.end(), id) != receivers.end();
+}
+
+}  // namespace pds::net

@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include "common/assert.h"
+
+namespace pds::sim {
+
+EventQueue::EventId EventQueue::push(SimTime at, Action action) {
+  const EventId id = next_seq_;
+  heap_.push(Entry{.at = at, .seq = next_seq_, .id = id});
+  ++next_seq_;
+  actions_.emplace(id, std::move(action));
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (actions_.erase(id) > 0) --live_count_;
+}
+
+void EventQueue::skip_dead() {
+  while (!heap_.empty() && !actions_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_dead();
+  PDS_ENSURE(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skip_dead();
+  PDS_ENSURE(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.id);
+  PDS_ENSURE(it != actions_.end());
+  Popped out{.at = top.at, .action = std::move(it->second)};
+  actions_.erase(it);
+  --live_count_;
+  return out;
+}
+
+}  // namespace pds::sim

@@ -1,0 +1,60 @@
+// Priority queue of timed events for the discrete-event simulator.
+//
+// Events with equal timestamps fire in insertion order (a monotone sequence
+// number breaks ties) so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace pds::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Token that allows cancelling a scheduled event.
+  using EventId = std::uint64_t;
+
+  EventId push(SimTime at, Action action);
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] SimTime next_time() const;
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  // Pops and returns the earliest live event. Precondition: !empty().
+  struct Popped {
+    SimTime at;
+    Action action;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // id -> action; erased on cancel. Entries whose id is gone are skipped.
+  std::unordered_map<EventId, Action> actions_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+
+  void skip_dead();
+};
+
+}  // namespace pds::sim

@@ -1,0 +1,217 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/assert.h"
+
+namespace pds::sim {
+
+MobilityParams student_center_params() {
+  return MobilityParams{.area_width_m = 120.0,
+                        .area_height_m = 120.0,
+                        .population = 20,
+                        .joins_per_minute = 1.0,
+                        .leaves_per_minute = 1.0,
+                        .moves_per_minute = 4.0};
+}
+
+MobilityParams classroom_params() {
+  return MobilityParams{.area_width_m = 20.0,
+                        .area_height_m = 20.0,
+                        .population = 30,
+                        .joins_per_minute = 0.5,
+                        .leaves_per_minute = 0.5,
+                        .moves_per_minute = 0.5};
+}
+
+namespace {
+
+Vec2 random_position(const MobilityParams& p, Rng& rng) {
+  return Vec2{rng.uniform(0.0, p.area_width_m),
+              rng.uniform(0.0, p.area_height_m)};
+}
+
+}  // namespace
+
+MobilityTrace MobilityTrace::generate(const MobilityParams& params,
+                                      std::span<const NodeId> pool,
+                                      std::span<const NodeId> pinned,
+                                      Rng& rng) {
+  PDS_ENSURE(pool.size() >= params.population);
+  PDS_ENSURE(pinned.size() <= params.population);
+
+  MobilityTrace trace;
+  const std::unordered_set<NodeId> pinned_set(pinned.begin(), pinned.end());
+  for (NodeId n : pinned)
+    PDS_ENSURE(std::find(pool.begin(), pool.end(), n) != pool.end());
+
+  // Initial placement: pinned first, then fill to `population` from the pool.
+  std::vector<NodeId> present;
+  std::vector<NodeId> absent;
+  for (NodeId n : pool) {
+    if (pinned_set.contains(n)) continue;
+    (present.size() + pinned.size() < params.population ? present : absent)
+        .push_back(n);
+  }
+  present.insert(present.end(), pinned.begin(), pinned.end());
+
+  std::unordered_set<NodeId> present_set(present.begin(), present.end());
+  for (NodeId n : pool) {
+    trace.initial_.push_back(InitialPlacement{
+        .node = n,
+        .pos = random_position(params, rng),
+        .present = present_set.contains(n)});
+  }
+
+  // Three independent Poisson processes over the duration.
+  struct Process {
+    MobilityEvent::Kind kind;
+    double per_minute;
+  };
+  const double k = params.frequency_multiplier;
+  const Process processes[] = {
+      {MobilityEvent::Kind::kJoin, params.joins_per_minute * k},
+      {MobilityEvent::Kind::kLeave, params.leaves_per_minute * k},
+      {MobilityEvent::Kind::kMove, params.moves_per_minute * k},
+  };
+  for (const Process& proc : processes) {
+    if (proc.per_minute <= 0.0) continue;
+    const double mean_gap_seconds = 60.0 / proc.per_minute;
+    double t = rng.exponential(mean_gap_seconds);
+    while (t < params.duration.as_seconds()) {
+      trace.events_.push_back(MobilityEvent{.at = SimTime::seconds(t),
+                                            .kind = proc.kind,
+                                            .node = NodeId::invalid(),
+                                            .pos = {}});
+      t += rng.exponential(mean_gap_seconds);
+    }
+  }
+  std::sort(trace.events_.begin(), trace.events_.end(),
+            [](const MobilityEvent& a, const MobilityEvent& b) {
+              return a.at < b.at;
+            });
+
+  // Resolve which node each event touches by replaying presence state.
+  std::vector<NodeId> in = present;
+  std::vector<NodeId> out = absent;
+  auto take_random = [&rng](std::vector<NodeId>& v,
+                            std::size_t index) -> NodeId {
+    (void)rng;
+    const NodeId n = v[index];
+    v[index] = v.back();
+    v.pop_back();
+    return n;
+  };
+
+  std::vector<MobilityEvent> resolved;
+  resolved.reserve(trace.events_.size());
+  for (MobilityEvent ev : trace.events_) {
+    switch (ev.kind) {
+      case MobilityEvent::Kind::kJoin: {
+        if (out.empty()) continue;  // pool exhausted; skip this join
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+        ev.node = take_random(out, idx);
+        ev.pos = random_position(params, rng);
+        in.push_back(ev.node);
+        break;
+      }
+      case MobilityEvent::Kind::kLeave: {
+        // Pinned nodes never leave.
+        std::vector<std::size_t> candidates;
+        for (std::size_t i = 0; i < in.size(); ++i) {
+          if (!pinned_set.contains(in[i])) candidates.push_back(i);
+        }
+        if (candidates.empty()) continue;
+        const auto pick = candidates[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(candidates.size()) - 1))];
+        ev.node = take_random(in, pick);
+        out.push_back(ev.node);
+        break;
+      }
+      case MobilityEvent::Kind::kMove: {
+        if (in.empty()) continue;
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(in.size()) - 1));
+        ev.node = in[idx];
+        ev.pos = random_position(params, rng);
+        break;
+      }
+    }
+    resolved.push_back(ev);
+  }
+  trace.events_ = std::move(resolved);
+  return trace;
+}
+
+std::string MobilityTrace::to_text() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (const InitialPlacement& p : initial_) {
+    os << "init " << p.node.value() << ' ' << p.pos.x << ' ' << p.pos.y << ' '
+       << (p.present ? 1 : 0) << '\n';
+  }
+  for (const MobilityEvent& ev : events_) {
+    const char* kind = ev.kind == MobilityEvent::Kind::kJoin    ? "join"
+                       : ev.kind == MobilityEvent::Kind::kLeave ? "leave"
+                                                                : "move";
+    os << kind << ' ' << ev.at.as_micros() << ' ' << ev.node.value() << ' '
+       << ev.pos.x << ' ' << ev.pos.y << '\n';
+  }
+  return os.str();
+}
+
+MobilityTrace MobilityTrace::from_text(const std::string& text) {
+  MobilityTrace trace;
+  std::istringstream is(text);
+  std::string kind;
+  while (is >> kind) {
+    if (kind == "init") {
+      std::uint32_t node = 0;
+      InitialPlacement p;
+      int present = 0;
+      is >> node >> p.pos.x >> p.pos.y >> present;
+      p.node = NodeId(node);
+      p.present = present != 0;
+      trace.initial_.push_back(p);
+      continue;
+    }
+    MobilityEvent ev;
+    std::int64_t at_us = 0;
+    std::uint32_t node = 0;
+    is >> at_us >> node >> ev.pos.x >> ev.pos.y;
+    ev.at = SimTime::micros(at_us);
+    ev.node = NodeId(node);
+    ev.kind = kind == "join"    ? MobilityEvent::Kind::kJoin
+              : kind == "leave" ? MobilityEvent::Kind::kLeave
+                                : MobilityEvent::Kind::kMove;
+    PDS_ENSURE(kind == "join" || kind == "leave" || kind == "move");
+    trace.events_.push_back(ev);
+  }
+  return trace;
+}
+
+void MobilityTrace::install(Simulator& sim, RadioMedium& medium) const {
+  for (const MobilityEvent& ev : events_) {
+    switch (ev.kind) {
+      case MobilityEvent::Kind::kJoin:
+        sim.schedule_at(ev.at, [&medium, ev] {
+          medium.set_position(ev.node, ev.pos);
+          medium.set_enabled(ev.node, true);
+        });
+        break;
+      case MobilityEvent::Kind::kLeave:
+        sim.schedule_at(ev.at,
+                        [&medium, ev] { medium.set_enabled(ev.node, false); });
+        break;
+      case MobilityEvent::Kind::kMove:
+        sim.schedule_at(ev.at,
+                        [&medium, ev] { medium.set_position(ev.node, ev.pos); });
+        break;
+    }
+  }
+}
+
+}  // namespace pds::sim

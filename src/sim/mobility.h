@@ -1,0 +1,94 @@
+// Trace-driven mobility (paper §VI-B.2).
+//
+// The paper generates mobility traces from 8 hours of human observation of
+// two university locations, reduced to aggregate rates:
+//
+//   Student Center: 120×120 m², ~20 people present; per minute on average
+//                   1 join, 1 leave, 4 within-area moves.
+//   Classrooms:     20×20 m², ~30 people; 0.5 join / 0.5 leave / 0.5 move.
+//
+// We generate traces from exactly those rates with independent Poisson
+// processes, with a frequency multiplier (×0.5–×2) as swept in Figs. 9/10/12.
+//
+// Moves and joins reposition a node instantaneously. People cross these areas
+// in tens of seconds to minutes while the protocols under study converge in
+// seconds, and the paper's own traces are event-based (join/leave/move), so
+// step updates preserve the relevant dynamics: neighborhoods change, data
+// leaves with departing nodes, and paths break between rounds.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "sim/position.h"
+#include "sim/radio.h"
+#include "sim/simulator.h"
+
+namespace pds::sim {
+
+struct MobilityParams {
+  double area_width_m = 120.0;
+  double area_height_m = 120.0;
+  std::size_t population = 20;
+  double joins_per_minute = 1.0;
+  double leaves_per_minute = 1.0;
+  double moves_per_minute = 4.0;
+  // Scales all three event rates (the paper's ×0.5–×2 sweep).
+  double frequency_multiplier = 1.0;
+  SimTime duration = SimTime::minutes(10);
+};
+
+// Presets matching the paper's observed rates.
+[[nodiscard]] MobilityParams student_center_params();
+[[nodiscard]] MobilityParams classroom_params();
+
+struct MobilityEvent {
+  enum class Kind { kJoin, kLeave, kMove };
+  SimTime at;
+  Kind kind = Kind::kMove;
+  NodeId node;
+  Vec2 pos;  // destination for kJoin / kMove
+};
+
+struct InitialPlacement {
+  NodeId node;
+  Vec2 pos;
+  bool present = true;
+};
+
+class MobilityTrace {
+ public:
+  // `pool` — all node ids that may ever appear (present + churn reserve);
+  // `pinned` — nodes (consumers) that are always initially present and never
+  // leave, though they may move.
+  static MobilityTrace generate(const MobilityParams& params,
+                                std::span<const NodeId> pool,
+                                std::span<const NodeId> pinned, Rng& rng);
+
+  [[nodiscard]] const std::vector<MobilityEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<InitialPlacement>& initial() const {
+    return initial_;
+  }
+
+  // Schedules all events against the medium: joins/leaves toggle the radio,
+  // moves update positions.
+  void install(Simulator& sim, RadioMedium& medium) const;
+
+  // Text serialization, one record per line — lets generated traces be
+  // saved, inspected and replayed across runs (the paper generated traces
+  // offline from its observations).
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static MobilityTrace from_text(const std::string& text);
+
+ private:
+  std::vector<MobilityEvent> events_;
+  std::vector<InitialPlacement> initial_;
+};
+
+}  // namespace pds::sim

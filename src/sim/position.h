@@ -1,0 +1,32 @@
+// 2-D positions for node placement and mobility.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace pds::sim {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << "(" << v.x << ", " << v.y << ")";
+  }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace pds::sim

@@ -1,0 +1,279 @@
+#include "sim/radio.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace pds::sim {
+
+RadioConfig contended_radio_profile() {
+  return RadioConfig{};  // defaults: interference ring at 1.5× range
+}
+
+RadioConfig clean_radio_profile() {
+  RadioConfig cfg;
+  cfg.interference_range_m = cfg.range_m;  // no corruption beyond decode range
+  return cfg;
+}
+
+RadioMedium::RadioMedium(Simulator& sim, RadioConfig cfg)
+    : sim_(sim), cfg_(cfg), rng_(sim.rng().fork()) {
+  // A nonzero explicit range with default interference keeps the 1.5× rule;
+  // profiles that pin interference to the decode range must track range_m.
+  if (cfg_.interference_range_m > 0.0 &&
+      cfg_.interference_range_m < cfg_.range_m) {
+    cfg_.interference_range_m = cfg_.range_m;
+  }
+}
+
+void RadioMedium::add_node(NodeId id, FrameSink& sink, Vec2 pos,
+                           bool enabled) {
+  PDS_ENSURE(!nodes_.contains(id));
+  NodeState state;
+  state.sink = &sink;
+  state.pos = pos;
+  state.enabled = enabled;
+  nodes_.emplace(id, std::move(state));
+  node_order_.push_back(id);
+}
+
+RadioMedium::NodeState& RadioMedium::state_of(NodeId id) {
+  auto it = nodes_.find(id);
+  PDS_ENSURE(it != nodes_.end());
+  return it->second;
+}
+
+const RadioMedium::NodeState& RadioMedium::state_of(NodeId id) const {
+  auto it = nodes_.find(id);
+  PDS_ENSURE(it != nodes_.end());
+  return it->second;
+}
+
+void RadioMedium::set_position(NodeId id, Vec2 pos) { state_of(id).pos = pos; }
+
+void RadioMedium::set_enabled(NodeId id, bool enabled) {
+  NodeState& st = state_of(id);
+  if (st.enabled == enabled) return;
+  st.enabled = enabled;
+  if (!enabled) {
+    // Radio off: pending sends and in-flight receptions are gone. An ongoing
+    // transmission is allowed to finish (the tail of the frame is already on
+    // the air as far as other nodes can tell).
+    st.os_queue.clear();
+    st.os_bytes = 0;
+    st.receptions.clear();
+  } else if (!st.os_queue.empty()) {
+    maybe_schedule_attempt(id, SimTime::zero());
+  }
+}
+
+bool RadioMedium::is_enabled(NodeId id) const { return state_of(id).enabled; }
+
+Vec2 RadioMedium::position(NodeId id) const { return state_of(id).pos; }
+
+bool RadioMedium::in_range(const NodeState& a, const NodeState& b) const {
+  return distance(a.pos, b.pos) <= cfg_.range_m;
+}
+
+bool RadioMedium::send(NodeId sender, Frame frame) {
+  ++stats_.frames_offered;
+  NodeState& st = state_of(sender);
+  if (!st.enabled) return false;
+  if (st.os_bytes + frame.size_bytes > cfg_.os_buffer_bytes) {
+    ++stats_.os_buffer_drops;
+    return false;
+  }
+  st.os_bytes += frame.size_bytes;
+  if (frame.control) {
+    st.os_queue.push_front(std::move(frame));  // control frames jump the queue
+  } else {
+    st.os_queue.push_back(std::move(frame));
+  }
+  maybe_schedule_attempt(sender, SimTime::zero());
+  return true;
+}
+
+std::vector<NodeId> RadioMedium::neighbors(NodeId id) const {
+  const NodeState& self = state_of(id);
+  std::vector<NodeId> out;
+  for (NodeId other : node_order_) {
+    if (other == id) continue;
+    const NodeState& st = state_of(other);
+    if (st.enabled && self.enabled && in_range(self, st)) out.push_back(other);
+  }
+  return out;
+}
+
+std::size_t RadioMedium::os_backlog_bytes(NodeId id) const {
+  return state_of(id).os_bytes;
+}
+
+const RadioActivity& RadioMedium::activity(NodeId id) const {
+  return state_of(id).activity;
+}
+
+double RadioMedium::energy_joules(NodeId id, SimTime elapsed) const {
+  const RadioActivity& a = state_of(id).activity;
+  return cfg_.idle_power_w * elapsed.as_seconds() +
+         (cfg_.tx_power_w - cfg_.idle_power_w) * a.tx_airtime.as_seconds() +
+         (cfg_.rx_power_w - cfg_.idle_power_w) * a.rx_airtime.as_seconds();
+}
+
+double RadioMedium::total_energy_joules(SimTime elapsed) const {
+  double sum = 0.0;
+  for (NodeId id : node_order_) sum += energy_joules(id, elapsed);
+  return sum;
+}
+
+bool RadioMedium::medium_busy_around(NodeId id) const {
+  const NodeState& self = state_of(id);
+  const double cs = carrier_sense_range();
+  for (NodeId other : node_order_) {
+    if (other == id) continue;
+    const NodeState& st = state_of(other);
+    if (st.transmitting && distance(self.pos, st.pos) <= cs) return true;
+  }
+  return false;
+}
+
+SimTime RadioMedium::busy_end_around(NodeId id) const {
+  const NodeState& self = state_of(id);
+  const double cs = carrier_sense_range();
+  SimTime latest = sim_.now();
+  for (NodeId other : node_order_) {
+    if (other == id) continue;
+    const NodeState& st = state_of(other);
+    if (st.transmitting && distance(self.pos, st.pos) <= cs) {
+      latest = std::max(latest, st.tx_end);
+    }
+  }
+  return latest;
+}
+
+SimTime RadioMedium::random_backoff() {
+  const auto slots = rng_.uniform_int(0, cfg_.max_backoff_slots - 1);
+  return cfg_.backoff_slot * static_cast<double>(slots);
+}
+
+SimTime RadioMedium::access_delay(const NodeState& st) {
+  // Control frames (acks) contend with a shorter inter-frame space and a
+  // small backoff window, like MAC control traffic.
+  const bool control = !st.os_queue.empty() && st.os_queue.front().control;
+  if (control) {
+    return 0.5 * cfg_.difs + cfg_.backoff_slot *
+                                 static_cast<double>(rng_.uniform_int(0, 7));
+  }
+  return cfg_.difs + random_backoff();
+}
+
+void RadioMedium::maybe_schedule_attempt(NodeId id, SimTime extra_delay) {
+  NodeState& st = state_of(id);
+  if (st.attempt_scheduled || st.transmitting || st.os_queue.empty() ||
+      !st.enabled) {
+    return;
+  }
+  st.attempt_scheduled = true;
+  sim_.schedule(extra_delay + access_delay(st),
+                [this, id] { attempt_transmission(id); });
+}
+
+void RadioMedium::attempt_transmission(NodeId id) {
+  NodeState& st = state_of(id);
+  st.attempt_scheduled = false;
+  if (!st.enabled || st.transmitting || st.os_queue.empty()) return;
+  if (medium_busy_around(id)) {
+    // Defer: retry after the sensed busy period plus fresh backoff.
+    const SimTime wait = busy_end_around(id) - sim_.now();
+    st.attempt_scheduled = true;
+    sim_.schedule(wait + access_delay(st),
+                  [this, id] { attempt_transmission(id); });
+    return;
+  }
+  start_transmission(id);
+}
+
+void RadioMedium::start_transmission(NodeId id) {
+  NodeState& st = state_of(id);
+  Frame frame = std::move(st.os_queue.front());
+  st.os_queue.pop_front();
+  PDS_ENSURE(st.os_bytes >= frame.size_bytes);
+  st.os_bytes -= frame.size_bytes;
+
+  const SimTime airtime = transmission_time(frame.size_bytes, cfg_.mac_rate_bps);
+  st.transmitting = true;
+  st.tx_end = sim_.now() + airtime;
+  st.activity.tx_airtime += airtime;
+
+  ++stats_.frames_transmitted;
+  stats_.bytes_transmitted += frame.size_bytes;
+  if (tx_observer_) tx_observer_(id, frame);
+
+  const std::uint64_t tx_seq = next_tx_seq_++;
+
+  for (NodeId other : node_order_) {
+    if (other == id) continue;
+    NodeState& rx = state_of(other);
+    if (!rx.enabled) continue;
+    const double new_dist = distance(st.pos, rx.pos);
+    if (new_dist > interference_range()) continue;
+    const bool decodable = new_dist <= cfg_.range_m;
+    if (rx.transmitting) {
+      // Half-duplex: a busy transmitter cannot decode incoming frames.
+      if (decodable) ++stats_.losses_half_duplex;
+      continue;
+    }
+    // Overlapping receptions interfere; a frame survives only if its
+    // transmitter is decisively closer than the competing one (physical
+    // capture). Hidden terminals — senders out of each other's carrier-sense
+    // range whose signals meet at this receiver, possibly too weak to decode
+    // but strong enough to corrupt — are what make multi-hop floods lossy.
+    if (decodable) rx.activity.rx_airtime += airtime;
+    Reception incoming{.tx_seq = tx_seq,
+                       .frame = frame,
+                       .sender_distance = new_dist,
+                       .corrupted = false,
+                       .decodable = decodable};
+    for (Reception& ongoing : rx.receptions) {
+      if (new_dist > ongoing.sender_distance * cfg_.capture_ratio) {
+        incoming.corrupted = true;
+      }
+      if (ongoing.sender_distance > new_dist * cfg_.capture_ratio) {
+        ongoing.corrupted = true;
+      }
+    }
+    rx.receptions.push_back(std::move(incoming));
+    sim_.schedule_at(st.tx_end,
+                     [this, other, tx_seq] { finish_reception(other, tx_seq); });
+  }
+
+  sim_.schedule_at(st.tx_end, [this, id] {
+    NodeState& sender = state_of(id);
+    sender.transmitting = false;
+    maybe_schedule_attempt(id, SimTime::zero());
+  });
+}
+
+void RadioMedium::finish_reception(NodeId receiver, std::uint64_t tx_seq) {
+  NodeState& rx = state_of(receiver);
+  auto it = std::find_if(rx.receptions.begin(), rx.receptions.end(),
+                         [tx_seq](const Reception& r) {
+                           return r.tx_seq == tx_seq;
+                         });
+  if (it == rx.receptions.end()) return;  // node left mid-frame
+  Reception rec = std::move(*it);
+  rx.receptions.erase(it);
+
+  if (!rx.enabled || !rec.decodable) return;
+  if (rec.corrupted) {
+    ++stats_.losses_collision;
+    return;
+  }
+  if (rng_.bernoulli(cfg_.loss_probability)) {
+    ++stats_.losses_noise;
+    return;
+  }
+  ++stats_.deliveries;
+  rx.sink->on_frame(rec.frame);
+}
+
+}  // namespace pds::sim

@@ -1,0 +1,25 @@
+#include "sim/simulator.h"
+
+#include "common/assert.h"
+
+namespace pds::sim {
+
+EventQueue::EventId Simulator::schedule_at(SimTime when,
+                                           EventQueue::Action action) {
+  PDS_ENSURE(when >= now_);
+  return queue_.push(when, std::move(action));
+}
+
+void Simulator::run(SimTime horizon) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.next_time() > horizon) break;
+    auto [at, action] = queue_.pop();
+    now_ = at;
+    ++events_executed_;
+    action();
+  }
+  if (now_ < horizon && horizon != SimTime::max()) now_ = horizon;
+}
+
+}  // namespace pds::sim

@@ -1,0 +1,43 @@
+// Discrete-event simulator: virtual clock plus event queue plus root RNG.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "sim/event_queue.h"
+
+namespace pds::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  // Schedule `action` to run `delay` after the current time.
+  EventQueue::EventId schedule(SimTime delay, EventQueue::Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+  EventQueue::EventId schedule_at(SimTime when, EventQueue::Action action);
+  void cancel(EventQueue::EventId id) { queue_.cancel(id); }
+
+  // Run until the queue drains, `stop()` is called, or the horizon passes.
+  void run(SimTime horizon = SimTime::max());
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+ private:
+  SimTime now_ = SimTime::zero();
+  EventQueue queue_;
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace pds::sim

@@ -1,0 +1,71 @@
+#include "sim/topology.h"
+
+#include "common/assert.h"
+
+namespace pds::sim {
+
+std::vector<Vec2> grid_positions(std::size_t nx, std::size_t ny,
+                                 double spacing) {
+  PDS_ENSURE(nx > 0 && ny > 0 && spacing > 0.0);
+  std::vector<Vec2> out;
+  out.reserve(nx * ny);
+  for (std::size_t row = 0; row < ny; ++row) {
+    for (std::size_t col = 0; col < nx; ++col) {
+      out.push_back(Vec2{static_cast<double>(col) * spacing,
+                         static_cast<double>(row) * spacing});
+    }
+  }
+  return out;
+}
+
+double grid_spacing_for_range(double range_m) {
+  // s*sqrt(2) <= r < 2s  ==>  r/2 < s <= r/sqrt(2). Pick s = r / 1.5: the
+  // diagonal neighbor at s*1.414 is comfortably in range, the 2-hop neighbor
+  // at 2s = 1.33r is out.
+  PDS_ENSURE(range_m > 0.0);
+  return range_m / 1.5;
+}
+
+std::size_t grid_center_index(std::size_t nx, std::size_t ny) {
+  return (ny / 2) * nx + nx / 2;
+}
+
+WifiDirectLayout wifi_direct_groups(std::size_t groups,
+                                    std::size_t members_per_group,
+                                    double range_m, Rng& rng) {
+  PDS_ENSURE(groups >= 1);
+  PDS_ENSURE(members_per_group >= 1);
+  WifiDirectLayout layout;
+
+  // Geometry with unit-disk range r: clusters of radius r/8 spaced 1.6r
+  // apart. Any two members of one group are ≤ r/4 apart (single hop);
+  // members of adjacent groups are ≥ 1.6r − 2·(r/8) = 1.35r apart (never
+  // direct); a bridge at the midpoint is ≤ 0.8r + r/8 = 0.925r from every
+  // member of both groups it spans.
+  const double spacing = 1.6 * range_m;
+  const double radius = range_m / 8.0;
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    const Vec2 center{static_cast<double>(g) * spacing, 0.0};
+    layout.owners.push_back(layout.positions.size());
+    layout.positions.push_back(center);
+    layout.group_of.push_back(g);
+    for (std::size_t m = 1; m < members_per_group; ++m) {
+      const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979);
+      const double dist = rng.uniform(0.0, radius);
+      layout.positions.push_back(
+          Vec2{center.x + dist * std::cos(angle),
+               center.y + dist * std::sin(angle)});
+      layout.group_of.push_back(g);
+    }
+  }
+  for (std::size_t g = 0; g + 1 < groups; ++g) {
+    layout.bridges.push_back(layout.positions.size());
+    layout.positions.push_back(
+        Vec2{(static_cast<double>(g) + 0.5) * spacing, 0.0});
+    layout.group_of.push_back(g);
+  }
+  return layout;
+}
+
+}  // namespace pds::sim

@@ -1,0 +1,44 @@
+// Static node placements for the paper's grid scenarios.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/position.h"
+
+namespace pds::sim {
+
+// nx × ny grid with the given spacing, origin at (0, 0), row-major order.
+// The paper's static scenario places 100 nodes as a 10×10 grid "at proper
+// neighboring distances such that each node can communicate directly with
+// its 8 surrounding neighbors": with unit-disk range r, any spacing s with
+// s*sqrt(2) <= r < 2s works; grid_spacing_for_range returns such an s.
+[[nodiscard]] std::vector<Vec2> grid_positions(std::size_t nx, std::size_t ny,
+                                               double spacing);
+
+// Spacing that yields exactly 8-neighbor connectivity for the given range.
+[[nodiscard]] double grid_spacing_for_range(double range_m);
+
+// Index of the node closest to the grid center (the paper's consumer spot).
+[[nodiscard]] std::size_t grid_center_index(std::size_t nx, std::size_t ny);
+
+// Multi-group Wi-Fi Direct layout (paper §V/§VII, refs [21][22]): several
+// single-hop groups, each a tight cluster around its group owner, chained
+// left to right; one bridge device sits between each pair of adjacent
+// groups, in radio range of both, providing the only inter-group
+// connectivity. With unit-disk range `range_m`, members of one group all
+// hear each other, members of different groups never do directly.
+struct WifiDirectLayout {
+  std::vector<Vec2> positions;          // owners, then members, then bridges
+  std::vector<std::size_t> group_of;    // per node; bridges belong to the
+                                        // lower-indexed group they span
+  std::vector<std::size_t> owners;      // node index of each group owner
+  std::vector<std::size_t> bridges;     // node indices of bridge devices
+};
+
+[[nodiscard]] WifiDirectLayout wifi_direct_groups(std::size_t groups,
+                                                  std::size_t members_per_group,
+                                                  double range_m, Rng& rng);
+
+}  // namespace pds::sim

@@ -1,0 +1,97 @@
+#include "util/bloom_filter.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace pds::util {
+
+BloomFilter::BloomFilter(std::size_t bits, std::uint32_t hash_count,
+                         std::uint64_t seed)
+    : bits_((bits + 63) / 64, 0), hash_count_(hash_count), seed_(seed) {
+  PDS_ENSURE(bits > 0);
+  PDS_ENSURE(hash_count > 0);
+}
+
+BloomFilter BloomFilter::with_capacity(std::size_t expected_items, double fpp,
+                                       std::uint64_t seed) {
+  PDS_ENSURE(fpp > 0.0 && fpp < 1.0);
+  if (expected_items == 0) expected_items = 1;
+  const double ln2 = std::log(2.0);
+  const double m =
+      -static_cast<double>(expected_items) * std::log(fpp) / (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  const auto bits = static_cast<std::size_t>(std::ceil(m));
+  const auto hashes =
+      static_cast<std::uint32_t>(std::max(1.0, std::round(k)));
+  return BloomFilter(std::max<std::size_t>(bits, 64), hashes, seed);
+}
+
+std::size_t BloomFilter::bit_index(std::uint64_t key, std::uint32_t i) const {
+  // Kirsch–Mitzenmacher double hashing: h_i = h1 + i * h2, with both halves
+  // derived from the (key, seed) pair so each round's family is independent.
+  const std::uint64_t h1 = mix64(key ^ seed_);
+  const std::uint64_t h2 = mix64(h1 ^ 0x5851f42d4c957f2dULL) | 1;
+  return static_cast<std::size_t>((h1 + i * h2) % bit_count());
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+  PDS_ENSURE(!empty_filter());
+  for (std::uint32_t i = 0; i < hash_count_; ++i) {
+    const std::size_t b = bit_index(key, i);
+    bits_[b / 64] |= (std::uint64_t{1} << (b % 64));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t key) const {
+  if (empty_filter()) return false;
+  for (std::uint32_t i = 0; i < hash_count_; ++i) {
+    const std::size_t b = bit_index(key, i);
+    if ((bits_[b / 64] & (std::uint64_t{1} << (b % 64))) == 0) return false;
+  }
+  return true;
+}
+
+std::size_t BloomFilter::wire_size() const {
+  if (empty_filter()) return 1;  // presence byte only
+  return 1 + 4 + 1 + 8 + bits_.size() * 8;
+}
+
+double BloomFilter::fill_ratio() const {
+  if (empty_filter()) return 0.0;
+  std::size_t set = 0;
+  for (std::uint64_t word : bits_) set += std::popcount(word);
+  return static_cast<double>(set) / static_cast<double>(bit_count());
+}
+
+void BloomFilter::encode(std::vector<std::byte>& out) const {
+  ByteWriter w;
+  w.put_u8(empty_filter() ? 0 : 1);
+  if (!empty_filter()) {
+    w.put_u32(static_cast<std::uint32_t>(bit_count()));
+    w.put_u8(static_cast<std::uint8_t>(hash_count_));
+    w.put_u64(seed_);
+    for (std::uint64_t word : bits_) w.put_u64(word);
+  }
+  auto bytes = w.take();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+BloomFilter BloomFilter::decode(std::span<const std::byte> in) {
+  ByteReader r(in);
+  const std::uint8_t present = r.get_u8();
+  if (present == 0) return BloomFilter{};
+  const std::uint32_t bits = r.get_u32();
+  const std::uint8_t hashes = r.get_u8();
+  const std::uint64_t seed = r.get_u64();
+  BloomFilter f(bits, hashes, seed);
+  for (auto& word : f.bits_) word = r.get_u64();
+  return f;
+}
+
+}  // namespace pds::util

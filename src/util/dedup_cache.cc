@@ -1,0 +1,12 @@
+// DedupCache is header-only (class template); this translation unit exists to
+// anchor the target and explicitly instantiate the common configurations so
+// template errors surface when the library builds, not first use.
+#include "util/dedup_cache.h"
+
+#include <cstdint>
+
+namespace pds::util {
+
+template class DedupCache<std::uint64_t>;
+
+}  // namespace pds::util

@@ -1,0 +1,43 @@
+// Bounded set of recently seen identifiers.
+//
+// Used for the "Recent Responses" check (paper Alg. 2, step RR Lookup) and
+// duplicate query suppression. Eviction is FIFO: in a broadcast medium a
+// duplicate arrives within a handful of transmissions of the original, so a
+// modest window suffices and memory stays bounded on small devices.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+
+namespace pds::util {
+
+template <typename Id>
+class DedupCache {
+ public:
+  explicit DedupCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  // Returns true if `id` was newly inserted, false if it was already present
+  // (i.e., a duplicate).
+  bool insert(const Id& id) {
+    if (seen_.contains(id)) return false;
+    seen_.insert(id);
+    order_.push_back(id);
+    while (order_.size() > max_entries_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const Id& id) const { return seen_.contains(id); }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return max_entries_; }
+
+ private:
+  std::size_t max_entries_;
+  std::unordered_set<Id> seen_;
+  std::deque<Id> order_;
+};
+
+}  // namespace pds::util

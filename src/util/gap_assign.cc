@@ -1,0 +1,126 @@
+#include "util/gap_assign.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace pds::util {
+
+namespace {
+
+std::vector<std::size_t> loads_of(const GapInstance& inst,
+                                  const std::vector<std::size_t>& assignment) {
+  std::vector<std::size_t> loads(inst.neighbor_count, 0);
+  for (std::size_t n : assignment) ++loads[n];
+  return loads;
+}
+
+std::size_t max_load_of(const std::vector<std::size_t>& loads) {
+  return loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
+}
+
+void validate(const GapInstance& inst) {
+  PDS_ENSURE(inst.eligible.size() == inst.hop.size());
+  for (std::size_t c = 0; c < inst.eligible.size(); ++c) {
+    PDS_ENSURE(!inst.eligible[c].empty());
+    PDS_ENSURE(inst.eligible[c].size() == inst.hop[c].size());
+    for (std::size_t n : inst.eligible[c]) PDS_ENSURE(n < inst.neighbor_count);
+  }
+}
+
+}  // namespace
+
+GapAssignment solve_naive(const GapInstance& inst) {
+  validate(inst);
+  GapAssignment out;
+  out.assignment.reserve(inst.eligible.size());
+  for (std::size_t c = 0; c < inst.eligible.size(); ++c) {
+    // Pick the smallest-hop eligible neighbor, ties broken by listing order.
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < inst.eligible[c].size(); ++k) {
+      if (inst.hop[c][k] < inst.hop[c][best]) best = k;
+    }
+    out.assignment.push_back(inst.eligible[c][best]);
+  }
+  out.max_load = max_load_of(loads_of(inst, out.assignment));
+  return out;
+}
+
+GapAssignment solve_min_max_heuristic(const GapInstance& inst) {
+  validate(inst);
+  GapAssignment out = solve_naive(inst);
+  if (inst.eligible.empty()) return out;
+
+  std::vector<std::size_t> loads = loads_of(inst, out.assignment);
+  while (true) {
+    const std::size_t current_max = max_load_of(loads);
+    // Find a move (chunk from a max-loaded neighbor to another eligible
+    // neighbor) that strictly lowers the maximum load. Among candidate
+    // targets prefer the smallest hop count, as the paper's heuristic moves
+    // the chunk to the neighbor with the "(possibly next) smallest" one.
+    bool moved = false;
+    for (std::size_t c = 0; c < inst.eligible.size() && !moved; ++c) {
+      const std::size_t from = out.assignment[c];
+      if (loads[from] != current_max) continue;
+      std::size_t best_target = inst.neighbor_count;
+      int best_hop = std::numeric_limits<int>::max();
+      for (std::size_t k = 0; k < inst.eligible[c].size(); ++k) {
+        const std::size_t to = inst.eligible[c][k];
+        if (to == from) continue;
+        if (loads[to] + 1 >= current_max) continue;  // would not improve
+        if (inst.hop[c][k] < best_hop) {
+          best_hop = inst.hop[c][k];
+          best_target = to;
+        }
+      }
+      if (best_target != inst.neighbor_count) {
+        --loads[from];
+        ++loads[best_target];
+        out.assignment[c] = best_target;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  out.max_load = max_load_of(loads);
+  return out;
+}
+
+namespace {
+
+void exact_rec(const GapInstance& inst, std::size_t c,
+               std::vector<std::size_t>& assignment,
+               std::vector<std::size_t>& loads, std::size_t& best_max,
+               std::vector<std::size_t>& best_assignment) {
+  const std::size_t current = max_load_of(loads);
+  if (current >= best_max) return;  // prune: can only grow
+  if (c == inst.eligible.size()) {
+    best_max = current;
+    best_assignment = assignment;
+    return;
+  }
+  for (std::size_t n : inst.eligible[c]) {
+    ++loads[n];
+    assignment[c] = n;
+    exact_rec(inst, c + 1, assignment, loads, best_max, best_assignment);
+    --loads[n];
+  }
+}
+
+}  // namespace
+
+GapAssignment solve_exact(const GapInstance& inst) {
+  validate(inst);
+  std::vector<std::size_t> assignment(inst.eligible.size(), 0);
+  std::vector<std::size_t> loads(inst.neighbor_count, 0);
+  std::size_t best_max = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> best_assignment = assignment;
+  exact_rec(inst, 0, assignment, loads, best_max, best_assignment);
+  GapAssignment out;
+  out.assignment = std::move(best_assignment);
+  out.max_load = best_max;
+  return out;
+}
+
+}  // namespace pds::util

@@ -1,0 +1,48 @@
+// Min–max chunk-to-neighbor assignment (paper §IV-B, Eq. 1).
+//
+// Phase-2 retrieval must split the requested chunk set among neighbors so
+// that (a) every chunk goes to a neighbor that can reach it at the minimum
+// hop count and (b) the maximum per-neighbor load is minimized. The paper
+// notes this is a max–min Generalized Assignment Problem (NP-hard) and uses a
+// simple O(|N||C|^2) heuristic: assign each chunk to a least-hop-count
+// neighbor, then repeatedly move one chunk off the most loaded neighbor onto
+// another eligible neighbor while the maximum load still decreases.
+//
+// `solve_exact` does a brute-force search over assignments; it is exponential
+// and exists only so tests can validate the heuristic on small instances.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pds::util {
+
+struct GapInstance {
+  // eligible[c] — indices of neighbors that can retrieve chunk c at the
+  // least distance (the e_ij = 1 set, restricted as the paper's constraint
+  // x_ij <= e_ij requires). Every chunk must have at least one eligible
+  // neighbor. hop[c][k] is the hop count via eligible[c][k]; it only breaks
+  // ties when a chunk is movable to a next-smallest-hop neighbor.
+  std::size_t neighbor_count = 0;
+  std::vector<std::vector<std::size_t>> eligible;
+  std::vector<std::vector<int>> hop;
+};
+
+struct GapAssignment {
+  // assignment[c] — neighbor index chunk c is requested from.
+  std::vector<std::size_t> assignment;
+  std::size_t max_load = 0;
+};
+
+// The paper's load-balancing heuristic.
+[[nodiscard]] GapAssignment solve_min_max_heuristic(const GapInstance& inst);
+
+// Naive assignment (first eligible neighbor, no balancing); the ablation
+// baseline for DESIGN.md's "GAP balancing vs naive nearest" item.
+[[nodiscard]] GapAssignment solve_naive(const GapInstance& inst);
+
+// Exhaustive optimum; only call with |C| small (tests).
+[[nodiscard]] GapAssignment solve_exact(const GapInstance& inst);
+
+}  // namespace pds::util

@@ -1,0 +1,29 @@
+// Aligned text tables for the experiment harnesses.
+//
+// Every bench binary prints the paper's reported series next to the measured
+// one; this helper keeps that output consistent and readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pds::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pds::util

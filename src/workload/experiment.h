@@ -1,0 +1,135 @@
+// Reusable experiment harnesses.
+//
+// Each function assembles a full scenario, drives it to completion and
+// returns the paper's metrics (§VI-A): Recall — fraction of distinct
+// entries/chunks the consumer received; Latency — from sending the query to
+// the arrival of the last returned entry/chunk; Message overhead — total
+// bytes of all messages on the air. Bench binaries and integration tests are
+// thin wrappers around these.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/mobility.h"
+#include "workload/scenario.h"
+
+namespace pds::wl {
+
+// -- PDD on the static grid (§VI-B.1/2; Figs. 4–8 and the saturation text) --
+
+struct PddGridParams {
+  std::size_t nx = 10;
+  std::size_t ny = 10;
+  std::size_t metadata_count = 5000;
+  int redundancy = 1;
+  bool multi_round = true;  // false = single round (no re-query)
+  bool ack = true;          // per-hop ack/retransmission
+  std::size_t consumers = 1;
+  bool sequential = false;  // consumers one-after-another vs simultaneous
+  core::PdsConfig pds;
+  std::uint64_t seed = 1;
+  SimTime horizon = SimTime::seconds(180.0);
+};
+
+struct PddOutcome {
+  double recall = 0.0;     // mean over consumers
+  double latency_s = 0.0;  // mean over consumers
+  double overhead_mb = 0.0;
+  double rounds = 0.0;  // mean over consumers
+  bool all_finished = false;
+  std::vector<double> per_consumer_recall;
+  std::vector<double> per_consumer_latency_s;
+};
+
+[[nodiscard]] PddOutcome run_pdd_grid(const PddGridParams& params);
+
+// -- PDD under mobility (Figs. 9/10) ----------------------------------------
+
+struct PddMobilityParams {
+  sim::MobilityParams mobility = sim::student_center_params();
+  double range_m = 40.0;
+  std::size_t metadata_count = 5000;
+  int redundancy = 1;
+  core::PdsConfig pds;
+  std::uint64_t seed = 1;
+  SimTime horizon = SimTime::seconds(180.0);
+};
+
+[[nodiscard]] PddOutcome run_pdd_mobility(const PddMobilityParams& params);
+
+// -- Retrieval on the static grid (Figs. 11, 13–16) --------------------------
+
+enum class RetrievalMethod { kPdr, kMdr };
+
+struct RetrievalGridParams {
+  std::size_t nx = 10;
+  std::size_t ny = 10;
+  std::size_t item_size_bytes = 20u * 1024 * 1024;
+  int redundancy = 1;
+  RetrievalMethod method = RetrievalMethod::kPdr;
+  std::size_t consumers = 1;
+  bool sequential = false;
+  // Retrieval experiments default to the clean radio profile (see
+  // sim/radio.h on the paper's two regimes).
+  bool contended_medium = false;
+  core::PdsConfig pds;
+  std::uint64_t seed = 1;
+  SimTime horizon = SimTime::seconds(900.0);
+};
+
+struct RetrievalOutcome {
+  double recall = 0.0;
+  double latency_s = 0.0;
+  double overhead_mb = 0.0;
+  bool all_complete = false;
+  std::vector<double> per_consumer_recall;
+  std::vector<double> per_consumer_latency_s;
+};
+
+[[nodiscard]] RetrievalOutcome run_retrieval_grid(
+    const RetrievalGridParams& params);
+
+// -- Retrieval under mobility (Fig. 12) -----------------------------------
+
+struct RetrievalMobilityParams {
+  sim::MobilityParams mobility = sim::student_center_params();
+  double range_m = 40.0;
+  std::size_t item_size_bytes = 20u * 1024 * 1024;
+  int redundancy = 1;
+  RetrievalMethod method = RetrievalMethod::kPdr;
+  bool contended_medium = false;
+  core::PdsConfig pds;
+  std::uint64_t seed = 1;
+  SimTime horizon = SimTime::seconds(900.0);
+};
+
+[[nodiscard]] RetrievalOutcome run_retrieval_mobility(
+    const RetrievalMobilityParams& params);
+
+// -- Single-hop transport (Fig. 3 and the §V.2/§V.4 parameter tables) -------
+
+enum class TransportMode { kRawUdp, kLeakyBucket, kLeakyBucketAck };
+
+struct SingleHopParams {
+  std::size_t senders = 1;
+  std::size_t messages_per_sender = 2000;
+  std::size_t message_bytes = 1500;
+  TransportMode mode = TransportMode::kRawUdp;
+  std::size_t bucket_capacity_bytes = 300'000;
+  double leak_rate_bps = 4.5e6;
+  SimTime retr_timeout = SimTime::millis(200);
+  int max_retransmissions = 4;
+  std::uint64_t seed = 1;
+  SimTime horizon = SimTime::seconds(120.0);
+};
+
+struct SingleHopOutcome {
+  double reception = 0.0;       // distinct messages received / offered
+  double data_rate_mbps = 0.0;  // goodput at the receiver
+};
+
+[[nodiscard]] SingleHopOutcome run_single_hop(const SingleHopParams& params);
+
+}  // namespace pds::wl

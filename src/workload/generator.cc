@@ -1,0 +1,154 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/hash.h"
+
+namespace pds::wl {
+
+std::vector<core::DataDescriptor> make_sample_descriptors(
+    std::size_t count, const SampleSpace& space, Rng& rng) {
+  std::vector<core::DataDescriptor> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    core::DataDescriptor d;
+    d.set(core::kAttrNamespace, space.namespace_name);
+    d.set(core::kAttrDataType, space.data_type);
+    d.set(core::kAttrTime,
+          space.time_origin + rng.uniform_int(0, space.time_span_s));
+    d.set("x", rng.uniform(0.0, space.area_width_m));
+    d.set("y", rng.uniform(0.0, space.area_height_m));
+    d.set("seq", static_cast<std::int64_t>(i));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<net::ItemPayload> make_sample_items(std::size_t count,
+                                                std::uint32_t payload_bytes,
+                                                const SampleSpace& space,
+                                                Rng& rng) {
+  std::vector<net::ItemPayload> out;
+  out.reserve(count);
+  for (core::DataDescriptor& d : make_sample_descriptors(count, space, rng)) {
+    net::ItemPayload item;
+    item.size_bytes = payload_bytes;
+    item.content_hash = mix64(d.entry_key());
+    item.descriptor = std::move(d);
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+core::DataDescriptor make_chunked_item(const std::string& name,
+                                       std::size_t size_bytes,
+                                       std::size_t chunk_bytes) {
+  PDS_ENSURE(size_bytes > 0 && chunk_bytes > 0);
+  const std::size_t chunks = (size_bytes + chunk_bytes - 1) / chunk_bytes;
+  core::DataDescriptor d;
+  d.set(core::kAttrNamespace, std::string("media"));
+  d.set(core::kAttrDataType, std::string("video"));
+  d.set(core::kAttrName, name);
+  d.set("size", static_cast<std::int64_t>(size_bytes));
+  d.set(core::kAttrTotalChunks, static_cast<std::int64_t>(chunks));
+  return d;
+}
+
+std::size_t chunk_count(const core::DataDescriptor& item) {
+  const auto total = item.total_chunks();
+  PDS_ENSURE(total.has_value());
+  return static_cast<std::size_t>(*total);
+}
+
+std::uint64_t chunk_content_hash(ItemId item, ChunkIndex index) {
+  return mix64(item.value() ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+}
+
+net::ChunkPayload make_chunk(const core::DataDescriptor& item,
+                             ChunkIndex index, std::size_t item_size_bytes,
+                             std::size_t chunk_bytes) {
+  const std::size_t chunks = chunk_count(item);
+  PDS_ENSURE(index < chunks);
+  const std::size_t offset = static_cast<std::size_t>(index) * chunk_bytes;
+  const std::size_t size = std::min(chunk_bytes, item_size_bytes - offset);
+  return net::ChunkPayload{
+      .index = index,
+      .size_bytes = static_cast<std::uint32_t>(size),
+      .content_hash = chunk_content_hash(item.item_id(), index)};
+}
+
+namespace {
+
+// Uniform-random node choices avoiding `exclude`.
+std::vector<core::PdsNode*> eligible_nodes(
+    std::vector<core::PdsNode*>& nodes, const std::vector<NodeId>& exclude) {
+  std::vector<core::PdsNode*> out;
+  for (core::PdsNode* n : nodes) {
+    if (std::find(exclude.begin(), exclude.end(), n->id()) == exclude.end()) {
+      out.push_back(n);
+    }
+  }
+  PDS_ENSURE(!out.empty());
+  return out;
+}
+
+// `redundancy` distinct nodes for one object (or all nodes if fewer).
+std::vector<core::PdsNode*> pick_holders(std::vector<core::PdsNode*>& pool,
+                                         int redundancy, Rng& rng) {
+  PDS_ENSURE(redundancy >= 1);
+  std::vector<core::PdsNode*> picked;
+  std::vector<core::PdsNode*> candidates = pool;
+  for (int r = 0; r < redundancy && !candidates.empty(); ++r) {
+    const auto idx = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(candidates.size()) - 1));
+    picked.push_back(candidates[idx]);
+    candidates[idx] = candidates.back();
+    candidates.pop_back();
+  }
+  return picked;
+}
+
+}  // namespace
+
+void distribute_metadata(std::vector<core::PdsNode*>& nodes,
+                         const std::vector<core::DataDescriptor>& entries,
+                         int redundancy, Rng& rng,
+                         const std::vector<NodeId>& exclude) {
+  std::vector<core::PdsNode*> pool = eligible_nodes(nodes, exclude);
+  for (const core::DataDescriptor& d : entries) {
+    for (core::PdsNode* n : pick_holders(pool, redundancy, rng)) {
+      n->publish_metadata(d);
+    }
+  }
+}
+
+void distribute_items(std::vector<core::PdsNode*>& nodes,
+                      const std::vector<net::ItemPayload>& items,
+                      int redundancy, Rng& rng,
+                      const std::vector<NodeId>& exclude) {
+  std::vector<core::PdsNode*> pool = eligible_nodes(nodes, exclude);
+  for (const net::ItemPayload& item : items) {
+    for (core::PdsNode* n : pick_holders(pool, redundancy, rng)) {
+      n->publish_item(item);
+    }
+  }
+}
+
+void distribute_chunks(std::vector<core::PdsNode*>& nodes,
+                       const core::DataDescriptor& item,
+                       std::size_t item_size_bytes, std::size_t chunk_bytes,
+                       int redundancy, Rng& rng,
+                       const std::vector<NodeId>& exclude) {
+  std::vector<core::PdsNode*> pool = eligible_nodes(nodes, exclude);
+  const std::size_t chunks = chunk_count(item);
+  for (ChunkIndex c = 0; c < chunks; ++c) {
+    const net::ChunkPayload payload =
+        make_chunk(item, c, item_size_bytes, chunk_bytes);
+    for (core::PdsNode* n : pick_holders(pool, redundancy, rng)) {
+      n->publish_chunk(item, payload);
+    }
+  }
+}
+
+}  // namespace pds::wl

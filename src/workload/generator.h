@@ -1,0 +1,80 @@
+// Synthetic workload generation.
+//
+// Produces the paper's two data shapes: many small sensor-sample descriptors
+// (e.g., air-pollution samples with type/time/location attributes, §II-B)
+// and one large chunked item (a video clip split into 256 KB chunks, §VI-A).
+// Chunk payload content is deterministic — a hash of (item id, chunk index)
+// — so tests can verify end-to-end integrity of whatever arrives at a
+// consumer without shipping real bytes through the simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/descriptor.h"
+#include "core/node.h"
+#include "net/message.h"
+
+namespace pds::wl {
+
+struct SampleSpace {
+  std::string namespace_name = "env";
+  std::string data_type = "nox";
+  double area_width_m = 100.0;
+  double area_height_m = 100.0;
+  std::int64_t time_origin = 1'600'000'000;  // Unix seconds
+  std::int64_t time_span_s = 3600;
+};
+
+// `count` distinct sensor-sample descriptors with uniform random time and
+// location attributes plus a unique sequence attribute.
+[[nodiscard]] std::vector<core::DataDescriptor> make_sample_descriptors(
+    std::size_t count, const SampleSpace& space, Rng& rng);
+
+// Complete small items (descriptor + payload bytes) over the same space.
+[[nodiscard]] std::vector<net::ItemPayload> make_sample_items(
+    std::size_t count, std::uint32_t payload_bytes, const SampleSpace& space,
+    Rng& rng);
+
+// Item-level descriptor of a large chunked item.
+[[nodiscard]] core::DataDescriptor make_chunked_item(const std::string& name,
+                                                     std::size_t size_bytes,
+                                                     std::size_t chunk_bytes);
+
+// Number of chunks of the item (from its total_chunks attribute).
+[[nodiscard]] std::size_t chunk_count(const core::DataDescriptor& item);
+
+// Deterministic synthetic content hash of one chunk.
+[[nodiscard]] std::uint64_t chunk_content_hash(ItemId item, ChunkIndex index);
+
+// Payload of chunk `index`, sized for `size_bytes` total item size.
+[[nodiscard]] net::ChunkPayload make_chunk(const core::DataDescriptor& item,
+                                           ChunkIndex index,
+                                           std::size_t item_size_bytes,
+                                           std::size_t chunk_bytes);
+
+// -- Placement ----------------------------------------------------------------
+
+// Places `redundancy` copies of each descriptor on distinct uniform-random
+// nodes (§VI-A). Nodes in `exclude` never receive copies.
+void distribute_metadata(std::vector<core::PdsNode*>& nodes,
+                         const std::vector<core::DataDescriptor>& entries,
+                         int redundancy, Rng& rng,
+                         const std::vector<NodeId>& exclude = {});
+
+// Same for complete small items.
+void distribute_items(std::vector<core::PdsNode*>& nodes,
+                      const std::vector<net::ItemPayload>& items,
+                      int redundancy, Rng& rng,
+                      const std::vector<NodeId>& exclude = {});
+
+// Distributes every chunk of `item` `redundancy` times uniformly at random.
+void distribute_chunks(std::vector<core::PdsNode*>& nodes,
+                       const core::DataDescriptor& item,
+                       std::size_t item_size_bytes, std::size_t chunk_bytes,
+                       int redundancy, Rng& rng,
+                       const std::vector<NodeId>& exclude = {});
+
+}  // namespace pds::wl

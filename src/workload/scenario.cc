@@ -1,0 +1,144 @@
+#include "workload/scenario.h"
+
+#include "common/assert.h"
+
+namespace pds::wl {
+
+core::PdsNode& Scenario::add_node(NodeId id, sim::Vec2 pos,
+                                  const core::PdsConfig& config,
+                                  bool enabled) {
+  PDS_ENSURE(!by_id_.contains(id));
+  auto node =
+      std::make_unique<core::PdsNode>(sim_, medium_, id, config, pos, enabled);
+  core::PdsNode& ref = *node;
+  by_id_.emplace(id, std::move(node));
+  order_.push_back(id);
+  return ref;
+}
+
+core::PdsNode& Scenario::node(NodeId id) {
+  auto it = by_id_.find(id);
+  PDS_ENSURE(it != by_id_.end());
+  return *it->second;
+}
+
+std::vector<core::PdsNode*> Scenario::nodes() {
+  std::vector<core::PdsNode*> out;
+  out.reserve(order_.size());
+  for (NodeId id : order_) out.push_back(&node(id));
+  return out;
+}
+
+Grid make_grid(const GridSetup& setup, std::uint64_t seed) {
+  sim::RadioConfig radio = setup.radio;
+  const bool pinned_interference =
+      radio.interference_range_m > 0.0 &&
+      radio.interference_range_m <= radio.range_m;
+  radio.range_m = setup.range_m;
+  if (pinned_interference) radio.interference_range_m = setup.range_m;
+  const double spacing = sim::grid_spacing_for_range(setup.range_m);
+
+  Grid grid;
+  grid.nx = setup.nx;
+  grid.ny = setup.ny;
+  grid.scenario = std::make_unique<Scenario>(seed, radio);
+  const std::vector<sim::Vec2> positions =
+      sim::grid_positions(setup.nx, setup.ny, spacing);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const NodeId id(static_cast<std::uint32_t>(i));
+    grid.scenario->add_node(id, positions[i], setup.pds);
+    grid.ids.push_back(id);
+  }
+  grid.center = grid.ids[sim::grid_center_index(setup.nx, setup.ny)];
+  return grid;
+}
+
+std::vector<NodeId> center_subgrid(const Grid& grid, std::size_t cx,
+                                   std::size_t cy) {
+  const std::size_t nx = grid.nx;
+  const std::size_t ny = grid.ny;
+  PDS_ENSURE(cx <= nx && cy <= ny);
+  const std::size_t x0 = (nx - cx) / 2;
+  const std::size_t y0 = (ny - cy) / 2;
+  std::vector<NodeId> out;
+  for (std::size_t row = y0; row < y0 + cy; ++row) {
+    for (std::size_t col = x0; col < x0 + cx; ++col) {
+      out.push_back(grid.ids[row * nx + col]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Is the unit-disk graph over the present nodes' positions connected?
+bool placement_connected(const sim::MobilityTrace& trace, double range_m) {
+  std::vector<sim::Vec2> present;
+  for (const sim::InitialPlacement& p : trace.initial()) {
+    if (p.present) present.push_back(p.pos);
+  }
+  if (present.size() <= 1) return true;
+  std::vector<bool> visited(present.size(), false);
+  std::vector<std::size_t> frontier{0};
+  visited[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.back();
+    frontier.pop_back();
+    for (std::size_t u = 0; u < present.size(); ++u) {
+      if (!visited[u] &&
+          sim::distance(present[v], present[u]) <= range_m) {
+        visited[u] = true;
+        ++reached;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return reached == present.size();
+}
+
+}  // namespace
+
+MobileWorld make_mobile_world(const MobilitySetup& setup, std::uint64_t seed) {
+  sim::RadioConfig radio = setup.radio;
+  const bool pinned_interference =
+      radio.interference_range_m > 0.0 &&
+      radio.interference_range_m <= radio.range_m;
+  radio.range_m = setup.range_m;
+  if (pinned_interference) radio.interference_range_m = setup.range_m;
+
+  MobileWorld world;
+  world.scenario = std::make_unique<Scenario>(seed, radio);
+  Scenario& sc = *world.scenario;
+
+  const std::size_t pool_size =
+      setup.mobility.population + setup.churn_pool_extra;
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    world.pool.push_back(NodeId(static_cast<std::uint32_t>(i)));
+  }
+  PDS_ENSURE(setup.pinned_consumers <= setup.mobility.population);
+  for (std::size_t i = 0; i < setup.pinned_consumers; ++i) {
+    world.consumers.push_back(world.pool[i]);
+  }
+
+  Rng trace_rng = sc.sim().rng().fork();
+  sim::MobilityTrace trace = sim::MobilityTrace::generate(
+      setup.mobility, world.pool, world.consumers, trace_rng);
+  if (setup.require_connected) {
+    for (int attempt = 0;
+         attempt < 25 && !placement_connected(trace, setup.range_m);
+         ++attempt) {
+      trace = sim::MobilityTrace::generate(setup.mobility, world.pool,
+                                           world.consumers, trace_rng);
+    }
+  }
+
+  for (const sim::InitialPlacement& p : trace.initial()) {
+    sc.add_node(p.node, p.pos, setup.pds, p.present);
+    if (p.present) world.initially_present.push_back(p.node);
+  }
+  trace.install(sc.sim(), sc.medium());
+  return world;
+}
+
+}  // namespace pds::wl

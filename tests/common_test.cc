@@ -1,0 +1,275 @@
+// Unit tests for src/common: strong ids, sim time, byte serialization,
+// hashing and deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace pds {
+namespace {
+
+// -- StrongId ---------------------------------------------------------------
+
+TEST(StrongId, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  NodeId id(42);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(NodeId(1), NodeId(2));
+  EXPECT_EQ(NodeId(7), NodeId(7));
+  EXPECT_NE(NodeId(7), NodeId(8));
+}
+
+TEST(StrongId, DistinctTagTypesDoNotMix) {
+  // Compile-time property: NodeId and QueryId are different types. This test
+  // documents the intent; mixing them is a compile error.
+  static_assert(!std::is_same_v<NodeId, QueryId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<QueryId> set;
+  set.insert(QueryId(1));
+  set.insert(QueryId(2));
+  set.insert(QueryId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// -- SimTime -----------------------------------------------------------------
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(SimTime::millis(1).as_micros(), 1000);
+  EXPECT_EQ(SimTime::seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_EQ(SimTime::minutes(2.0).as_micros(), 120'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2.5).as_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::millis(250).as_millis(), 250.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::seconds(1.0);
+  const SimTime b = SimTime::millis(500);
+  EXPECT_EQ((a + b).as_micros(), 1'500'000);
+  EXPECT_EQ((a - b).as_micros(), 500'000);
+  EXPECT_EQ((a * 2.0).as_micros(), 2'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::zero(), SimTime::micros(1));
+  EXPECT_LE(SimTime::seconds(1.0), SimTime::millis(1000));
+  EXPECT_GT(SimTime::max(), SimTime::minutes(1e6));
+}
+
+TEST(SimTime, TransmissionTime) {
+  // 1500 bytes at 12 Mb/s = 1 ms (plus the 1 µs round-up).
+  const SimTime t = transmission_time(1500, 12e6);
+  EXPECT_NEAR(t.as_seconds(), 0.001, 0.00001);
+  // Monotone in size.
+  EXPECT_LT(transmission_time(100, 1e6), transmission_time(200, 1e6));
+}
+
+// -- ByteWriter / ByteReader -------------------------------------------------
+
+TEST(Bytes, ScalarRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0xbeef);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_i64(-42);
+  w.put_f64(3.14159);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0xbeef);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  w.put_string(std::string(1000, 'x'));
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string(1000, 'x'));
+}
+
+TEST(Bytes, RawBytesRoundTrip) {
+  ByteWriter inner;
+  inner.put_u32(123);
+  ByteWriter w;
+  w.put_bytes(inner.bytes());
+
+  ByteReader r(w.bytes());
+  const auto out = r.get_bytes();
+  ByteReader r2(out);
+  EXPECT_EQ(r2.get_u32(), 123u);
+}
+
+TEST(Bytes, UnderrunThrows) {
+  ByteWriter w;
+  w.put_u16(7);
+  ByteReader r(w.bytes());
+  (void)r.get_u8();
+  (void)r.get_u8();
+  EXPECT_THROW((void)r.get_u8(), DecodeError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.put_u16(100);  // claims 100 bytes follow; none do
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.get_string(), DecodeError);
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x01020304);
+  const auto bytes = w.bytes();
+  EXPECT_EQ(static_cast<int>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<int>(bytes[3]), 0x01);
+}
+
+// -- Hashing -----------------------------------------------------------------
+
+TEST(Hash, Fnv1aKnownProperties) {
+  EXPECT_EQ(fnv1a64(""), kFnvOffset);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_EQ(fnv1a64("pds"), fnv1a64("pds"));
+}
+
+TEST(Hash, SeedChangesResult) {
+  EXPECT_NE(fnv1a64("x", 1), fnv1a64("x", 2));
+}
+
+TEST(Hash, Mix64SpreadsBits) {
+  // Consecutive inputs should land far apart.
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Hash, CombineNotCommutative) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+// -- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    const double y = rng.uniform(5.0, 10.0);
+    EXPECT_GE(y, 5.0);
+    EXPECT_LT(y, 10.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng forked = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(9);
+  (void)b.next_u64();  // parent consumed one draw to fork
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (forked.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, PickAndShuffle) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  for (int i = 0; i < 100; ++i) {
+    const int p = rng.pick(v);
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, 5);
+  }
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+}  // namespace
+}  // namespace pds

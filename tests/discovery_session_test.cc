@@ -1,0 +1,258 @@
+// Multi-round discovery controller tests (paper §III-B.2 semantics): window
+// T, thresholds T_r / T_d, round counting, Bloom-filter round rebuilding,
+// pre-cached seeding, and the empty-network edge cases.
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace pds::core {
+namespace {
+
+sim::RadioConfig lossless_radio() {
+  sim::RadioConfig cfg = sim::clean_radio_profile();
+  cfg.loss_probability = 0.0;
+  return cfg;
+}
+
+std::unique_ptr<wl::Scenario> make_pair_network(const PdsConfig& pds,
+                                                std::uint64_t seed = 1) {
+  auto sc = std::make_unique<wl::Scenario>(seed, lossless_radio());
+  sc->add_node(NodeId(0), {0, 0}, pds);
+  sc->add_node(NodeId(1), {10, 0}, pds);
+  return sc;
+}
+
+DataDescriptor entry(int seq) {
+  DataDescriptor d;
+  d.set("seq", std::int64_t{seq});
+  return d;
+}
+
+TEST(DiscoverySession, TerminatesAfterOneQuietRoundWithTdZero) {
+  PdsConfig pds;  // T_d = 0: stop as soon as a round adds nothing new
+  auto sc = make_pair_network(pds);
+  for (int i = 0; i < 20; ++i) sc->node(NodeId(1)).publish_metadata(entry(i));
+
+  DiscoverySession::Result result;
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result& r) {
+                                 result = r;
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.distinct_received, 20u);
+  // Round 1 fetches everything; round 2 confirms nothing new remains.
+  EXPECT_EQ(result.rounds, 2);
+}
+
+TEST(DiscoverySession, LargerTdStopsEarlier) {
+  // With T_d = 0.5 the session stops after round 1 (round 1 contributed
+  // 100% > 50%? no: the rule starts a new round when the fraction EXCEEDS
+  // T_d, so a 100%-new round still triggers round 2; set T_d high).
+  PdsConfig pds;
+  pds.threshold_td = 1.1;  // no round can exceed this: single round
+  auto sc = make_pair_network(pds);
+  for (int i = 0; i < 10; ++i) sc->node(NodeId(1)).publish_metadata(entry(i));
+
+  DiscoverySession::Result result;
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result& r) {
+                                 result = r;
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.rounds, 1);
+  EXPECT_EQ(result.distinct_received, 10u);
+}
+
+TEST(DiscoverySession, WindowExtendsRoundWhileResponsesArrive) {
+  // A larger T keeps the round open longer; with a tiny T the first round
+  // can end between response batches. We verify rounds are weakly
+  // decreasing in T.
+  int rounds_small = 0;
+  int rounds_large = 0;
+  for (int variant = 0; variant < 2; ++variant) {
+    PdsConfig pds;
+    pds.window = variant == 0 ? SimTime::millis(150) : SimTime::seconds(1.5);
+    auto sc = std::make_unique<wl::Scenario>(7, lossless_radio());
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      sc->add_node(NodeId(i), {static_cast<double>(i) * 10.0, 0.0}, pds);
+    }
+    // Entries spread along the line arrive in hop-spaced waves.
+    for (std::uint32_t n = 1; n < 6; ++n) {
+      for (int i = 0; i < 30; ++i) {
+        sc->node(NodeId(n)).publish_metadata(entry(static_cast<int>(n) * 100 + i));
+      }
+    }
+    DiscoverySession::Result result;
+    bool done = false;
+    sc->node(NodeId(0)).discover(Filter{},
+                                 [&](const DiscoverySession::Result& r) {
+                                   result = r;
+                                   done = true;
+                                 });
+    sc->run_until(SimTime::seconds(120));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(result.distinct_received, 150u);
+    (variant == 0 ? rounds_small : rounds_large) = result.rounds;
+  }
+  EXPECT_LE(rounds_large, rounds_small);
+}
+
+TEST(DiscoverySession, EmptyNetworkTerminatesWithZero) {
+  PdsConfig pds;
+  pds.empty_round_retries = 1;
+  auto sc = make_pair_network(pds);
+
+  DiscoverySession::Result result;
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result& r) {
+                                 result = r;
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.distinct_received, 0u);
+  EXPECT_EQ(result.latency, SimTime::zero());
+}
+
+TEST(DiscoverySession, PreCachedEntriesCountImmediately) {
+  PdsConfig pds;
+  auto sc = make_pair_network(pds);
+  // The consumer itself holds 5 entries; its neighbor holds 5 others.
+  for (int i = 0; i < 5; ++i) sc->node(NodeId(0)).publish_metadata(entry(i));
+  for (int i = 5; i < 10; ++i) sc->node(NodeId(1)).publish_metadata(entry(i));
+
+  const DiscoverySession* session = nullptr;
+  bool done = false;
+  session = &sc->node(NodeId(0)).discover(
+      Filter{}, [&](const DiscoverySession::Result&) { done = true; });
+  // Local entries are visible synchronously at start.
+  EXPECT_GE(session->arrivals().size(), 5u);
+  sc->run_until(SimTime::seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(session->arrivals().size(), 10u);
+}
+
+TEST(DiscoverySession, FullyCachedConsumerFinishesFast) {
+  PdsConfig pds;
+  auto sc = make_pair_network(pds);
+  for (int i = 0; i < 10; ++i) {
+    sc->node(NodeId(0)).publish_metadata(entry(i));
+    sc->node(NodeId(1)).publish_metadata(entry(i));
+  }
+  DiscoverySession::Result result;
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result& r) {
+                                 result = r;
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.distinct_received, 10u);
+  // Everything was pre-cached: latency is (near) zero even though the
+  // session still rounds to confirm the network holds nothing new.
+  EXPECT_EQ(result.latency, SimTime::zero());
+}
+
+TEST(DiscoverySession, SecondRoundCarriesBloomFilter) {
+  PdsConfig pds;
+  auto sc = make_pair_network(pds);
+  for (int i = 0; i < 50; ++i) sc->node(NodeId(1)).publish_metadata(entry(i));
+
+  int queries_with_bloom = 0;
+  int queries_total = 0;
+  sc->medium().set_tx_observer([&](NodeId from, const sim::Frame& f) {
+    const auto msg = std::dynamic_pointer_cast<const net::Message>(f.payload);
+    if (msg == nullptr || !msg->is_query() || from != NodeId(0)) return;
+    ++queries_total;
+    if (!msg->exclude.empty_filter()) ++queries_with_bloom;
+  });
+
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result&) {
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_GE(queries_total, 2);
+  EXPECT_EQ(queries_with_bloom, queries_total - 1);  // all but round 1
+}
+
+TEST(DiscoverySession, BloomDisabledSendsBareQueries) {
+  PdsConfig pds;
+  pds.enable_bloom_rewriting = false;
+  auto sc = make_pair_network(pds);
+  for (int i = 0; i < 50; ++i) sc->node(NodeId(1)).publish_metadata(entry(i));
+
+  int queries_with_bloom = 0;
+  sc->medium().set_tx_observer([&](NodeId, const sim::Frame& f) {
+    const auto msg = std::dynamic_pointer_cast<const net::Message>(f.payload);
+    if (msg != nullptr && msg->is_query() && !msg->exclude.empty_filter()) {
+      ++queries_with_bloom;
+    }
+  });
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result&) {
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(queries_with_bloom, 0);
+}
+
+TEST(DiscoverySession, MaxRoundsCapsLoop) {
+  PdsConfig pds;
+  pds.max_rounds = 3;
+  pds.threshold_td = -1.0;  // always "start another round"
+  auto sc = make_pair_network(pds);
+  sc->node(NodeId(1)).publish_metadata(entry(1));
+
+  DiscoverySession::Result result;
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result& r) {
+                                 result = r;
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(120));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.rounds, 3);
+}
+
+TEST(DiscoverySession, LatencyIsLastNewEntryArrival) {
+  PdsConfig pds;
+  auto sc = make_pair_network(pds);
+  for (int i = 0; i < 10; ++i) sc->node(NodeId(1)).publish_metadata(entry(i));
+
+  const DiscoverySession* session = nullptr;
+  DiscoverySession::Result result;
+  bool done = false;
+  session = &sc->node(NodeId(0)).discover(
+      Filter{}, [&](const DiscoverySession::Result& r) {
+        result = r;
+        done = true;
+      });
+  sc->run_until(SimTime::seconds(60));
+  ASSERT_TRUE(done);
+  SimTime last = SimTime::zero();
+  for (const auto& [key, when] : session->arrivals()) {
+    last = std::max(last, when);
+  }
+  EXPECT_EQ(result.latency, last);
+  // The session keeps confirming after the last entry: finished_at is
+  // strictly later than the latency timestamp.
+  EXPECT_GT(result.finished_at, result.latency);
+}
+
+}  // namespace
+}  // namespace pds::core

@@ -1,0 +1,85 @@
+// End-to-end PDD integration tests on small grids: discovery completeness,
+// multi-round recovery, caching effects, and the saturation behaviours the
+// paper reports in §VI-B.
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+
+namespace pds::wl {
+namespace {
+
+core::PdsConfig fast_config() {
+  core::PdsConfig pds;
+  // Paper's best parameters: T = 1 s, T_r = T_d = 0.
+  return pds;
+}
+
+TEST(IntegrationPdd, SingleConsumerSmallGridFullRecall) {
+  PddGridParams p;
+  p.nx = 5;
+  p.ny = 5;
+  p.metadata_count = 500;
+  p.pds = fast_config();
+  p.seed = 42;
+  const PddOutcome out = run_pdd_grid(p);
+  EXPECT_TRUE(out.all_finished);
+  EXPECT_GE(out.recall, 0.99);
+  EXPECT_GT(out.latency_s, 0.0);
+  EXPECT_LT(out.latency_s, 30.0);
+  EXPECT_GT(out.overhead_mb, 0.0);
+}
+
+TEST(IntegrationPdd, SingleRoundWithoutAckLosesEntries) {
+  PddGridParams p;
+  p.nx = 7;
+  p.ny = 7;
+  p.metadata_count = 2000;
+  p.multi_round = false;
+  p.ack = false;
+  p.seed = 7;
+  const PddOutcome single = run_pdd_grid(p);
+
+  p.multi_round = true;
+  p.ack = true;
+  const PddOutcome multi = run_pdd_grid(p);
+
+  EXPECT_LT(single.recall, 1.0);
+  EXPECT_GT(multi.recall, single.recall);
+  EXPECT_GE(multi.recall, 0.99);
+}
+
+TEST(IntegrationPdd, SequentialConsumersBenefitFromCaching) {
+  PddGridParams p;
+  p.nx = 7;
+  p.ny = 7;
+  // Enough entries that transfer time dominates the first consumer's
+  // latency; the caching benefit for later consumers is then unambiguous.
+  p.metadata_count = 4000;
+  p.consumers = 3;
+  p.sequential = true;
+  p.seed = 11;
+  const PddOutcome out = run_pdd_grid(p);
+  ASSERT_TRUE(out.all_finished);
+  ASSERT_EQ(out.per_consumer_recall.size(), 3u);
+  for (double r : out.per_consumer_recall) EXPECT_GE(r, 0.99);
+  // The paper's later consumers finish dramatically faster thanks to
+  // overhearing/caching; require the last to beat the first.
+  EXPECT_LT(out.per_consumer_latency_s.back(),
+            out.per_consumer_latency_s.front());
+}
+
+TEST(IntegrationPdd, SimultaneousConsumersAllReachFullRecall) {
+  PddGridParams p;
+  p.nx = 7;
+  p.ny = 7;
+  p.metadata_count = 1000;
+  p.consumers = 3;
+  p.sequential = false;
+  p.seed = 13;
+  const PddOutcome out = run_pdd_grid(p);
+  ASSERT_TRUE(out.all_finished);
+  for (double r : out.per_consumer_recall) EXPECT_GE(r, 0.99);
+}
+
+}  // namespace
+}  // namespace pds::wl

@@ -1,0 +1,94 @@
+// Everything at once: discovery, item collection, two-phase retrieval and a
+// live subscription all running concurrently on a churning Student-Center
+// crowd, with bounded caches and flood suppression enabled. Nothing should
+// starve, wedge or corrupt.
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace pds {
+namespace {
+
+TEST(KitchenSink, AllProtocolsConcurrentlyUnderChurn) {
+  wl::MobilitySetup setup;
+  setup.mobility = sim::student_center_params();
+  setup.mobility.duration = SimTime::minutes(10);
+  setup.pinned_consumers = 2;
+  setup.pds.chunk_size_bytes = 64 * 1024;
+  setup.pds.chunk_cache_bytes = 8u << 20;
+  setup.pds.flood_assessment_delay = SimTime::millis(20);
+  setup.pds.subscription_refresh = SimTime::seconds(4.0);
+  wl::MobileWorld world = wl::make_mobile_world(setup, 41);
+  wl::Scenario& sc = *world.scenario;
+
+  Rng rng(9);
+  std::vector<core::PdsNode*> present;
+  for (NodeId id : world.initially_present) present.push_back(&sc.node(id));
+
+  // Workload: 1,500 metadata entries, 100 small items, one 2 MB chunked
+  // item (2 copies), spread over the initially present crowd.
+  const auto entries =
+      wl::make_sample_descriptors(1500, wl::SampleSpace{}, rng);
+  wl::distribute_metadata(present, entries, 1, rng, world.consumers);
+  const auto items = wl::make_sample_items(100, 120, wl::SampleSpace{}, rng);
+  wl::distribute_items(present, items, 1, rng, world.consumers);
+  const auto clip = wl::make_chunked_item("clip", 2u << 20, 64 * 1024);
+  wl::distribute_chunks(present, clip, 2u << 20, 64 * 1024, 2, rng,
+                        world.consumers);
+
+  core::PdsNode& alice = sc.node(world.consumers[0]);
+  core::PdsNode& bob = sc.node(world.consumers[1]);
+
+  std::size_t discovered = 0;
+  std::size_t collected = 0;
+  bool retrieved = false;
+  std::size_t streamed = 0;
+
+  alice.discover(core::Filter{},
+                 [&](const core::DiscoverySession::Result& r) {
+                   discovered = r.distinct_received;
+                   // Chain: once Alice knows the clip exists, fetch it.
+                   alice.retrieve(clip, [&](const core::RetrievalResult& r2) {
+                     retrieved = r2.complete;
+                   });
+                 });
+  bob.collect_items(core::Filter{},
+                    [&](const core::DiscoverySession::Result& r) {
+                      collected = r.distinct_received;
+                    });
+  core::Filter live;
+  live.where(std::string(core::kAttrDataType), core::Relation::kEq,
+             std::string("live"));
+  bob.subscribe(live, SimTime::minutes(9),
+                [&](const core::DataDescriptor&) { ++streamed; });
+
+  // A present producer emits live ticks throughout (skipping ticks while it
+  // has wandered off — those never exist).
+  const NodeId ticker = world.initially_present.back();
+  std::size_t published = 0;
+  for (int i = 0; i < 15; ++i) {
+    sc.sim().schedule(SimTime::seconds(20.0 + 10.0 * i),
+                      [&sc, &published, ticker, i] {
+                        if (!sc.medium().is_enabled(ticker)) return;
+                        core::DataDescriptor d;
+                        d.set(core::kAttrDataType, std::string("live"));
+                        d.set("tick", std::int64_t{i});
+                        sc.node(ticker).publish_metadata(d);
+                        ++published;
+                      });
+  }
+
+  sc.run_until(SimTime::minutes(10));
+
+  // Churn means data can leave; demand the bulk, not perfection.
+  EXPECT_GE(discovered, 1350u);
+  EXPECT_GE(collected, 85u);
+  EXPECT_TRUE(retrieved);
+  ASSERT_GT(published, 0u);
+  EXPECT_GE(static_cast<double>(streamed) / static_cast<double>(published),
+            0.7);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,188 @@
+// PdsNode facade tests: concurrent sessions, the discover→retrieve
+// pipeline, per-node heterogeneous configuration, and table housekeeping.
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace pds::core {
+namespace {
+
+sim::RadioConfig lossless_radio() {
+  sim::RadioConfig cfg = sim::clean_radio_profile();
+  cfg.loss_probability = 0.0;
+  return cfg;
+}
+
+std::unique_ptr<wl::Scenario> make_line(std::size_t n, const PdsConfig& pds,
+                                        std::uint64_t seed = 1) {
+  auto sc = std::make_unique<wl::Scenario>(seed, lossless_radio());
+  for (std::size_t i = 0; i < n; ++i) {
+    sc->add_node(NodeId(static_cast<std::uint32_t>(i)),
+                 {static_cast<double>(i) * 10.0, 0.0}, pds);
+  }
+  return sc;
+}
+
+DataDescriptor entry(int seq, const char* type = "t") {
+  DataDescriptor d;
+  d.set(kAttrDataType, std::string(type));
+  d.set("seq", std::int64_t{seq});
+  return d;
+}
+
+TEST(PdsNode, DiscoverThenRetrievePipeline) {
+  PdsConfig pds;
+  pds.chunk_size_bytes = 64 * 1024;
+  auto sc = make_line(4, pds);
+  const auto item = wl::make_chunked_item("doc", 4 * 64 * 1024, 64 * 1024);
+  for (ChunkIndex c = 0; c < 4; ++c) {
+    sc->node(NodeId(3)).publish_chunk(
+        item, wl::make_chunk(item, c, 4 * 64 * 1024, 64 * 1024));
+  }
+
+  // The consumer discovers the item's metadata first, reconstructs the item
+  // descriptor from a chunk entry, and retrieves it — the full paper
+  // workflow end to end.
+  bool retrieved = false;
+  sc->node(NodeId(0)).discover(
+      Filter{}, [&](const DiscoverySession::Result&) {
+        auto& consumer = sc->node(NodeId(0));
+        // Any discovered chunk entry identifies the parent item.
+        DataDescriptor found;
+        for (const DataDescriptor& d : consumer.store().match_metadata(
+                 Filter{}, sc->sim().now())) {
+          if (d.is_chunk()) {
+            found = d.item_descriptor();
+            break;
+          }
+        }
+        ASSERT_TRUE(found.total_chunks().has_value());
+        consumer.retrieve(found, [&](const RetrievalResult& r) {
+          retrieved = r.complete;
+        });
+      });
+  sc->run_until(SimTime::seconds(120));
+  EXPECT_TRUE(retrieved);
+}
+
+TEST(PdsNode, ConcurrentSessionsOfDifferentKinds) {
+  PdsConfig pds;
+  pds.chunk_size_bytes = 64 * 1024;
+  auto sc = make_line(4, pds);
+  auto& producer = sc->node(NodeId(3));
+  for (int i = 0; i < 10; ++i) producer.publish_metadata(entry(i));
+  net::ItemPayload item_payload;
+  item_payload.descriptor = entry(100, "sample");
+  item_payload.size_bytes = 64;
+  producer.publish_item(item_payload);
+  const auto big = wl::make_chunked_item("big", 2 * 64 * 1024, 64 * 1024);
+  for (ChunkIndex c = 0; c < 2; ++c) {
+    producer.publish_chunk(big,
+                           wl::make_chunk(big, c, 2 * 64 * 1024, 64 * 1024));
+  }
+
+  auto& consumer = sc->node(NodeId(0));
+  int done = 0;
+  std::size_t discovered = 0;
+  consumer.discover(Filter{}, [&](const DiscoverySession::Result& r) {
+    discovered = r.distinct_received;
+    ++done;
+  });
+  std::size_t items = 0;
+  Filter item_filter;
+  item_filter.where(std::string(kAttrDataType), Relation::kEq,
+                    std::string("sample"));
+  consumer.collect_items(item_filter, [&](const DiscoverySession::Result& r) {
+    items = r.distinct_received;
+    ++done;
+  });
+  bool got_big = false;
+  consumer.retrieve(big, [&](const RetrievalResult& r) {
+    got_big = r.complete;
+    ++done;
+  });
+
+  sc->run_until(SimTime::seconds(120));
+  EXPECT_EQ(done, 3);
+  // 10 samples + 1 item entry + 2 chunk entries + 1 item-level entry.
+  EXPECT_GE(discovered, 13u);
+  EXPECT_EQ(items, 1u);
+  EXPECT_TRUE(got_big);
+}
+
+TEST(PdsNode, HeterogeneousConfigsPerNode) {
+  // One node runs with overhearing disabled while the rest cache: nodes own
+  // their config copies.
+  PdsConfig caching;
+  PdsConfig deaf = caching;
+  deaf.enable_overhearing_cache = false;
+
+  auto sc = std::make_unique<wl::Scenario>(2, lossless_radio());
+  sc->add_node(NodeId(0), {0, 0}, caching);
+  sc->add_node(NodeId(1), {10, 0}, caching);
+  sc->add_node(NodeId(2), {5, 8}, caching);
+  sc->add_node(NodeId(3), {5, -8}, deaf);
+  sc->node(NodeId(1)).publish_metadata(entry(1));
+
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result&) {
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(sc->node(NodeId(2)).store().has_metadata(entry(1).entry_key(),
+                                                       sc->sim().now()));
+  EXPECT_FALSE(sc->node(NodeId(3)).store().has_metadata(entry(1).entry_key(),
+                                                        sc->sim().now()));
+}
+
+TEST(PdsNode, LqtSweepEventuallyDropsExpiredQueries) {
+  PdsConfig pds;
+  pds.query_lifetime = SimTime::seconds(2.0);
+  auto sc = make_line(2, pds);
+  auto& producer = sc->node(NodeId(1));
+  for (int i = 0; i < 50; ++i) producer.publish_metadata(entry(i));
+
+  sc->node(NodeId(0)).discover(Filter{},
+                               [](const DiscoverySession::Result&) {});
+  sc->run_until(SimTime::seconds(30));
+  const std::size_t before = producer.lqt().size();
+
+  // Enough later traffic triggers the amortized sweep (every ~512 handled
+  // messages) and the expired lingering queries disappear.
+  for (int burst = 0; burst < 20; ++burst) {
+    sc->node(NodeId(0)).discover(Filter{},
+                                 [](const DiscoverySession::Result&) {});
+    sc->run_until(sc->sim().now() + SimTime::seconds(10));
+  }
+  producer.lqt().sweep(sc->sim().now());
+  EXPECT_LT(producer.lqt().size(), before + 5);
+}
+
+TEST(PdsNode, PublishAfterDiscoveryIsVisibleToNextConsumer) {
+  PdsConfig pds;
+  auto sc = make_line(3, pds);
+  sc->node(NodeId(2)).publish_metadata(entry(1));
+
+  bool first = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result&) {
+                                 first = true;
+                               });
+  sc->run_until(SimTime::seconds(20));
+  ASSERT_TRUE(first);
+
+  sc->node(NodeId(2)).publish_metadata(entry(2));
+  std::size_t got = 0;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result& r) {
+                                 got = r.distinct_received;
+                               });
+  sc->run_until(SimTime::seconds(60));
+  EXPECT_EQ(got, 2u);
+}
+
+}  // namespace
+}  // namespace pds::core

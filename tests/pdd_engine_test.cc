@@ -1,0 +1,361 @@
+// Engine-level behavioural tests for PDD query/response processing on tiny
+// deterministic topologies (loss-free medium): flooding and duplicate
+// suppression, reverse-path response routing, lingering queries, mixedcast,
+// en-route Bloom rewriting, opportunistic caching and the ablation toggles.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/transport.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace pds::core {
+namespace {
+
+sim::RadioConfig lossless_radio() {
+  sim::RadioConfig cfg = sim::clean_radio_profile();
+  cfg.loss_probability = 0.0;
+  return cfg;
+}
+
+// Nodes in a row, adjacent-only connectivity (spacing 10 m, range 15 m).
+std::unique_ptr<wl::Scenario> make_line(std::size_t n, const PdsConfig& pds,
+                                        std::uint64_t seed = 1) {
+  auto sc = std::make_unique<wl::Scenario>(seed, lossless_radio());
+  for (std::size_t i = 0; i < n; ++i) {
+    sc->add_node(NodeId(static_cast<std::uint32_t>(i)),
+                 {static_cast<double>(i) * 10.0, 0.0}, pds);
+  }
+  return sc;
+}
+
+DataDescriptor entry(int seq) {
+  DataDescriptor d;
+  d.set(kAttrDataType, std::string("sample"));
+  d.set("seq", std::int64_t{seq});
+  return d;
+}
+
+struct FrameCount {
+  std::uint64_t queries = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t response_bytes = 0;
+  std::uint64_t entries_on_air = 0;
+};
+
+// Counting wrapper used by the tests below.
+class CountingScenario {
+ public:
+  CountingScenario(std::size_t line_nodes, const PdsConfig& pds,
+                   std::uint64_t seed = 1)
+      : sc_(make_line(line_nodes, pds, seed)) {
+    sc_->medium().set_tx_observer([this](NodeId, const sim::Frame& f) {
+      const net::Message* msg = nullptr;
+      if (auto m = std::dynamic_pointer_cast<const net::Message>(f.payload)) {
+        msg = m.get();
+      } else if (auto frag = std::dynamic_pointer_cast<
+                     const net::FragmentPayload>(f.payload)) {
+        if (frag->index != 0) return;  // count each message once
+        msg = frag->whole.get();
+      }
+      if (msg == nullptr || msg->is_ack() || msg->is_repair()) return;
+      if (msg->is_query()) {
+        ++counts_.queries;
+      } else {
+        ++counts_.responses;
+        counts_.response_bytes += f.size_bytes;
+        counts_.entries_on_air += msg->metadata.size();
+      }
+    });
+  }
+
+  wl::Scenario& operator*() { return *sc_; }
+  wl::Scenario* operator->() { return sc_.get(); }
+  [[nodiscard]] const FrameCount& counts() const { return counts_; }
+
+ private:
+  std::unique_ptr<wl::Scenario> sc_;
+  FrameCount counts_;
+};
+
+TEST(PddEngine, QueryFloodsOncePerNode) {
+  PdsConfig pds;
+  pds.max_rounds = 1;
+  pds.empty_round_retries = 0;
+  CountingScenario sc(5, pds);
+  sc->node(NodeId(4)).publish_metadata(entry(1));
+
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result&) {
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(30));
+  ASSERT_TRUE(done);
+  // Each of the 5 nodes transmits the flooded query at most once (the last
+  // node's forward dies unheard but is still sent).
+  EXPECT_LE(sc.counts().queries, 5u);
+  EXPECT_GE(sc.counts().queries, 4u);
+}
+
+TEST(PddEngine, EntriesReturnAlongReversePath) {
+  PdsConfig pds;
+  CountingScenario sc(4, pds);
+  // Entries live at the far end; the consumer at node 0 must get them over
+  // 3 hops.
+  for (int i = 0; i < 10; ++i) sc->node(NodeId(3)).publish_metadata(entry(i));
+
+  std::size_t received = 0;
+  bool done = false;
+  sc->node(NodeId(0)).discover(
+      Filter{}, [&](const DiscoverySession::Result& r) {
+        received = r.distinct_received;
+        done = true;
+      });
+  sc->run_until(SimTime::seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(received, 10u);
+  // The response crossed 3 hops: transmitted 3 times (producer + 2 relays).
+  EXPECT_EQ(sc.counts().responses, 3u);
+}
+
+TEST(PddEngine, IntermediateNodesCacheRelayedEntries) {
+  PdsConfig pds;
+  CountingScenario sc(4, pds);
+  sc->node(NodeId(3)).publish_metadata(entry(7));
+
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result&) {
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(30));
+  ASSERT_TRUE(done);
+  // Relays 1 and 2 now hold the entry as cached metadata.
+  EXPECT_TRUE(sc->node(NodeId(1)).store().has_metadata(
+      entry(7).entry_key(), sc->sim().now()));
+  EXPECT_TRUE(sc->node(NodeId(2)).store().has_metadata(
+      entry(7).entry_key(), sc->sim().now()));
+}
+
+TEST(PddEngine, OverhearingCacheTogglesOff) {
+  PdsConfig pds;
+  pds.enable_overhearing_cache = false;
+  // Triangle: consumer 0, producer 1 adjacent; node 2 adjacent to both but
+  // never on the reverse path.
+  auto sc = std::make_unique<wl::Scenario>(3, lossless_radio());
+  sc->add_node(NodeId(0), {0, 0}, pds);
+  sc->add_node(NodeId(1), {10, 0}, pds);
+  sc->add_node(NodeId(2), {5, 8}, pds);
+  sc->node(NodeId(1)).publish_metadata(entry(1));
+
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result&) {
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(30));
+  ASSERT_TRUE(done);
+  // Node 2 received the query (flooded: it is an intended receiver and
+  // caches via its own lingering handling), but the response to node 0 was
+  // only overheard — with the toggle off it must not be cached.
+  EXPECT_FALSE(sc->node(NodeId(2)).store().has_metadata(
+      entry(1).entry_key(), sc->sim().now()));
+}
+
+TEST(PddEngine, OverhearingCachePopulatesBystanders) {
+  PdsConfig pds;  // default: overhearing cache on
+  auto sc = std::make_unique<wl::Scenario>(3, lossless_radio());
+  sc->add_node(NodeId(0), {0, 0}, pds);
+  sc->add_node(NodeId(1), {10, 0}, pds);
+  sc->add_node(NodeId(2), {5, 8}, pds);
+  sc->node(NodeId(1)).publish_metadata(entry(1));
+
+  bool done = false;
+  sc->node(NodeId(0)).discover(Filter{},
+                               [&](const DiscoverySession::Result&) {
+                                 done = true;
+                               });
+  sc->run_until(SimTime::seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(sc->node(NodeId(2)).store().has_metadata(
+      entry(1).entry_key(), sc->sim().now()));
+}
+
+TEST(PddEngine, FilterPrunesResponses) {
+  PdsConfig pds;
+  CountingScenario sc(3, pds);
+  for (int i = 0; i < 20; ++i) sc->node(NodeId(2)).publish_metadata(entry(i));
+
+  Filter f;
+  f.where_range("seq", std::int64_t{5}, std::int64_t{9});
+  std::size_t received = 0;
+  bool done = false;
+  sc->node(NodeId(0)).discover(f, [&](const DiscoverySession::Result& r) {
+    received = r.distinct_received;
+    done = true;
+  });
+  sc->run_until(SimTime::seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(received, 5u);
+  EXPECT_EQ(sc.counts().entries_on_air, 10u);  // 5 entries × 2 hops
+}
+
+TEST(PddEngine, BloomRewritingSuppressesDuplicateEntries) {
+  // Two producers hold identical copies of the same entries one hop apart;
+  // with rewriting, the duplicate copies are pruned en route.
+  PdsConfig with;
+  PdsConfig without = with;
+  without.enable_bloom_rewriting = false;
+
+  std::uint64_t entries_with = 0;
+  std::uint64_t entries_without = 0;
+  for (int variant = 0; variant < 2; ++variant) {
+    const PdsConfig& pds = variant == 0 ? with : without;
+    CountingScenario sc(4, pds);
+    // Same 30 entries at nodes 2 and 3 (redundancy 2).
+    for (int i = 0; i < 30; ++i) {
+      sc->node(NodeId(2)).publish_metadata(entry(i));
+      sc->node(NodeId(3)).publish_metadata(entry(i));
+    }
+    bool done = false;
+    std::size_t received = 0;
+    sc->node(NodeId(0)).discover(Filter{},
+                                 [&](const DiscoverySession::Result& r) {
+                                   received = r.distinct_received;
+                                   done = true;
+                                 });
+    sc->run_until(SimTime::seconds(60));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(received, 30u);
+    (variant == 0 ? entries_with : entries_without) =
+        sc.counts().entries_on_air;
+  }
+  EXPECT_LT(entries_with, entries_without);
+}
+
+TEST(PddEngine, MixedcastServesTwoConsumersWithSharedTransmissions) {
+  // Y topology: producer at the stem; two consumers behind a shared relay.
+  // With mixedcast the relay's single transmission serves both consumers.
+  PdsConfig with;
+  PdsConfig without = with;
+  without.enable_mixedcast = false;
+
+  std::uint64_t responses_with = 0;
+  std::uint64_t responses_without = 0;
+  for (int variant = 0; variant < 2; ++variant) {
+    const PdsConfig& pds = variant == 0 ? with : without;
+    auto sc = std::make_unique<wl::Scenario>(7, lossless_radio());
+    // producer(3) — relay(2) — fork: consumer A(0) and consumer B(1).
+    sc->add_node(NodeId(3), {30, 0}, pds);
+    sc->add_node(NodeId(2), {20, 0}, pds);
+    sc->add_node(NodeId(0), {10, 6}, pds);   // adjacent to relay only
+    sc->add_node(NodeId(1), {10, -6}, pds);  // adjacent to relay only
+    for (int i = 0; i < 40; ++i) {
+      sc->node(NodeId(3)).publish_metadata(entry(i));
+    }
+
+    std::uint64_t responses = 0;
+    sc->medium().set_tx_observer([&](NodeId from, const sim::Frame& f) {
+      const auto msg =
+          std::dynamic_pointer_cast<const net::Message>(f.payload);
+      if (msg != nullptr && msg->is_response() && from == NodeId(2)) {
+        ++responses;
+      }
+    });
+
+    int finished = 0;
+    std::size_t got_a = 0;
+    std::size_t got_b = 0;
+    sc->node(NodeId(0)).discover(Filter{},
+                                 [&](const DiscoverySession::Result& r) {
+                                   got_a = r.distinct_received;
+                                   ++finished;
+                                 });
+    sc->node(NodeId(1)).discover(Filter{},
+                                 [&](const DiscoverySession::Result& r) {
+                                   got_b = r.distinct_received;
+                                   ++finished;
+                                 });
+    sc->run_until(SimTime::seconds(60));
+    ASSERT_EQ(finished, 2);
+    EXPECT_EQ(got_a, 40u);
+    EXPECT_EQ(got_b, 40u);
+    (variant == 0 ? responses_with : responses_without) = responses;
+  }
+  // Mixedcast: one joint transmission with both receivers listed; without
+  // it, the relay transmits separately per consumer.
+  EXPECT_LT(responses_with, responses_without);
+}
+
+TEST(PddEngine, TtlLimitsFloodScope) {
+  PdsConfig pds;
+  pds.max_rounds = 1;
+  pds.empty_round_retries = 0;
+  CountingScenario sc(6, pds);
+  sc->node(NodeId(5)).publish_metadata(entry(1));
+
+  // Send a hand-built query with ttl 2 from node 0: it must reach nodes 1
+  // (ttl 2) and 2 (ttl 1, not forwarded), never nodes 3+.
+  auto& consumer = sc->node(NodeId(0));
+  auto query = std::make_shared<net::Message>();
+  query->type = net::MessageType::kQuery;
+  query->kind = net::ContentKind::kMetadata;
+  query->query_id = consumer.context().new_query_id();
+  query->sender = NodeId(0);
+  query->expire_at = SimTime::seconds(100);
+  query->ttl = 2;
+  consumer.transport().send(query);
+  sc->run_until(SimTime::seconds(10));
+
+  EXPECT_TRUE(sc->node(NodeId(1)).lqt().contains(query->query_id));
+  EXPECT_TRUE(sc->node(NodeId(2)).lqt().contains(query->query_id));
+  EXPECT_FALSE(sc->node(NodeId(3)).lqt().contains(query->query_id));
+}
+
+TEST(PddEngine, ExpiredQueriesAreIgnored) {
+  PdsConfig pds;
+  CountingScenario sc(3, pds);
+  sc->node(NodeId(2)).publish_metadata(entry(1));
+
+  auto query = std::make_shared<net::Message>();
+  query->type = net::MessageType::kQuery;
+  query->kind = net::ContentKind::kMetadata;
+  query->query_id = QueryId(12345);
+  query->sender = NodeId(0);
+  query->expire_at = SimTime::zero();  // already expired
+  sc->node(NodeId(0)).transport().send(query);
+  sc->run_until(SimTime::seconds(5));
+  EXPECT_FALSE(sc->node(NodeId(1)).lqt().contains(QueryId(12345)));
+}
+
+TEST(PddEngine, SmallItemsCollectedWithPayload) {
+  PdsConfig pds;
+  CountingScenario sc(3, pds);
+  Rng rng(5);
+  const auto items = wl::make_sample_items(12, 150, wl::SampleSpace{}, rng);
+  for (const auto& item : items) {
+    sc->node(NodeId(2)).publish_item(item);
+  }
+
+  bool done = false;
+  const DiscoverySession* session = nullptr;
+  session = &sc->node(NodeId(0)).collect_items(
+      Filter{}, [&](const DiscoverySession::Result&) { done = true; });
+  sc->run_until(SimTime::seconds(30));
+  ASSERT_TRUE(done);
+  ASSERT_EQ(session->received_items().size(), 12u);
+  // Payload content survives the trip.
+  std::map<std::uint64_t, std::uint64_t> expected;
+  for (const auto& item : items) {
+    expected[item.descriptor.entry_key()] = item.content_hash;
+  }
+  for (const auto& got : session->received_items()) {
+    EXPECT_EQ(got.content_hash, expected[got.descriptor.entry_key()]);
+    EXPECT_EQ(got.size_bytes, 150u);
+  }
+}
+
+}  // namespace
+}  // namespace pds::core

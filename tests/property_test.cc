@@ -1,0 +1,181 @@
+// Parameterized property sweeps over whole-system runs: metric sanity,
+// determinism, and the dominance relations the design promises (multi-round
+// ≥ single round; ack ≥ no-ack; mixedcast/Bloom reduce overhead).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/experiment.h"
+
+namespace pds::wl {
+namespace {
+
+// -- PDD invariants over (grid size, metadata amount, redundancy) ------------
+
+using PddSweepParam = std::tuple<std::size_t, std::size_t, int>;
+
+class PddSweep : public ::testing::TestWithParam<PddSweepParam> {};
+
+TEST_P(PddSweep, MetricsAreSane) {
+  const auto [grid, entries, redundancy] = GetParam();
+  PddGridParams p;
+  p.nx = p.ny = grid;
+  p.metadata_count = entries;
+  p.redundancy = redundancy;
+  p.seed = 1000 + grid * 10 + static_cast<std::size_t>(redundancy);
+  const PddOutcome out = run_pdd_grid(p);
+
+  EXPECT_TRUE(out.all_finished);
+  EXPECT_GE(out.recall, 0.0);
+  EXPECT_LE(out.recall, 1.0);
+  EXPECT_GE(out.recall, 0.95) << "multi-round PDD should approach full recall";
+  EXPECT_GT(out.overhead_mb, 0.0);
+  EXPECT_GE(out.latency_s, 0.0);
+  EXPECT_GE(out.rounds, 1.0);
+  // Overhead is at least the payload the consumer received once.
+  const double payload_mb = static_cast<double>(entries) * 30.0 / 1e6;
+  EXPECT_GT(out.overhead_mb, payload_mb * out.recall);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PddSweep,
+    ::testing::Values(PddSweepParam{5, 500, 1}, PddSweepParam{5, 500, 3},
+                      PddSweepParam{7, 1500, 1}, PddSweepParam{7, 1500, 2},
+                      PddSweepParam{9, 2500, 1}));
+
+// -- PDD dominance relations ---------------------------------------------------
+
+class PddDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PddDominance, MultiRoundNeverWorseThanSingle) {
+  PddGridParams p;
+  p.nx = p.ny = 7;
+  p.metadata_count = 1500;
+  p.seed = GetParam();
+  p.multi_round = false;
+  const PddOutcome single = run_pdd_grid(p);
+  p.multi_round = true;
+  const PddOutcome multi = run_pdd_grid(p);
+  EXPECT_GE(multi.recall + 1e-9, single.recall);
+}
+
+TEST_P(PddDominance, AckNeverWorseThanNoAckSingleRound) {
+  PddGridParams p;
+  p.nx = p.ny = 7;
+  p.metadata_count = 1500;
+  p.multi_round = false;
+  p.seed = GetParam();
+  p.ack = false;
+  const PddOutcome off = run_pdd_grid(p);
+  p.ack = true;
+  const PddOutcome on = run_pdd_grid(p);
+  EXPECT_GE(on.recall + 0.02, off.recall);  // small tolerance for noise
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PddDominance, ::testing::Values(21, 22, 23));
+
+// -- Determinism -----------------------------------------------------------
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
+  PddGridParams p;
+  p.nx = p.ny = 7;
+  p.metadata_count = 800;
+  p.seed = 99;
+  const PddOutcome a = run_pdd_grid(p);
+  const PddOutcome b = run_pdd_grid(p);
+  EXPECT_DOUBLE_EQ(a.recall, b.recall);
+  EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+  EXPECT_DOUBLE_EQ(a.overhead_mb, b.overhead_mb);
+  EXPECT_DOUBLE_EQ(a.rounds, b.rounds);
+}
+
+TEST(Determinism, RetrievalRunsAreReproducible) {
+  RetrievalGridParams p;
+  p.nx = p.ny = 5;
+  p.item_size_bytes = 2u * 1024 * 1024;
+  p.seed = 77;
+  const RetrievalOutcome a = run_retrieval_grid(p);
+  const RetrievalOutcome b = run_retrieval_grid(p);
+  EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+  EXPECT_DOUBLE_EQ(a.overhead_mb, b.overhead_mb);
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  PddGridParams p;
+  p.nx = p.ny = 5;
+  p.metadata_count = 500;
+  p.seed = 1;
+  const PddOutcome a = run_pdd_grid(p);
+  p.seed = 2;
+  const PddOutcome b = run_pdd_grid(p);
+  // Placement and channel draws differ; exact metric equality would be
+  // astonishing.
+  EXPECT_NE(a.overhead_mb, b.overhead_mb);
+}
+
+// -- Retrieval invariants over (size, redundancy, method) -----------------
+
+using RetrSweepParam = std::tuple<std::size_t, int, RetrievalMethod>;
+
+class RetrievalSweep : public ::testing::TestWithParam<RetrSweepParam> {};
+
+TEST_P(RetrievalSweep, CompletesWithExactChunkCount) {
+  const auto [mib, redundancy, method] = GetParam();
+  RetrievalGridParams p;
+  p.nx = p.ny = 7;
+  p.item_size_bytes = mib * 1024 * 1024;
+  p.redundancy = redundancy;
+  p.method = method;
+  p.seed = 500 + mib + static_cast<std::size_t>(redundancy);
+  const RetrievalOutcome out = run_retrieval_grid(p);
+  EXPECT_TRUE(out.all_complete);
+  EXPECT_DOUBLE_EQ(out.recall, 1.0);
+  EXPECT_GT(out.latency_s, 0.0);
+  // Overhead at least the item size (it crossed the air at least once).
+  EXPECT_GT(out.overhead_mb,
+            static_cast<double>(p.item_size_bytes) / 1e6 * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndMethods, RetrievalSweep,
+    ::testing::Values(RetrSweepParam{1, 1, RetrievalMethod::kPdr},
+                      RetrSweepParam{4, 1, RetrievalMethod::kPdr},
+                      RetrSweepParam{4, 3, RetrievalMethod::kPdr},
+                      RetrSweepParam{1, 1, RetrievalMethod::kMdr},
+                      RetrSweepParam{4, 2, RetrievalMethod::kMdr}));
+
+// -- Ablation dominance ---------------------------------------------------------
+
+TEST(Ablations, GapBalancingNeverHurtsCompleteness) {
+  RetrievalGridParams p;
+  p.nx = p.ny = 7;
+  p.item_size_bytes = 4u * 1024 * 1024;
+  p.redundancy = 3;
+  p.seed = 31;
+  p.pds.enable_gap_balancing = false;
+  const RetrievalOutcome naive = run_retrieval_grid(p);
+  p.pds.enable_gap_balancing = true;
+  const RetrievalOutcome balanced = run_retrieval_grid(p);
+  EXPECT_TRUE(balanced.all_complete);
+  EXPECT_TRUE(naive.all_complete);
+}
+
+TEST(Ablations, LingeringQueriesReduceOverheadUnderMultipleRounds) {
+  // One-shot (NDN-style) queries are consumed by the first matching
+  // response relay, so later entries need fresh rounds; lingering queries
+  // let one query drain the whole stream.
+  PddGridParams p;
+  p.nx = p.ny = 7;
+  p.metadata_count = 1500;
+  p.seed = 41;
+  p.pds.enable_lingering_queries = false;
+  const PddOutcome oneshot = run_pdd_grid(p);
+  p.pds.enable_lingering_queries = true;
+  const PddOutcome lingering = run_pdd_grid(p);
+  EXPECT_GE(lingering.recall, 0.99);
+  // One-shot needs at least as many rounds to reach its recall.
+  EXPECT_GE(oneshot.rounds + 0.001, lingering.rounds);
+}
+
+}  // namespace
+}  // namespace pds::wl

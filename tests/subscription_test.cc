@@ -1,0 +1,205 @@
+// Subscription tests (§IV future work): a long-lived lingering query
+// streams entries published *after* it was issued, across hops, honoring
+// filters, refreshes for late joiners, and expiry.
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace pds::core {
+namespace {
+
+sim::RadioConfig lossless_radio() {
+  sim::RadioConfig cfg = sim::clean_radio_profile();
+  cfg.loss_probability = 0.0;
+  return cfg;
+}
+
+std::unique_ptr<wl::Scenario> make_line(std::size_t n, const PdsConfig& pds,
+                                        std::uint64_t seed = 1) {
+  auto sc = std::make_unique<wl::Scenario>(seed, lossless_radio());
+  for (std::size_t i = 0; i < n; ++i) {
+    sc->add_node(NodeId(static_cast<std::uint32_t>(i)),
+                 {static_cast<double>(i) * 10.0, 0.0}, pds);
+  }
+  return sc;
+}
+
+DataDescriptor reading(int seq, const char* type = "score") {
+  DataDescriptor d;
+  d.set(kAttrDataType, std::string(type));
+  d.set("seq", std::int64_t{seq});
+  return d;
+}
+
+TEST(Subscription, StreamsEntriesPublishedLater) {
+  PdsConfig pds;
+  auto sc = make_line(4, pds);
+
+  std::vector<std::int64_t> received;
+  SubscriptionSession& sub = sc->node(NodeId(0)).subscribe(
+      Filter{}, SimTime::minutes(5), [&](const DataDescriptor& d) {
+        received.push_back(std::get<std::int64_t>(*d.find("seq")));
+      });
+  // The far node publishes one entry every 2 s, starting after the
+  // subscription is in place.
+  for (int i = 0; i < 8; ++i) {
+    sc->sim().schedule(SimTime::seconds(2.0 * (i + 1)), [&sc, i] {
+      sc->node(NodeId(3)).publish_metadata(reading(i));
+    });
+  }
+  sc->run_until(SimTime::seconds(30));
+  EXPECT_TRUE(sub.active());
+  ASSERT_EQ(received.size(), 8u);
+  // Per-publication single-entry responses arrive in publication order over
+  // a loss-free line.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(Subscription, PreexistingEntriesArriveToo) {
+  PdsConfig pds;
+  auto sc = make_line(3, pds);
+  for (int i = 0; i < 5; ++i) sc->node(NodeId(2)).publish_metadata(reading(i));
+
+  std::size_t got = 0;
+  sc->node(NodeId(0)).subscribe(Filter{}, SimTime::minutes(1),
+                                [&](const DataDescriptor&) { ++got; });
+  sc->run_until(SimTime::seconds(20));
+  EXPECT_EQ(got, 5u);
+}
+
+TEST(Subscription, FilterSelectsStream) {
+  PdsConfig pds;
+  auto sc = make_line(3, pds);
+
+  std::size_t got = 0;
+  Filter f;
+  f.where(std::string(kAttrDataType), Relation::kEq, std::string("score"));
+  sc->node(NodeId(0)).subscribe(f, SimTime::minutes(1),
+                                [&](const DataDescriptor&) { ++got; });
+  for (int i = 0; i < 4; ++i) {
+    sc->sim().schedule(SimTime::seconds(1.0 + i), [&sc, i] {
+      sc->node(NodeId(2)).publish_metadata(reading(i, "score"));
+      sc->node(NodeId(2)).publish_metadata(reading(100 + i, "noise"));
+    });
+  }
+  sc->run_until(SimTime::seconds(20));
+  EXPECT_EQ(got, 4u);
+}
+
+TEST(Subscription, ExpiryStopsTheStream) {
+  PdsConfig pds;
+  auto sc = make_line(3, pds);
+
+  std::size_t got = 0;
+  SubscriptionSession& sub = sc->node(NodeId(0)).subscribe(
+      Filter{}, SimTime::seconds(5), [&](const DataDescriptor&) { ++got; });
+  sc->sim().schedule(SimTime::seconds(2.0), [&sc] {
+    sc->node(NodeId(2)).publish_metadata(reading(1));
+  });
+  sc->sim().schedule(SimTime::seconds(10.0), [&sc] {
+    sc->node(NodeId(2)).publish_metadata(reading(2));
+  });
+  sc->run_until(SimTime::seconds(30));
+  EXPECT_FALSE(sub.active());
+  EXPECT_EQ(got, 1u);  // the post-expiry publication never flows
+}
+
+TEST(Subscription, CancelStopsDelivery) {
+  PdsConfig pds;
+  auto sc = make_line(3, pds);
+  std::size_t got = 0;
+  SubscriptionSession& sub = sc->node(NodeId(0)).subscribe(
+      Filter{}, SimTime::minutes(5), [&](const DataDescriptor&) { ++got; });
+  sc->sim().schedule(SimTime::seconds(1.0), [&sc] {
+    sc->node(NodeId(2)).publish_metadata(reading(1));
+  });
+  sc->sim().schedule(SimTime::seconds(5.0), [&sub] { sub.cancel(); });
+  sc->sim().schedule(SimTime::seconds(6.0), [&sc] {
+    sc->node(NodeId(2)).publish_metadata(reading(2));
+  });
+  sc->run_until(SimTime::seconds(30));
+  EXPECT_EQ(got, 1u);
+}
+
+TEST(Subscription, RefreshReachesLateJoiner) {
+  PdsConfig pds;
+  pds.subscription_refresh = SimTime::seconds(2.0);
+  auto sc = make_line(4, pds);
+  // Node 3 starts with its radio off and joins after the initial flood.
+  sc->medium().set_enabled(NodeId(3), false);
+
+  std::size_t got = 0;
+  sc->node(NodeId(0)).subscribe(Filter{}, SimTime::minutes(5),
+                                [&](const DataDescriptor&) { ++got; });
+  sc->sim().schedule(SimTime::seconds(4.0), [&sc] {
+    sc->medium().set_enabled(NodeId(3), true);
+  });
+  // Published after joining; only the refreshed lingering query can route
+  // it back.
+  sc->sim().schedule(SimTime::seconds(9.0), [&sc] {
+    sc->node(NodeId(3)).publish_metadata(reading(42));
+  });
+  sc->run_until(SimTime::seconds(30));
+  EXPECT_EQ(got, 1u);
+}
+
+TEST(Subscription, ItemSubscriptionCarriesPayloads) {
+  PdsConfig pds;
+  auto sc = make_line(3, pds);
+
+  const SubscriptionSession* session = nullptr;
+  std::size_t got = 0;
+  session = &sc->node(NodeId(0)).subscribe_items(
+      Filter{}, SimTime::minutes(1), [&](const DataDescriptor&) { ++got; });
+  sc->sim().schedule(SimTime::seconds(1.0), [&sc] {
+    net::ItemPayload item;
+    item.descriptor = reading(7);
+    item.size_bytes = 200;
+    item.content_hash = 99;
+    sc->node(NodeId(2)).publish_item(item);
+  });
+  sc->run_until(SimTime::seconds(20));
+  ASSERT_EQ(got, 1u);
+  ASSERT_EQ(session->items().size(), 1u);
+  EXPECT_EQ(session->items()[0].content_hash, 99u);
+  EXPECT_EQ(session->items()[0].size_bytes, 200u);
+}
+
+TEST(Subscription, TwoSubscribersShareMixedcastStream) {
+  PdsConfig pds;
+  auto sc = std::make_unique<wl::Scenario>(9, lossless_radio());
+  // Producer at the stem, relay, two subscribers behind it.
+  sc->add_node(NodeId(3), {30, 0}, pds);
+  sc->add_node(NodeId(2), {20, 0}, pds);
+  sc->add_node(NodeId(0), {10, 6}, pds);
+  sc->add_node(NodeId(1), {10, -6}, pds);
+
+  std::size_t got_a = 0;
+  std::size_t got_b = 0;
+  sc->node(NodeId(0)).subscribe(Filter{}, SimTime::minutes(1),
+                                [&](const DataDescriptor&) { ++got_a; });
+  sc->node(NodeId(1)).subscribe(Filter{}, SimTime::minutes(1),
+                                [&](const DataDescriptor&) { ++got_b; });
+  std::uint64_t relay_responses = 0;
+  sc->medium().set_tx_observer([&](NodeId from, const sim::Frame& f) {
+    const auto msg = std::dynamic_pointer_cast<const net::Message>(f.payload);
+    if (msg != nullptr && msg->is_response() && from == NodeId(2)) {
+      ++relay_responses;
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    sc->sim().schedule(SimTime::seconds(1.0 + i), [&sc, i] {
+      sc->node(NodeId(3)).publish_metadata(reading(i));
+    });
+  }
+  sc->run_until(SimTime::seconds(30));
+  EXPECT_EQ(got_a, 5u);
+  EXPECT_EQ(got_b, 5u);
+  // The relay served both subscribers with one mixedcast transmission per
+  // publication (plus possibly a retransmission or two).
+  EXPECT_LE(relay_responses, 7u);
+}
+
+}  // namespace
+}  // namespace pds::core

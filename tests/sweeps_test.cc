@@ -1,0 +1,148 @@
+// Cross-cutting parameterized sweeps: Bloom filter sizing math across
+// (n, fpp), leaky bucket rate conformance across rates, the two calibrated
+// radio profiles, and subscriptions under churn.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/bloom_filter.h"
+#include "util/leaky_bucket.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace pds {
+namespace {
+
+// -- Bloom filter (n, fpp) sweep -------------------------------------------------
+
+using BloomParam = std::tuple<std::size_t, double>;
+
+class BloomSizing : public ::testing::TestWithParam<BloomParam> {};
+
+TEST_P(BloomSizing, MeasuredFppNearTarget) {
+  const auto [n, fpp] = GetParam();
+  util::BloomFilter f = util::BloomFilter::with_capacity(n, fpp, 42);
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) f.insert(rng.next_u64());
+
+  int false_positives = 0;
+  const int probes = 40000;
+  for (int i = 0; i < probes; ++i) {
+    if (f.maybe_contains(rng.next_u64())) ++false_positives;
+  }
+  const double measured = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(measured, fpp * 2.5) << "n=" << n << " fpp=" << fpp;
+  // The filter should not be wildly oversized either: ~1.44 log2(1/p) bits
+  // per element at the optimum.
+  const double bits_per_elem =
+      static_cast<double>(f.bit_count()) / static_cast<double>(n);
+  EXPECT_LT(bits_per_elem, 1.6 * std::log2(1.0 / fpp) + 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BloomSizing,
+    ::testing::Values(BloomParam{100, 0.01}, BloomParam{1000, 0.01},
+                      BloomParam{10000, 0.01}, BloomParam{1000, 0.001},
+                      BloomParam{1000, 0.05}, BloomParam{20000, 0.02}));
+
+// -- Leaky bucket rate conformance ------------------------------------------------
+
+class BucketRates : public ::testing::TestWithParam<double> {};
+
+TEST_P(BucketRates, SustainedThroughputMatchesLeakRate) {
+  const double rate_bps = GetParam();
+  util::LeakyBucket bucket(30'000, rate_bps);
+  const std::size_t message = 1500;
+  const int n = 2000;
+  SimTime last = SimTime::zero();
+  for (int i = 0; i < n; ++i) last = bucket.offer(SimTime::zero(), message);
+  const double expected_seconds =
+      (static_cast<double>(n) * message - 30'000) * 8.0 / rate_bps;
+  EXPECT_NEAR(last.as_seconds() / expected_seconds, 1.0, 0.02)
+      << "rate " << rate_bps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BucketRates,
+                         ::testing::Values(1e6, 2e6, 4.5e6, 7.2e6, 2e7));
+
+// -- Radio profiles --------------------------------------------------------------
+
+TEST(RadioProfiles, ContendedIsLossierThanCleanForFloods) {
+  // The same single-round discovery under both profiles: the contended
+  // profile's interference ring must cost recall.
+  auto run_profile = [](const sim::RadioConfig& radio) {
+    core::PdsConfig pds;
+    pds.max_rounds = 1;
+    pds.empty_round_retries = 0;
+    pds.transport.reliability_enabled = false;
+    wl::GridSetup setup;
+    setup.nx = setup.ny = 9;
+    setup.radio = radio;
+    setup.pds = pds;
+    wl::Grid grid = wl::make_grid(setup, 17);
+    Rng rng(3);
+    auto entries =
+        wl::make_sample_descriptors(4000, wl::SampleSpace{}, rng);
+    auto nodes = grid.scenario->nodes();
+    wl::distribute_metadata(nodes, entries, 1, rng, {grid.center});
+    double recall = 0.0;
+    grid.center_node().discover(
+        core::Filter{}, [&](const core::DiscoverySession::Result& r) {
+          recall = static_cast<double>(r.distinct_received) / 4000.0;
+        });
+    grid.scenario->run_until(SimTime::seconds(60));
+    return recall;
+  };
+  const double contended = run_profile(sim::contended_radio_profile());
+  const double clean = run_profile(sim::clean_radio_profile());
+  EXPECT_LT(contended, clean - 0.1);
+  EXPECT_GT(clean, 0.85);
+}
+
+TEST(RadioProfiles, CleanProfilePinsInterferenceToDecodeRange) {
+  const sim::RadioConfig clean = sim::clean_radio_profile();
+  EXPECT_DOUBLE_EQ(clean.interference_range_m, clean.range_m);
+  const sim::RadioConfig contended = sim::contended_radio_profile();
+  EXPECT_LE(contended.interference_range_m, 0.0);  // default: 1.5 × range
+}
+
+// -- Subscriptions under churn -----------------------------------------------------
+
+TEST(SubscriptionSweep, StreamsSurviveStudentCenterChurn) {
+  wl::MobilitySetup setup;
+  setup.mobility = sim::student_center_params();
+  setup.mobility.duration = SimTime::minutes(10);
+  setup.pds.subscription_refresh = SimTime::seconds(3.0);
+  wl::MobileWorld world = wl::make_mobile_world(setup, 31);
+  wl::Scenario& sc = *world.scenario;
+
+  const NodeId subscriber = world.consumers.front();
+  // Publisher: a pinned... producers churn, so publish from the subscriber's
+  // world: pick an initially present non-consumer node; if it leaves, its
+  // later publications simply never exist (we count only published ones).
+  NodeId producer = world.initially_present.front();
+  if (producer == subscriber) producer = world.initially_present.back();
+
+  std::size_t published = 0;
+  std::size_t received = 0;
+  sc.node(subscriber)
+      .subscribe(core::Filter{}, SimTime::minutes(9),
+                 [&](const core::DataDescriptor&) { ++received; });
+  for (int i = 0; i < 20; ++i) {
+    sc.sim().schedule(SimTime::seconds(10.0 + 20.0 * i), [&, i] {
+      if (!sc.medium().is_enabled(producer)) return;  // walked away
+      core::DataDescriptor d;
+      d.set("tick", std::int64_t{i});
+      sc.node(producer).publish_metadata(d);
+      ++published;
+    });
+  }
+  sc.run_until(SimTime::minutes(10));
+  ASSERT_GT(published, 0u);
+  // Most published ticks reach the subscriber despite joins/leaves/moves.
+  EXPECT_GE(static_cast<double>(received) / static_cast<double>(published),
+            0.7);
+}
+
+}  // namespace
+}  // namespace pds

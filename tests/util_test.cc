@@ -1,0 +1,353 @@
+// Unit and property tests for src/util: Bloom filter, leaky bucket, dedup
+// cache, GAP assignment, statistics and table printing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "util/bloom_filter.h"
+#include "util/dedup_cache.h"
+#include "util/gap_assign.h"
+#include "util/leaky_bucket.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace pds::util {
+namespace {
+
+// -- BloomFilter --------------------------------------------------------------
+
+TEST(BloomFilter, EmptyFilterContainsNothing) {
+  BloomFilter f;
+  EXPECT_TRUE(f.empty_filter());
+  EXPECT_FALSE(f.maybe_contains(42));
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f = BloomFilter::with_capacity(1000, 0.01, /*seed=*/7);
+  Rng rng(1);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.next_u64());
+  for (std::uint64_t k : keys) f.insert(k);
+  for (std::uint64_t k : keys) {
+    EXPECT_TRUE(f.maybe_contains(k)) << "false negative for " << k;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  const double target = 0.01;
+  BloomFilter f = BloomFilter::with_capacity(5000, target, 11);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) f.insert(rng.next_u64());
+  int fp = 0;
+  const int probes = 50000;
+  for (int i = 0; i < probes; ++i) {
+    if (f.maybe_contains(rng.next_u64())) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, target * 3.0);
+}
+
+TEST(BloomFilter, DifferentSeedsGiveDifferentFalsePositives) {
+  // Paper §V.3: per-round hash families make persistent false positives
+  // vanish across rounds. An element that is a false positive under one
+  // seed should usually not be under another.
+  Rng rng(3);
+  std::vector<std::uint64_t> members;
+  for (int i = 0; i < 2000; ++i) members.push_back(rng.next_u64());
+
+  BloomFilter f1 = BloomFilter::with_capacity(2000, 0.05, 100);
+  BloomFilter f2 = BloomFilter::with_capacity(2000, 0.05, 200);
+  for (std::uint64_t k : members) {
+    f1.insert(k);
+    f2.insert(k);
+  }
+  int both = 0;
+  int either = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t probe = rng.next_u64();
+    const bool a = f1.maybe_contains(probe);
+    const bool b = f2.maybe_contains(probe);
+    if (a || b) ++either;
+    if (a && b) ++both;
+  }
+  // Persisting across two independent families should be roughly the
+  // square of the single-family rate, i.e., far rarer.
+  EXPECT_LT(both * 10, either);
+}
+
+TEST(BloomFilter, EncodeDecodeRoundTrip) {
+  BloomFilter f = BloomFilter::with_capacity(100, 0.01, 5);
+  for (std::uint64_t k = 0; k < 100; ++k) f.insert(k * 977);
+
+  std::vector<std::byte> bytes;
+  f.encode(bytes);
+  const BloomFilter g = BloomFilter::decode(bytes);
+  EXPECT_EQ(g.bit_count(), f.bit_count());
+  EXPECT_EQ(g.hash_count(), f.hash_count());
+  EXPECT_EQ(g.seed(), f.seed());
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(g.maybe_contains(k * 977));
+  }
+}
+
+TEST(BloomFilter, EmptyEncodeDecode) {
+  BloomFilter f;
+  std::vector<std::byte> bytes;
+  f.encode(bytes);
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_TRUE(BloomFilter::decode(bytes).empty_filter());
+}
+
+TEST(BloomFilter, WireSizeScalesWithCapacity) {
+  const BloomFilter small = BloomFilter::with_capacity(100, 0.01, 1);
+  const BloomFilter big = BloomFilter::with_capacity(10000, 0.01, 1);
+  EXPECT_LT(small.wire_size(), big.wire_size());
+  // ~9.6 bits/element at 1% fpp.
+  EXPECT_NEAR(static_cast<double>(big.wire_size()), 10000 * 9.6 / 8, 2000);
+}
+
+TEST(BloomFilter, FillRatioGrowsWithInsertions) {
+  BloomFilter f = BloomFilter::with_capacity(1000, 0.01, 9);
+  EXPECT_DOUBLE_EQ(f.fill_ratio(), 0.0);
+  for (std::uint64_t k = 0; k < 500; ++k) f.insert(k);
+  const double half = f.fill_ratio();
+  for (std::uint64_t k = 500; k < 1000; ++k) f.insert(k);
+  EXPECT_GT(f.fill_ratio(), half);
+  // At design capacity the fill ratio should be near 50%.
+  EXPECT_NEAR(f.fill_ratio(), 0.5, 0.05);
+}
+
+// -- LeakyBucket ----------------------------------------------------------------
+
+TEST(LeakyBucket, DisabledPassesThrough) {
+  LeakyBucket b;
+  EXPECT_FALSE(b.enabled());
+  EXPECT_EQ(b.offer(SimTime::seconds(5.0), 100000), SimTime::seconds(5.0));
+}
+
+TEST(LeakyBucket, BurstWithinCapacityReleasesImmediately) {
+  LeakyBucket b(10000, 8e6);  // 10 KB capacity, 1 MB/s
+  const SimTime t0 = SimTime::zero();
+  EXPECT_EQ(b.offer(t0, 5000), t0);
+  EXPECT_EQ(b.offer(t0, 5000), t0);  // exactly drains the bucket
+}
+
+TEST(LeakyBucket, ExcessIsPacedAtLeakRate) {
+  LeakyBucket b(1000, 8e6);  // 1 KB capacity, 1 MB/s
+  const SimTime t0 = SimTime::zero();
+  EXPECT_EQ(b.offer(t0, 1000), t0);  // consumes the full burst
+  // The next kilobyte must wait 1 ms for tokens.
+  const SimTime r = b.offer(t0, 1000);
+  EXPECT_NEAR(r.as_seconds(), 0.001, 1e-5);
+}
+
+TEST(LeakyBucket, FifoOrderPreserved) {
+  LeakyBucket b(1000, 8e6);
+  const SimTime t0 = SimTime::zero();
+  SimTime prev = b.offer(t0, 800);
+  for (int i = 0; i < 20; ++i) {
+    const SimTime next = b.offer(t0, 800);
+    EXPECT_GE(next, prev);
+    prev = next;
+  }
+}
+
+TEST(LeakyBucket, TokensRefillDuringIdle) {
+  LeakyBucket b(1000, 8e6);
+  (void)b.offer(SimTime::zero(), 1000);
+  // After 10 ms idle the bucket is full again (capacity 1 KB refills in
+  // 1 ms); a burst releases immediately.
+  const SimTime later = SimTime::millis(10);
+  EXPECT_EQ(b.offer(later, 1000), later);
+}
+
+TEST(LeakyBucket, SustainedRateMatchesLeakRate) {
+  LeakyBucket b(300'000, 4.5e6);  // prototype parameters
+  SimTime last = SimTime::zero();
+  const std::size_t message = 1500;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) last = b.offer(SimTime::zero(), message);
+  // 4.5 MB total at 4.5 Mb/s minus the initial 300 KB burst.
+  const double expected = (n * message - 300'000) * 8.0 / 4.5e6;
+  EXPECT_NEAR(last.as_seconds(), expected, 0.05);
+}
+
+TEST(LeakyBucket, MessageLargerThanCapacityStillPaces) {
+  LeakyBucket b(1000, 8e6);
+  const SimTime r = b.offer(SimTime::zero(), 9000);  // 9 KB through 1 KB bucket
+  EXPECT_NEAR(r.as_seconds(), 0.008, 1e-4);          // (9000-1000)*8/8e6
+}
+
+// -- DedupCache ---------------------------------------------------------------
+
+TEST(DedupCache, DetectsDuplicates) {
+  DedupCache<std::uint64_t> cache(10);
+  EXPECT_TRUE(cache.insert(1));
+  EXPECT_FALSE(cache.insert(1));
+  EXPECT_TRUE(cache.insert(2));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(DedupCache, EvictsOldestBeyondCapacity) {
+  DedupCache<std::uint64_t> cache(3);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(cache.insert(i));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(4));
+  // An evicted id is accepted again (no longer a known duplicate).
+  EXPECT_TRUE(cache.insert(0));
+}
+
+// -- GAP assignment ------------------------------------------------------------
+
+GapInstance make_instance(std::size_t neighbors,
+                          std::vector<std::vector<std::size_t>> eligible) {
+  GapInstance inst;
+  inst.neighbor_count = neighbors;
+  for (auto& e : eligible) {
+    inst.hop.emplace_back(e.size(), 1);
+    inst.eligible.push_back(std::move(e));
+  }
+  return inst;
+}
+
+TEST(GapAssign, SingleEligibleNeighborIsForced) {
+  const GapInstance inst = make_instance(2, {{0}, {0}, {1}});
+  const GapAssignment a = solve_min_max_heuristic(inst);
+  EXPECT_EQ(a.assignment, (std::vector<std::size_t>{0, 0, 1}));
+  EXPECT_EQ(a.max_load, 2u);
+}
+
+TEST(GapAssign, HeuristicBalancesLoad) {
+  // 4 chunks all eligible on both neighbors: perfect split is 2/2; naive
+  // sends all 4 to neighbor 0.
+  const GapInstance inst = make_instance(2, {{0, 1}, {0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(solve_naive(inst).max_load, 4u);
+  EXPECT_EQ(solve_min_max_heuristic(inst).max_load, 2u);
+}
+
+TEST(GapAssign, ExactMatchesBruteForceOnSmallInstances) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto neighbors =
+        static_cast<std::size_t>(rng.uniform_int(1, 4));
+    const auto chunks = static_cast<std::size_t>(rng.uniform_int(1, 7));
+    GapInstance inst;
+    inst.neighbor_count = neighbors;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      std::vector<std::size_t> e;
+      for (std::size_t n = 0; n < neighbors; ++n) {
+        if (rng.bernoulli(0.5)) e.push_back(n);
+      }
+      if (e.empty()) {
+        e.push_back(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(neighbors) - 1)));
+      }
+      inst.hop.emplace_back(e.size(), static_cast<int>(rng.uniform_int(1, 4)));
+      inst.eligible.push_back(std::move(e));
+    }
+    const GapAssignment exact = solve_exact(inst);
+    const GapAssignment heur = solve_min_max_heuristic(inst);
+    // The heuristic respects eligibility…
+    for (std::size_t c = 0; c < chunks; ++c) {
+      EXPECT_NE(std::find(inst.eligible[c].begin(), inst.eligible[c].end(),
+                          heur.assignment[c]),
+                inst.eligible[c].end());
+    }
+    // …and is never better than the optimum, nor worse than 2× + 1 (it is
+    // usually optimal; the bound guards against regressions).
+    EXPECT_GE(heur.max_load, exact.max_load);
+    EXPECT_LE(heur.max_load, exact.max_load * 2 + 1);
+  }
+}
+
+TEST(GapAssign, HeuristicIsOptimalOnFullyFlexibleInstances) {
+  // When every chunk can go anywhere, min-max load is ceil(C/N); the
+  // move-based heuristic should always find it.
+  for (std::size_t n : {2u, 3u, 5u}) {
+    for (std::size_t c : {1u, 4u, 9u, 10u}) {
+      GapInstance inst;
+      inst.neighbor_count = n;
+      for (std::size_t i = 0; i < c; ++i) {
+        std::vector<std::size_t> all(n);
+        for (std::size_t k = 0; k < n; ++k) all[k] = k;
+        inst.hop.emplace_back(n, 1);
+        inst.eligible.push_back(std::move(all));
+      }
+      const GapAssignment a = solve_min_max_heuristic(inst);
+      EXPECT_EQ(a.max_load, (c + n - 1) / n) << "n=" << n << " c=" << c;
+    }
+  }
+}
+
+TEST(GapAssign, EmptyInstance) {
+  GapInstance inst;
+  inst.neighbor_count = 3;
+  const GapAssignment a = solve_min_max_heuristic(inst);
+  EXPECT_TRUE(a.assignment.empty());
+  EXPECT_EQ(a.max_load, 0u);
+}
+
+// -- Stats -----------------------------------------------------------------
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571, 0.01);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.median(), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(s.percentile(100), 100.0, 0.01);
+  EXPECT_NEAR(s.percentile(95), 95.05, 0.1);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+// -- Table -----------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.50"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(1234.5, 1), "1234.5");
+}
+
+}  // namespace
+}  // namespace pds::util

@@ -1,0 +1,170 @@
+// Workload generator and scenario-builder tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace pds::wl {
+namespace {
+
+TEST(Generator, SampleDescriptorsAreDistinctAndWellFormed) {
+  Rng rng(1);
+  const SampleSpace space;
+  const auto entries = make_sample_descriptors(500, space, rng);
+  ASSERT_EQ(entries.size(), 500u);
+  std::unordered_set<std::uint64_t> keys;
+  for (const auto& d : entries) {
+    keys.insert(d.entry_key());
+    EXPECT_EQ(d.namespace_name(), space.namespace_name);
+    EXPECT_EQ(d.data_type(), space.data_type);
+    ASSERT_NE(d.find("x"), nullptr);
+    ASSERT_NE(d.find(core::kAttrTime), nullptr);
+  }
+  EXPECT_EQ(keys.size(), 500u);
+}
+
+TEST(Generator, SampleItemsCarryDeterministicContent) {
+  Rng rng(2);
+  const auto items = make_sample_items(20, 128, SampleSpace{}, rng);
+  for (const auto& item : items) {
+    EXPECT_EQ(item.size_bytes, 128u);
+    EXPECT_EQ(item.content_hash, pds::mix64(item.descriptor.entry_key()));
+  }
+}
+
+TEST(Generator, ChunkedItemShape) {
+  const auto item = make_chunked_item("clip", 20u * 1024 * 1024, 256 * 1024);
+  EXPECT_EQ(chunk_count(item), 80u);
+  EXPECT_EQ(item.data_type(), "video");
+  // Non-divisible size rounds the chunk count up and truncates the tail.
+  const auto odd = make_chunked_item("odd", 1000, 300);
+  EXPECT_EQ(chunk_count(odd), 4u);
+  EXPECT_EQ(make_chunk(odd, 3, 1000, 300).size_bytes, 100u);
+  EXPECT_EQ(make_chunk(odd, 0, 1000, 300).size_bytes, 300u);
+}
+
+TEST(Generator, ChunkHashesDifferPerChunkAndItem) {
+  const auto a = make_chunked_item("a", 1024, 256);
+  const auto b = make_chunked_item("b", 1024, 256);
+  EXPECT_NE(chunk_content_hash(a.item_id(), 0),
+            chunk_content_hash(a.item_id(), 1));
+  EXPECT_NE(chunk_content_hash(a.item_id(), 0),
+            chunk_content_hash(b.item_id(), 0));
+}
+
+TEST(Generator, DistributeMetadataHonorsRedundancyAndExclusion) {
+  Scenario sc(1, sim::clean_radio_profile());
+  core::PdsConfig pds;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    sc.add_node(NodeId(i), {static_cast<double>(i), 0}, pds);
+  }
+  Rng rng(3);
+  const auto entries = make_sample_descriptors(40, SampleSpace{}, rng);
+  auto nodes = sc.nodes();
+  distribute_metadata(nodes, entries, /*redundancy=*/3, rng, {NodeId(0)});
+
+  std::map<std::uint64_t, int> copies;
+  for (core::PdsNode* n : nodes) {
+    for (const auto& d :
+         n->store().match_metadata(core::Filter{}, SimTime::zero())) {
+      ++copies[d.entry_key()];
+    }
+  }
+  EXPECT_EQ(copies.size(), 40u);
+  for (const auto& [key, count] : copies) EXPECT_EQ(count, 3);
+  // Excluded node holds nothing.
+  EXPECT_EQ(sc.node(NodeId(0)).store().metadata_count(SimTime::zero()), 0u);
+}
+
+TEST(Generator, DistributeChunksPlacesDistinctHolders) {
+  Scenario sc(2, sim::clean_radio_profile());
+  core::PdsConfig pds;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    sc.add_node(NodeId(i), {static_cast<double>(i), 0}, pds);
+  }
+  Rng rng(4);
+  const auto item = make_chunked_item("x", 4 * 256 * 1024, 256 * 1024);
+  auto nodes = sc.nodes();
+  distribute_chunks(nodes, item, 4 * 256 * 1024, 256 * 1024, 2, rng);
+
+  for (ChunkIndex c = 0; c < 4; ++c) {
+    int holders = 0;
+    for (core::PdsNode* n : nodes) {
+      if (n->store().has_chunk(item.item_id(), c)) ++holders;
+    }
+    EXPECT_EQ(holders, 2) << "chunk " << c;
+  }
+}
+
+TEST(Scenario, GridHasEightNeighborConnectivity) {
+  GridSetup setup;
+  setup.nx = 5;
+  setup.ny = 5;
+  Grid grid = make_grid(setup, 1);
+  // Center node has exactly 8 neighbors; corner has 3.
+  EXPECT_EQ(grid.scenario->medium().neighbors(grid.center).size(), 8u);
+  EXPECT_EQ(grid.scenario->medium().neighbors(grid.ids.front()).size(), 3u);
+}
+
+TEST(Scenario, CenterSubgridSelectsMiddleNodes) {
+  GridSetup setup;
+  setup.nx = 10;
+  setup.ny = 10;
+  Grid grid = make_grid(setup, 1);
+  const auto sub = center_subgrid(grid, 5, 5);
+  EXPECT_EQ(sub.size(), 25u);
+  // The paper's center consumer belongs to the center subgrid.
+  EXPECT_NE(std::find(sub.begin(), sub.end(), grid.center), sub.end());
+}
+
+TEST(Scenario, MobileWorldPinsConsumersAndInstallsChurn) {
+  MobilitySetup setup;
+  setup.mobility = sim::student_center_params();
+  setup.mobility.duration = SimTime::minutes(5);
+  setup.pinned_consumers = 2;
+  MobileWorld world = make_mobile_world(setup, 7);
+  EXPECT_EQ(world.consumers.size(), 2u);
+  EXPECT_EQ(world.initially_present.size(), setup.mobility.population);
+  for (NodeId c : world.consumers) {
+    EXPECT_TRUE(world.scenario->medium().is_enabled(c));
+  }
+  // Churn events fire as the simulation runs: at least one node toggles.
+  world.scenario->run_until(SimTime::minutes(5));
+  std::size_t enabled = 0;
+  for (NodeId id : world.pool) {
+    if (world.scenario->medium().is_enabled(id)) ++enabled;
+  }
+  // Population stays near 20 (join/leave rates are balanced).
+  EXPECT_NEAR(static_cast<double>(enabled),
+              static_cast<double>(setup.mobility.population), 8.0);
+  for (NodeId c : world.consumers) {
+    EXPECT_TRUE(world.scenario->medium().is_enabled(c));
+  }
+}
+
+TEST(Scenario, OverheadCountsBytesOnAir) {
+  Scenario sc(3, sim::clean_radio_profile());
+  core::PdsConfig pds;
+  sc.add_node(NodeId(0), {0, 0}, pds);
+  sc.add_node(NodeId(1), {10, 0}, pds);
+  sc.node(NodeId(1)).publish_metadata([] {
+    core::DataDescriptor d;
+    d.set("k", std::int64_t{1});
+    return d;
+  }());
+  EXPECT_DOUBLE_EQ(sc.overhead_mb(), 0.0);
+  sc.node(NodeId(0)).discover(core::Filter{},
+                              [](const core::DiscoverySession::Result&) {});
+  sc.run_until(SimTime::seconds(30));
+  EXPECT_GT(sc.overhead_mb(), 0.0);
+  sc.reset_overhead();
+  EXPECT_DOUBLE_EQ(sc.overhead_mb(), 0.0);
+}
+
+}  // namespace
+}  // namespace pds::wl

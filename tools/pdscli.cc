@@ -1,0 +1,227 @@
+// pdscli — command-line experiment driver.
+//
+// Runs any of the repo's standard experiment harnesses with parameters from
+// flags and prints the paper's metrics (recall / latency / message
+// overhead). Examples:
+//
+//   pdscli --experiment=pdd --grid=10 --entries=5000 --runs=5
+//   pdscli --experiment=pdr --item-mb=20 --redundancy=3
+//   pdscli --experiment=mdr --item-mb=10
+//   pdscli --experiment=pdd-mobility --scenario=student_center --mobility=2
+//   pdscli --experiment=pdr-mobility --item-mb=20
+//   pdscli --experiment=singlehop --mode=leaky_ack --senders=3
+//
+// Every run is deterministic for a given --seed; --runs averages seeds
+// seed, seed+1, ...
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "util/stats.h"
+#include "workload/experiment.h"
+
+namespace pds {
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : it->second;
+  }
+  [[nodiscard]] long num(const std::string& key, long dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : std::atol(it->second.c_str());
+  }
+  [[nodiscard]] double real(const std::string& key, double dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : std::atof(it->second.c_str());
+  }
+};
+
+Flags parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values[arg] = "1";
+    } else {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: pdscli --experiment=<pdd|pdr|mdr|pdd-mobility|pdr-mobility|"
+      "singlehop> [options]\n"
+      "  common:       --seed=N --runs=N\n"
+      "  pdd:          --grid=N --entries=N --redundancy=N --consumers=N\n"
+      "                --sequential --single-round --no-ack\n"
+      "  pdr/mdr:      --grid=N --item-mb=N --redundancy=N --consumers=N\n"
+      "                --sequential --contended\n"
+      "  *-mobility:   --scenario=<student_center|classroom> --mobility=X\n"
+      "                --entries=N / --item-mb=N --minutes=N\n"
+      "  singlehop:    --mode=<raw|leaky|leaky_ack> --senders=N "
+      "--messages=N\n");
+  return 2;
+}
+
+sim::MobilityParams scenario_params(const std::string& name) {
+  return name == "classroom" ? sim::classroom_params()
+                             : sim::student_center_params();
+}
+
+int run_pdd(const Flags& flags) {
+  util::SampleSet recall, latency, overhead;
+  const long runs = flags.num("runs", 1);
+  for (long r = 0; r < runs; ++r) {
+    wl::PddGridParams p;
+    p.nx = p.ny = static_cast<std::size_t>(flags.num("grid", 10));
+    p.metadata_count = static_cast<std::size_t>(flags.num("entries", 5000));
+    p.redundancy = static_cast<int>(flags.num("redundancy", 1));
+    p.consumers = static_cast<std::size_t>(flags.num("consumers", 1));
+    p.sequential = flags.num("sequential", 0) != 0;
+    p.multi_round = flags.num("single-round", 0) == 0;
+    p.ack = flags.num("no-ack", 0) == 0;
+    p.seed = static_cast<std::uint64_t>(flags.num("seed", 1) + r);
+    const wl::PddOutcome out = wl::run_pdd_grid(p);
+    recall.add(out.recall);
+    latency.add(out.latency_s);
+    overhead.add(out.overhead_mb);
+  }
+  std::printf("pdd: recall=%.3f latency=%.2fs overhead=%.2fMB (%ld run%s)\n",
+              recall.mean(), latency.mean(), overhead.mean(), runs,
+              runs == 1 ? "" : "s");
+  return 0;
+}
+
+int run_retrieval(const Flags& flags, wl::RetrievalMethod method) {
+  util::SampleSet recall, latency, overhead;
+  const long runs = flags.num("runs", 1);
+  bool all_complete = true;
+  for (long r = 0; r < runs; ++r) {
+    wl::RetrievalGridParams p;
+    p.nx = p.ny = static_cast<std::size_t>(flags.num("grid", 10));
+    p.item_size_bytes =
+        static_cast<std::size_t>(flags.num("item-mb", 20)) * 1024 * 1024;
+    p.redundancy = static_cast<int>(flags.num("redundancy", 1));
+    p.consumers = static_cast<std::size_t>(flags.num("consumers", 1));
+    p.sequential = flags.num("sequential", 0) != 0;
+    p.contended_medium = flags.num("contended", 0) != 0;
+    p.method = method;
+    p.seed = static_cast<std::uint64_t>(flags.num("seed", 1) + r);
+    const wl::RetrievalOutcome out = wl::run_retrieval_grid(p);
+    recall.add(out.recall);
+    latency.add(out.latency_s);
+    overhead.add(out.overhead_mb);
+    all_complete = all_complete && out.all_complete;
+  }
+  std::printf(
+      "%s: recall=%.3f latency=%.1fs overhead=%.1fMB%s (%ld run%s)\n",
+      method == wl::RetrievalMethod::kPdr ? "pdr" : "mdr", recall.mean(),
+      latency.mean(), overhead.mean(), all_complete ? "" : " [incomplete]",
+      runs, runs == 1 ? "" : "s");
+  return 0;
+}
+
+int run_pdd_mobility(const Flags& flags) {
+  util::SampleSet recall, latency, overhead;
+  const long runs = flags.num("runs", 1);
+  for (long r = 0; r < runs; ++r) {
+    wl::PddMobilityParams p;
+    p.mobility = scenario_params(flags.get("scenario", "student_center"));
+    p.mobility.frequency_multiplier = flags.real("mobility", 1.0);
+    p.mobility.duration = SimTime::minutes(flags.real("minutes", 5.0));
+    p.range_m = flags.get("scenario", "student_center") == "classroom"
+                    ? 15.0
+                    : 40.0;
+    p.metadata_count = static_cast<std::size_t>(flags.num("entries", 5000));
+    p.seed = static_cast<std::uint64_t>(flags.num("seed", 1) + r);
+    const wl::PddOutcome out = wl::run_pdd_mobility(p);
+    recall.add(out.recall);
+    latency.add(out.latency_s);
+    overhead.add(out.overhead_mb);
+  }
+  std::printf(
+      "pdd-mobility: recall=%.3f latency=%.2fs overhead=%.2fMB (%ld run%s)\n",
+      recall.mean(), latency.mean(), overhead.mean(), runs,
+      runs == 1 ? "" : "s");
+  return 0;
+}
+
+int run_pdr_mobility(const Flags& flags) {
+  util::SampleSet recall, latency, overhead;
+  const long runs = flags.num("runs", 1);
+  for (long r = 0; r < runs; ++r) {
+    wl::RetrievalMobilityParams p;
+    p.mobility = scenario_params(flags.get("scenario", "student_center"));
+    p.mobility.frequency_multiplier = flags.real("mobility", 1.0);
+    p.mobility.duration = SimTime::minutes(flags.real("minutes", 20.0));
+    p.item_size_bytes =
+        static_cast<std::size_t>(flags.num("item-mb", 20)) * 1024 * 1024;
+    p.redundancy = static_cast<int>(flags.num("redundancy", 2));
+    p.seed = static_cast<std::uint64_t>(flags.num("seed", 1) + r);
+    const wl::RetrievalOutcome out = wl::run_retrieval_mobility(p);
+    recall.add(out.recall);
+    latency.add(out.latency_s);
+    overhead.add(out.overhead_mb);
+  }
+  std::printf(
+      "pdr-mobility: recall=%.3f latency=%.1fs overhead=%.1fMB (%ld run%s)\n",
+      recall.mean(), latency.mean(), overhead.mean(), runs,
+      runs == 1 ? "" : "s");
+  return 0;
+}
+
+int run_singlehop(const Flags& flags) {
+  util::SampleSet reception, rate;
+  const long runs = flags.num("runs", 1);
+  for (long r = 0; r < runs; ++r) {
+    wl::SingleHopParams p;
+    const std::string mode = flags.get("mode", "leaky_ack");
+    p.mode = mode == "raw"     ? wl::TransportMode::kRawUdp
+             : mode == "leaky" ? wl::TransportMode::kLeakyBucket
+                               : wl::TransportMode::kLeakyBucketAck;
+    p.senders = static_cast<std::size_t>(flags.num("senders", 2));
+    p.messages_per_sender =
+        static_cast<std::size_t>(flags.num("messages", 10000));
+    p.seed = static_cast<std::uint64_t>(flags.num("seed", 1) + r);
+    const wl::SingleHopOutcome out = wl::run_single_hop(p);
+    reception.add(out.reception);
+    rate.add(out.data_rate_mbps);
+  }
+  std::printf("singlehop: reception=%.3f data_rate=%.2fMb/s (%ld run%s)\n",
+              reception.mean(), rate.mean(), runs, runs == 1 ? "" : "s");
+  return 0;
+}
+
+int run_main(int argc, char** argv) {
+  const Flags flags = parse(argc, argv);
+  const std::string experiment = flags.get("experiment", "");
+  if (experiment == "pdd") return run_pdd(flags);
+  if (experiment == "pdr") {
+    return run_retrieval(flags, wl::RetrievalMethod::kPdr);
+  }
+  if (experiment == "mdr") {
+    return run_retrieval(flags, wl::RetrievalMethod::kMdr);
+  }
+  if (experiment == "pdd-mobility") return run_pdd_mobility(flags);
+  if (experiment == "pdr-mobility") return run_pdr_mobility(flags);
+  if (experiment == "singlehop") return run_singlehop(flags);
+  return usage();
+}
+
+}  // namespace
+}  // namespace pds
+
+int main(int argc, char** argv) { return pds::run_main(argc, argv); }
