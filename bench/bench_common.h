@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "parallel_runs.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -29,12 +30,16 @@ struct Series {
   util::SampleSet overhead_mb;
 };
 
-// Runs `body(seed)` for `n` seeds and accumulates.
+// Runs `body(seed)` for `n` seeds — in parallel across PDS_BENCH_JOBS worker
+// threads (each seed gets its own Simulator) — and accumulates in seed order,
+// so the merged Series is bit-identical to the old serial loop.
 template <typename Body>
 Series average(int n, Body&& body) {
   Series s;
-  for (int i = 0; i < n; ++i) {
-    const auto [recall, latency, overhead] = body(static_cast<std::uint64_t>(i + 1));
+  const auto outcomes = run_indexed(n, [&body](int i) {
+    return body(static_cast<std::uint64_t>(i + 1));
+  });
+  for (const auto& [recall, latency, overhead] : outcomes) {
     s.recall.add(recall);
     s.latency_s.add(latency);
     s.overhead_mb.add(overhead);
@@ -47,8 +52,9 @@ inline void print_header(const std::string& experiment,
                          int runs_used = 0) {
   std::printf("== %s ==\n", experiment.c_str());
   std::printf("paper reports: %s\n", paper_summary.c_str());
-  std::printf("runs per point: %d (PDS_BENCH_RUNS to change)\n\n",
+  std::printf("runs per point: %d (PDS_BENCH_RUNS to change)\n",
               runs_used > 0 ? runs_used : runs());
+  std::printf("worker threads: %d (PDS_BENCH_JOBS to change)\n\n", jobs());
 }
 
 }  // namespace pds::bench

@@ -36,13 +36,15 @@ int run() {
     for (const std::size_t senders : {1u, 2u, 3u, 4u}) {
       util::SampleSet reception;
       util::SampleSet rate;
-      for (int r = 0; r < bench::runs(); ++r) {
+      const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
         wl::SingleHopParams p;
         p.mode = mode;
         p.senders = senders;
         p.messages_per_sender = 20000 / senders;
         p.seed = static_cast<std::uint64_t>(r + 1);
-        const wl::SingleHopOutcome out = wl::run_single_hop(p);
+        return wl::run_single_hop(p);
+      });
+      for (const wl::SingleHopOutcome& out : outs) {
         reception.add(out.reception);
         rate.add(out.data_rate_mbps);
       }

@@ -37,9 +37,10 @@ int run() {
       util::SampleSet latency;
       util::SampleSet overhead;
       util::SampleSet rounds;
-      for (int r = 0; r < bench::runs(); ++r) {
-        const wl::PddOutcome out =
-            run_with(window, td, 0.0, static_cast<std::uint64_t>(r + 1));
+      const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
+        return run_with(window, td, 0.0, static_cast<std::uint64_t>(r + 1));
+      });
+      for (const wl::PddOutcome& out : outs) {
         recall.add(out.recall);
         latency.add(out.latency_s);
         overhead.add(out.overhead_mb);
@@ -61,9 +62,10 @@ int run() {
     util::SampleSet recall;
     util::SampleSet latency;
     util::SampleSet overhead;
-    for (int r = 0; r < bench::runs(); ++r) {
-      const wl::PddOutcome out =
-          run_with(1.0, 0.0, tr, static_cast<std::uint64_t>(r + 1));
+    const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
+      return run_with(1.0, 0.0, tr, static_cast<std::uint64_t>(r + 1));
+    });
+    for (const wl::PddOutcome& out : outs) {
       recall.add(out.recall);
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);

@@ -23,11 +23,13 @@ int run() {
     util::SampleSet latency;
     util::SampleSet overhead;
     util::SampleSet rounds;
-    for (int r = 0; r < bench::runs(); ++r) {
+    const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
       wl::PddGridParams p;
       p.metadata_count = entries;
       p.seed = static_cast<std::uint64_t>(r + 1);
-      const wl::PddOutcome out = wl::run_pdd_grid(p);
+      return wl::run_pdd_grid(p);
+    });
+    for (const wl::PddOutcome& out : outs) {
       recall.add(out.recall);
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);

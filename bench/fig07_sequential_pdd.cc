@@ -20,13 +20,15 @@ int run() {
   std::vector<util::SampleSet> recall(consumers);
   std::vector<util::SampleSet> latency(consumers);
   util::SampleSet overhead;
-  for (int r = 0; r < bench::runs(); ++r) {
+  const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
     wl::PddGridParams p;
     p.metadata_count = 5000;
     p.consumers = consumers;
     p.sequential = true;
     p.seed = static_cast<std::uint64_t>(r + 1);
-    const wl::PddOutcome out = wl::run_pdd_grid(p);
+    return wl::run_pdd_grid(p);
+  });
+  for (const wl::PddOutcome& out : outs) {
     for (std::size_t i = 0;
          i < consumers && i < out.per_consumer_recall.size(); ++i) {
       recall[i].add(out.per_consumer_recall[i]);

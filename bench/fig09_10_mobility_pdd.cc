@@ -19,7 +19,7 @@ void sweep(const char* name, const sim::MobilityParams& base, double range_m) {
     util::SampleSet recall;
     util::SampleSet latency;
     util::SampleSet overhead;
-    for (int r = 0; r < bench::runs(3); ++r) {
+    const auto outs = bench::run_indexed(bench::runs(3), [&](int r) {
       wl::PddMobilityParams p;
       p.mobility = base;
       p.mobility.frequency_multiplier = mult;
@@ -27,7 +27,9 @@ void sweep(const char* name, const sim::MobilityParams& base, double range_m) {
       p.range_m = range_m;
       p.metadata_count = 5000;
       p.seed = static_cast<std::uint64_t>(r + 1);
-      const wl::PddOutcome out = wl::run_pdd_mobility(p);
+      return wl::run_pdd_mobility(p);
+    });
+    for (const wl::PddOutcome& out : outs) {
       recall.add(out.recall);
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);

@@ -22,11 +22,13 @@ int run() {
     util::SampleSet recall;
     util::SampleSet latency;
     util::SampleSet overhead;
-    for (int r = 0; r < bench::runs(); ++r) {
+    const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
       wl::RetrievalGridParams p;
       p.item_size_bytes = mib * 1024 * 1024;
       p.seed = static_cast<std::uint64_t>(r + 1);
-      const wl::RetrievalOutcome out = wl::run_retrieval_grid(p);
+      return wl::run_retrieval_grid(p);
+    });
+    for (const wl::RetrievalOutcome& out : outs) {
       recall.add(out.recall);
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);

@@ -19,7 +19,7 @@ int run() {
     util::SampleSet recall;
     util::SampleSet latency;
     util::SampleSet overhead;
-    for (int r = 0; r < bench::runs(); ++r) {
+    const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
       wl::RetrievalMobilityParams p;
       p.mobility = sim::student_center_params();
       p.mobility.frequency_multiplier = mult;
@@ -27,7 +27,9 @@ int run() {
       p.item_size_bytes = 20u * 1024 * 1024;
       p.redundancy = 2;  // a sole copy may walk away mid-transfer
       p.seed = static_cast<std::uint64_t>(r + 1);
-      const wl::RetrievalOutcome out = wl::run_retrieval_mobility(p);
+      return wl::run_retrieval_mobility(p);
+    });
+    for (const wl::RetrievalOutcome& out : outs) {
       recall.add(out.recall);
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);

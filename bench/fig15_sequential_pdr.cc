@@ -21,14 +21,16 @@ int run() {
   std::vector<util::SampleSet> recall(consumers);
   std::vector<util::SampleSet> latency(consumers);
   util::SampleSet overhead;
-  for (int r = 0; r < n_runs; ++r) {
+  const auto outs = bench::run_indexed(n_runs, [&](int r) {
     wl::RetrievalGridParams p;
     p.item_size_bytes = 20u * 1024 * 1024;
     p.consumers = consumers;
     p.sequential = true;
     p.horizon = SimTime::seconds(1800);
     p.seed = static_cast<std::uint64_t>(r + 1);
-    const wl::RetrievalOutcome out = wl::run_retrieval_grid(p);
+    return wl::run_retrieval_grid(p);
+  });
+  for (const wl::RetrievalOutcome& out : outs) {
     for (std::size_t i = 0;
          i < consumers && i < out.per_consumer_recall.size(); ++i) {
       recall[i].add(out.per_consumer_recall[i]);

@@ -22,14 +22,16 @@ int run() {
     util::SampleSet recall;
     util::SampleSet latency;
     util::SampleSet overhead;
-    for (int r = 0; r < n_runs; ++r) {
+    const auto outs = bench::run_indexed(n_runs, [&](int r) {
       wl::RetrievalGridParams p;
       p.item_size_bytes = 20u * 1024 * 1024;
       p.consumers = consumers;
       p.sequential = false;
       p.horizon = SimTime::seconds(1800);
       p.seed = static_cast<std::uint64_t>(r + 1);
-      const wl::RetrievalOutcome out = wl::run_retrieval_grid(p);
+      return wl::run_retrieval_grid(p);
+    });
+    for (const wl::RetrievalOutcome& out : outs) {
       recall.add(out.recall);
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);

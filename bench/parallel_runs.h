@@ -1,0 +1,70 @@
+// Thread-pool helper that fans independent seeded runs out over worker
+// threads.
+//
+// Every experiment run builds its own Simulator (own event queue, own RNG
+// tree), so runs share no mutable state and are embarrassingly parallel; the
+// only ordering requirement is that results are *merged* in seed order so a
+// parallel sweep is bit-identical to the serial loop it replaces.
+//
+// Worker count comes from PDS_BENCH_JOBS, defaulting to the hardware
+// concurrency. PDS_BENCH_JOBS=1 degrades to a plain serial loop on the
+// calling thread.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pds::bench {
+
+// Worker threads used for multi-seed sweeps.
+inline int jobs() {
+  if (const char* env = std::getenv("PDS_BENCH_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+// Runs `body(i)` for i in [0, n) across jobs() worker threads and returns
+// the results indexed by i — the same vector a serial loop would produce,
+// regardless of completion order. The first exception thrown by any body is
+// rethrown on the calling thread after all workers finish.
+template <typename Body>
+auto run_indexed(int n, Body&& body) -> std::vector<decltype(body(0))> {
+  using Result = decltype(body(0));
+  std::vector<Result> results(static_cast<std::size_t>(n > 0 ? n : 0));
+  if (n <= 0) return results;
+  const int workers = std::min(jobs(), n);
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) results[static_cast<std::size_t>(i)] = body(i);
+    return results;
+  }
+  std::atomic<int> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        try {
+          results[static_cast<std::size_t>(i)] = body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace pds::bench

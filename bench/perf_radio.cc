@@ -1,0 +1,245 @@
+// Radio-medium scaling benchmark: spatial-grid path vs brute-force O(N)
+// scans on contended-profile grids of 50/100/200 nodes.
+//
+// Each scenario saturates the medium (every node offers a train of frames,
+// with periodic mobility updates to exercise incremental grid maintenance),
+// runs once with RadioConfig::use_spatial_grid = false and once with it
+// true on the same seed, verifies the two MediumStats are bit-identical,
+// and reports wall-clock plus simulator events/sec. A multi-seed leg runs
+// the 100-node scenario across seeds through bench::run_indexed to show
+// PDS_BENCH_JOBS scaling. Results land in BENCH_sim_perf.json (current
+// working directory) so perf is tracked across PRs.
+//
+// Exit status: nonzero when grid and brute-force stats diverge, or when the
+// 200-node (largest run) speedup falls below PDS_PERF_MIN_SPEEDUP (default
+// 0 = report only; CI smoke sets a floor so regressions fail loudly).
+//
+// Flags / env:
+//   --smoke              small frame counts, 50/100-node scenarios only
+//   PDS_PERF_MIN_SPEEDUP minimum acceptable grid speedup on the largest run
+//   PDS_BENCH_JOBS       worker threads for the multi-seed leg
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "parallel_runs.h"
+#include "sim/radio.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+namespace pds {
+namespace {
+
+struct CountingSink : sim::FrameSink {
+  std::uint64_t received = 0;
+  void on_frame(const sim::Frame&) override { ++received; }
+};
+
+struct RunResult {
+  sim::MediumStats stats;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+};
+
+// Saturated broadcast traffic on a √N×√N grid: every node offers
+// `frames_per_node` 1.2 KB frames in a paced train, and one node per grid
+// row drifts across its cell every 100 ms (mobility keeps the spatial index
+// on the update path, not just the query path).
+RunResult run_scenario(std::size_t nodes, int frames_per_node, bool use_grid,
+                       std::uint64_t seed) {
+  sim::Simulator simulator(seed);
+  sim::RadioConfig cfg = sim::contended_radio_profile();
+  cfg.use_spatial_grid = use_grid;
+  sim::RadioMedium medium(simulator, cfg);
+
+  const auto side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(nodes))));
+  const double spacing = 14.0;  // < range (15 m): 4-connected multi-hop grid
+  std::vector<CountingSink> sinks(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const sim::Vec2 pos{static_cast<double>(i % side) * spacing,
+                        static_cast<double>(i / side) * spacing};
+    medium.add_node(NodeId(static_cast<std::uint32_t>(i)), sinks[i], pos);
+  }
+
+  // Bursty frame trains, staggered per node so offers interleave. Bursts
+  // keep the driver's own event count (and hence heap depth) small relative
+  // to the radio's work, so the measurement is dominated by the medium.
+  const std::size_t frame_bytes = 1200;
+  const int burst = 15;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const NodeId id(static_cast<std::uint32_t>(i));
+    for (int k = 0; k < frames_per_node; k += burst) {
+      const int count = std::min(burst, frames_per_node - k);
+      const SimTime at = SimTime::millis(75) * static_cast<double>(k / burst) +
+                         SimTime::micros(static_cast<std::int64_t>(i) * 7);
+      simulator.schedule_at(at, [&medium, id, frame_bytes, count] {
+        for (int f = 0; f < count; ++f) {
+          medium.send(id, sim::Frame{.sender = id, .size_bytes = frame_bytes});
+        }
+      });
+    }
+  }
+  // One walker per row: a deterministic drift that crosses cell boundaries.
+  for (std::size_t row = 0; row < side && row * side < nodes; ++row) {
+    const NodeId id(static_cast<std::uint32_t>(row * side));
+    const double y = static_cast<double>(row) * spacing;
+    for (int step = 1; step <= 20; ++step) {
+      const double x = static_cast<double>(step % 10) * spacing / 2.0;
+      simulator.schedule_at(SimTime::millis(100) * static_cast<double>(step),
+                            [&medium, id, x, y] {
+                              medium.set_position(id, sim::Vec2{x, y});
+                            });
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  simulator.run(SimTime::seconds(30.0));
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.stats = medium.stats();
+  r.events = simulator.events_executed();
+  r.wall_s = std::chrono::duration<double>(stop - start).count();
+  return r;
+}
+
+struct ScenarioReport {
+  std::size_t nodes = 0;
+  int frames_per_node = 0;
+  RunResult brute;
+  RunResult grid;
+  bool stats_identical = false;
+  double speedup = 0.0;
+};
+
+double env_double(const char* name, double dflt) {
+  if (const char* env = std::getenv(name)) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return dflt;
+}
+
+int run(bool smoke) {
+  std::printf("== perf_radio — spatial-grid radio medium vs brute force ==\n");
+  std::printf("mode: %s\n\n", smoke ? "smoke" : "full");
+
+  const std::vector<std::size_t> node_counts =
+      smoke ? std::vector<std::size_t>{50, 100}
+            : std::vector<std::size_t>{50, 100, 200};
+  const int frames_per_node = smoke ? 40 : 250;
+
+  util::Table table({"nodes", "frames", "brute (s)", "grid (s)", "speedup",
+                     "grid events/s", "identical stats"});
+  std::vector<ScenarioReport> reports;
+  for (const std::size_t nodes : node_counts) {
+    ScenarioReport rep;
+    rep.nodes = nodes;
+    rep.frames_per_node = frames_per_node;
+    rep.brute = run_scenario(nodes, frames_per_node, /*use_grid=*/false, 1);
+    rep.grid = run_scenario(nodes, frames_per_node, /*use_grid=*/true, 1);
+    rep.stats_identical = rep.brute.stats == rep.grid.stats;
+    rep.speedup = rep.grid.wall_s > 0.0 ? rep.brute.wall_s / rep.grid.wall_s
+                                        : 0.0;
+    table.add_row({std::to_string(nodes), std::to_string(frames_per_node),
+                   util::Table::num(rep.brute.wall_s, 3),
+                   util::Table::num(rep.grid.wall_s, 3),
+                   util::Table::num(rep.speedup, 2),
+                   util::Table::num(static_cast<double>(rep.grid.events) /
+                                        rep.grid.wall_s,
+                                    0),
+                   rep.stats_identical ? "yes" : "NO"});
+    reports.push_back(rep);
+  }
+  table.print();
+
+  // Multi-seed leg: same 100-node grid scenario across seeds, fanned out by
+  // bench::run_indexed; wall-clock shrinks as PDS_BENCH_JOBS grows.
+  const int n_seeds = smoke ? 2 : 4;
+  const auto multi_start = std::chrono::steady_clock::now();
+  const auto seeds = bench::run_indexed(n_seeds, [&](int i) {
+    return run_scenario(100, frames_per_node, /*use_grid=*/true,
+                        static_cast<std::uint64_t>(i + 1));
+  });
+  const auto multi_stop = std::chrono::steady_clock::now();
+  const double multi_wall =
+      std::chrono::duration<double>(multi_stop - multi_start).count();
+  double multi_serial = 0.0;
+  for (const RunResult& r : seeds) multi_serial += r.wall_s;
+  std::printf(
+      "\nmulti-seed (100 nodes x %d seeds): %.3f s wall with %d jobs "
+      "(%.3f s of single-thread work)\n",
+      n_seeds, multi_wall, bench::jobs(), multi_serial);
+
+  std::FILE* json = std::fopen("BENCH_sim_perf.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"benchmark\": \"sim_perf\",\n");
+    std::fprintf(json, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(json, "  \"profile\": \"contended\",\n");
+    std::fprintf(json, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const ScenarioReport& r = reports[i];
+      std::fprintf(
+          json,
+          "    {\"nodes\": %zu, \"frames_per_node\": %d,\n"
+          "     \"brute\": {\"wall_s\": %.6f, \"events\": %llu, "
+          "\"events_per_s\": %.0f},\n"
+          "     \"grid\": {\"wall_s\": %.6f, \"events\": %llu, "
+          "\"events_per_s\": %.0f},\n"
+          "     \"speedup\": %.3f, \"stats_identical\": %s}%s\n",
+          r.nodes, r.frames_per_node, r.brute.wall_s,
+          static_cast<unsigned long long>(r.brute.events),
+          static_cast<double>(r.brute.events) / r.brute.wall_s, r.grid.wall_s,
+          static_cast<unsigned long long>(r.grid.events),
+          static_cast<double>(r.grid.events) / r.grid.wall_s, r.speedup,
+          r.stats_identical ? "true" : "false",
+          i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"multi_seed\": {\"nodes\": 100, \"seeds\": %d, "
+                 "\"jobs\": %d, \"wall_s\": %.6f, \"serial_work_s\": %.6f}\n",
+                 n_seeds, bench::jobs(), multi_wall, multi_serial);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_sim_perf.json\n");
+  }
+
+  int rc = 0;
+  for (const ScenarioReport& r : reports) {
+    if (!r.stats_identical) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-node stats diverge between grid and brute "
+                   "force paths\n",
+                   r.nodes);
+      rc = 1;
+    }
+  }
+  const double min_speedup = env_double("PDS_PERF_MIN_SPEEDUP", 0.0);
+  if (min_speedup > 0.0 && !reports.empty()) {
+    const ScenarioReport& largest = reports.back();
+    if (largest.speedup < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-node speedup %.2fx below required %.2fx\n",
+                   largest.nodes, largest.speedup, min_speedup);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace pds
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return pds::run(smoke);
+}

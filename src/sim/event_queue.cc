@@ -1,25 +1,42 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace pds::sim {
 
+namespace {
+// Simulations schedule thousands of events before draining; pre-sizing the
+// heap and the live-id set keeps the hottest structure in the simulator out
+// of the allocator during warm-up.
+constexpr std::size_t kInitialCapacity = 1024;
+}  // namespace
+
+EventQueue::EventQueue() {
+  heap_.reserve(kInitialCapacity);
+  live_.reserve(kInitialCapacity);
+}
+
 EventQueue::EventId EventQueue::push(SimTime at, Action action) {
   const EventId id = next_seq_;
-  heap_.push(Entry{.at = at, .seq = next_seq_, .id = id});
+  heap_.push_back(
+      Entry{.at = at, .seq = next_seq_, .id = id, .action = std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++next_seq_;
-  actions_.emplace(id, std::move(action));
+  live_.insert(id);
   ++live_count_;
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (actions_.erase(id) > 0) --live_count_;
+  if (live_.erase(id) > 0) --live_count_;
 }
 
 void EventQueue::skip_dead() {
-  while (!heap_.empty() && !actions_.contains(heap_.top().id)) {
-    heap_.pop();
+  while (!heap_.empty() && !live_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
@@ -27,20 +44,21 @@ SimTime EventQueue::next_time() const {
   auto* self = const_cast<EventQueue*>(this);
   self->skip_dead();
   PDS_ENSURE(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  skip_dead();
-  PDS_ENSURE(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = actions_.find(top.id);
-  PDS_ENSURE(it != actions_.end());
-  Popped out{.at = top.at, .action = std::move(it->second)};
-  actions_.erase(it);
-  --live_count_;
-  return out;
+  // One hash probe per entry: the erase() below both detects cancelled
+  // entries (skipping them) and retires live ones.
+  while (true) {
+    PDS_ENSURE(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry top = std::move(heap_.back());
+    heap_.pop_back();
+    if (live_.erase(top.id) == 0) continue;  // cancelled
+    --live_count_;
+    return Popped{.at = top.at, .action = std::move(top.action)};
+  }
 }
 
 }  // namespace pds::sim

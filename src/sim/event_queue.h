@@ -6,8 +6,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -20,6 +19,8 @@ class EventQueue {
 
   // Token that allows cancelling a scheduled event.
   using EventId = std::uint64_t;
+
+  EventQueue();
 
   EventId push(SimTime at, Action action);
   void cancel(EventId id);
@@ -40,6 +41,7 @@ class EventQueue {
     SimTime at;
     std::uint64_t seq;
     EventId id;
+    Action action;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -48,9 +50,14 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // id -> action; erased on cancel. Entries whose id is gone are skipped.
-  std::unordered_map<EventId, Action> actions_;
+  // Manual binary heap (std::push_heap/pop_heap) over a pre-reserved vector.
+  // Actions live inside the heap entries; `live_` tracks which ids are still
+  // scheduled, so the hot path costs one hash-set insert on push and one
+  // erase on pop — no id->action map churn. A cancelled entry's closure is
+  // only released when its entry surfaces at the top (cancels are rare:
+  // protocol timers fire far more often than they are torn down).
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> live_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
 

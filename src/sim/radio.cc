@@ -1,6 +1,7 @@
 #include "sim/radio.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.h"
 
@@ -24,35 +25,110 @@ RadioMedium::RadioMedium(Simulator& sim, RadioConfig cfg)
       cfg_.interference_range_m < cfg_.range_m) {
     cfg_.interference_range_m = cfg_.range_m;
   }
+  // Cell size = interference range: delivery fan-out (the most frequent
+  // radius query) always resolves to a 3×3 cell scan; the wider
+  // carrier-sense radius never touches the grid (see transmitting_).
+  cell_size_m_ = interference_range();
+  PDS_ENSURE(cell_size_m_ > 0.0);
+}
+
+RadioMedium::Index RadioMedium::index_of(NodeId id) const {
+  auto it = index_of_.find(id);
+  PDS_ENSURE(it != index_of_.end());
+  return it->second;
+}
+
+std::uint64_t RadioMedium::cell_key(Vec2 pos) const {
+  const auto cx = static_cast<std::int32_t>(std::floor(pos.x / cell_size_m_));
+  const auto cy = static_cast<std::int32_t>(std::floor(pos.y / cell_size_m_));
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+void RadioMedium::grid_insert(Index idx, std::uint64_t key) {
+  grid_[key].push_back(idx);
+}
+
+void RadioMedium::grid_remove(Index idx, std::uint64_t key) {
+  auto it = grid_.find(key);
+  PDS_ENSURE(it != grid_.end());
+  auto& cell = it->second;
+  auto pos = std::find(cell.begin(), cell.end(), idx);
+  PDS_ENSURE(pos != cell.end());
+  // Swap-erase: within-cell order is irrelevant, candidates_near re-sorts.
+  *pos = cell.back();
+  cell.pop_back();
+  if (cell.empty()) grid_.erase(it);
+}
+
+const std::vector<RadioMedium::Index>& RadioMedium::candidates_near(
+    Index self, Vec2 pos, double radius) const {
+  scratch_.clear();
+  if (!cfg_.use_spatial_grid) {
+    // Brute-force reference: the historical implementation walked the
+    // registration list and resolved each node through the id hash map
+    // (`state_of(other)`); reproduce that lookup so this path stays a
+    // faithful perf baseline for the pre-grid code, not just a correctness
+    // oracle.
+    for (const NodeState& st : states_) {
+      const Index i = index_of_.find(st.id)->second;
+      if (i != self) scratch_.push_back(i);
+    }
+    return scratch_;  // ascending == registration order already
+  }
+  const auto cx = static_cast<std::int32_t>(std::floor(pos.x / cell_size_m_));
+  const auto cy = static_cast<std::int32_t>(std::floor(pos.y / cell_size_m_));
+  const auto reach =
+      static_cast<std::int32_t>(std::ceil(radius / cell_size_m_));
+  for (std::int32_t dx = -reach; dx <= reach; ++dx) {
+    for (std::int32_t dy = -reach; dy <= reach; ++dy) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx + dx))
+           << 32) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy + dy));
+      auto it = grid_.find(key);
+      if (it == grid_.end()) continue;
+      for (Index i : it->second) {
+        if (i != self) scratch_.push_back(i);
+      }
+    }
+  }
+  // Registration order keeps grid and brute-force scans byte-for-byte
+  // equivalent: same reception scheduling order, same RNG draw order.
+  std::sort(scratch_.begin(), scratch_.end());
+  return scratch_;
 }
 
 void RadioMedium::add_node(NodeId id, FrameSink& sink, Vec2 pos,
                            bool enabled) {
-  PDS_ENSURE(!nodes_.contains(id));
+  const auto idx = static_cast<Index>(states_.size());
+  const bool inserted = index_of_.try_emplace(id, idx).second;
+  PDS_ENSURE(inserted);
   NodeState state;
+  state.id = id;
   state.sink = &sink;
   state.pos = pos;
+  state.cell = cell_key(pos);
   state.enabled = enabled;
-  nodes_.emplace(id, std::move(state));
-  node_order_.push_back(id);
+  states_.push_back(std::move(state));
+  grid_insert(idx, states_.back().cell);
 }
 
-RadioMedium::NodeState& RadioMedium::state_of(NodeId id) {
-  auto it = nodes_.find(id);
-  PDS_ENSURE(it != nodes_.end());
-  return it->second;
+void RadioMedium::set_position(NodeId id, Vec2 pos) {
+  const Index idx = index_of(id);
+  NodeState& st = states_[idx];
+  st.pos = pos;
+  const std::uint64_t key = cell_key(pos);
+  if (key != st.cell) {
+    grid_remove(idx, st.cell);
+    grid_insert(idx, key);
+    st.cell = key;
+  }
 }
-
-const RadioMedium::NodeState& RadioMedium::state_of(NodeId id) const {
-  auto it = nodes_.find(id);
-  PDS_ENSURE(it != nodes_.end());
-  return it->second;
-}
-
-void RadioMedium::set_position(NodeId id, Vec2 pos) { state_of(id).pos = pos; }
 
 void RadioMedium::set_enabled(NodeId id, bool enabled) {
-  NodeState& st = state_of(id);
+  const Index idx = index_of(id);
+  NodeState& st = states_[idx];
   if (st.enabled == enabled) return;
   st.enabled = enabled;
   if (!enabled) {
@@ -63,7 +139,7 @@ void RadioMedium::set_enabled(NodeId id, bool enabled) {
     st.os_bytes = 0;
     st.receptions.clear();
   } else if (!st.os_queue.empty()) {
-    maybe_schedule_attempt(id, SimTime::zero());
+    maybe_schedule_attempt(idx, SimTime::zero());
   }
 }
 
@@ -71,13 +147,10 @@ bool RadioMedium::is_enabled(NodeId id) const { return state_of(id).enabled; }
 
 Vec2 RadioMedium::position(NodeId id) const { return state_of(id).pos; }
 
-bool RadioMedium::in_range(const NodeState& a, const NodeState& b) const {
-  return distance(a.pos, b.pos) <= cfg_.range_m;
-}
-
 bool RadioMedium::send(NodeId sender, Frame frame) {
   ++stats_.frames_offered;
-  NodeState& st = state_of(sender);
+  const Index idx = index_of(sender);
+  NodeState& st = states_[idx];
   if (!st.enabled) return false;
   if (st.os_bytes + frame.size_bytes > cfg_.os_buffer_bytes) {
     ++stats_.os_buffer_drops;
@@ -89,17 +162,20 @@ bool RadioMedium::send(NodeId sender, Frame frame) {
   } else {
     st.os_queue.push_back(std::move(frame));
   }
-  maybe_schedule_attempt(sender, SimTime::zero());
+  maybe_schedule_attempt(idx, SimTime::zero());
   return true;
 }
 
 std::vector<NodeId> RadioMedium::neighbors(NodeId id) const {
-  const NodeState& self = state_of(id);
   std::vector<NodeId> out;
-  for (NodeId other : node_order_) {
-    if (other == id) continue;
-    const NodeState& st = state_of(other);
-    if (st.enabled && self.enabled && in_range(self, st)) out.push_back(other);
+  const Index idx = index_of(id);
+  const NodeState& self = states_[idx];
+  if (!self.enabled) return out;
+  for (Index i : candidates_near(idx, self.pos, cfg_.range_m)) {
+    const NodeState& st = states_[i];
+    if (st.enabled && distance(self.pos, st.pos) <= cfg_.range_m) {
+      out.push_back(st.id);
+    }
   }
   return out;
 }
@@ -121,28 +197,47 @@ double RadioMedium::energy_joules(NodeId id, SimTime elapsed) const {
 
 double RadioMedium::total_energy_joules(SimTime elapsed) const {
   double sum = 0.0;
-  for (NodeId id : node_order_) sum += energy_joules(id, elapsed);
+  for (const NodeState& st : states_) sum += energy_joules(st.id, elapsed);
   return sum;
 }
 
-bool RadioMedium::medium_busy_around(NodeId id) const {
-  const NodeState& self = state_of(id);
+bool RadioMedium::medium_busy_around(Index idx) const {
+  const NodeState& self = states_[idx];
   const double cs = carrier_sense_range();
-  for (NodeId other : node_order_) {
-    if (other == id) continue;
-    const NodeState& st = state_of(other);
+  if (cfg_.use_spatial_grid) {
+    for (Index other : transmitting_) {
+      if (other == idx) continue;
+      if (distance(self.pos, states_[other].pos) <= cs) return true;
+    }
+    return false;
+  }
+  // Brute-force reference: full registration-order scan with the historical
+  // per-node hash lookup (see candidates_near).
+  for (Index other = 0; other < states_.size(); ++other) {
+    if (other == idx) continue;
+    const NodeState& st = states_[index_of_.find(states_[other].id)->second];
     if (st.transmitting && distance(self.pos, st.pos) <= cs) return true;
   }
   return false;
 }
 
-SimTime RadioMedium::busy_end_around(NodeId id) const {
-  const NodeState& self = state_of(id);
+SimTime RadioMedium::busy_end_around(Index idx) const {
+  const NodeState& self = states_[idx];
   const double cs = carrier_sense_range();
   SimTime latest = sim_.now();
-  for (NodeId other : node_order_) {
-    if (other == id) continue;
-    const NodeState& st = state_of(other);
+  if (cfg_.use_spatial_grid) {
+    for (Index other : transmitting_) {
+      if (other == idx) continue;
+      const NodeState& st = states_[other];
+      if (distance(self.pos, st.pos) <= cs) latest = std::max(latest, st.tx_end);
+    }
+    return latest;
+  }
+  // Brute-force reference: full registration-order scan with the historical
+  // per-node hash lookup (see candidates_near).
+  for (Index other = 0; other < states_.size(); ++other) {
+    if (other == idx) continue;
+    const NodeState& st = states_[index_of_.find(states_[other].id)->second];
     if (st.transmitting && distance(self.pos, st.pos) <= cs) {
       latest = std::max(latest, st.tx_end);
     }
@@ -166,34 +261,34 @@ SimTime RadioMedium::access_delay(const NodeState& st) {
   return cfg_.difs + random_backoff();
 }
 
-void RadioMedium::maybe_schedule_attempt(NodeId id, SimTime extra_delay) {
-  NodeState& st = state_of(id);
+void RadioMedium::maybe_schedule_attempt(Index idx, SimTime extra_delay) {
+  NodeState& st = states_[idx];
   if (st.attempt_scheduled || st.transmitting || st.os_queue.empty() ||
       !st.enabled) {
     return;
   }
   st.attempt_scheduled = true;
   sim_.schedule(extra_delay + access_delay(st),
-                [this, id] { attempt_transmission(id); });
+                [this, idx] { attempt_transmission(idx); });
 }
 
-void RadioMedium::attempt_transmission(NodeId id) {
-  NodeState& st = state_of(id);
+void RadioMedium::attempt_transmission(Index idx) {
+  NodeState& st = states_[idx];
   st.attempt_scheduled = false;
   if (!st.enabled || st.transmitting || st.os_queue.empty()) return;
-  if (medium_busy_around(id)) {
+  if (medium_busy_around(idx)) {
     // Defer: retry after the sensed busy period plus fresh backoff.
-    const SimTime wait = busy_end_around(id) - sim_.now();
+    const SimTime wait = busy_end_around(idx) - sim_.now();
     st.attempt_scheduled = true;
     sim_.schedule(wait + access_delay(st),
-                  [this, id] { attempt_transmission(id); });
+                  [this, idx] { attempt_transmission(idx); });
     return;
   }
-  start_transmission(id);
+  start_transmission(idx);
 }
 
-void RadioMedium::start_transmission(NodeId id) {
-  NodeState& st = state_of(id);
+void RadioMedium::start_transmission(Index idx) {
+  NodeState& st = states_[idx];
   Frame frame = std::move(st.os_queue.front());
   st.os_queue.pop_front();
   PDS_ENSURE(st.os_bytes >= frame.size_bytes);
@@ -203,16 +298,17 @@ void RadioMedium::start_transmission(NodeId id) {
   st.transmitting = true;
   st.tx_end = sim_.now() + airtime;
   st.activity.tx_airtime += airtime;
+  transmitting_.push_back(idx);
 
   ++stats_.frames_transmitted;
   stats_.bytes_transmitted += frame.size_bytes;
-  if (tx_observer_) tx_observer_(id, frame);
+  if (tx_observer_) tx_observer_(st.id, frame);
 
   const std::uint64_t tx_seq = next_tx_seq_++;
 
-  for (NodeId other : node_order_) {
-    if (other == id) continue;
-    NodeState& rx = state_of(other);
+  std::vector<Index> receivers;
+  for (Index ridx : candidates_near(idx, st.pos, interference_range())) {
+    NodeState& rx = states_[ridx];
     if (!rx.enabled) continue;
     const double new_dist = distance(st.pos, rx.pos);
     if (new_dist > interference_range()) continue;
@@ -229,7 +325,6 @@ void RadioMedium::start_transmission(NodeId id) {
     // but strong enough to corrupt — are what make multi-hop floods lossy.
     if (decodable) rx.activity.rx_airtime += airtime;
     Reception incoming{.tx_seq = tx_seq,
-                       .frame = frame,
                        .sender_distance = new_dist,
                        .corrupted = false,
                        .decodable = decodable};
@@ -241,26 +336,44 @@ void RadioMedium::start_transmission(NodeId id) {
         ongoing.corrupted = true;
       }
     }
-    rx.receptions.push_back(std::move(incoming));
-    sim_.schedule_at(st.tx_end,
-                     [this, other, tx_seq] { finish_reception(other, tx_seq); });
+    rx.receptions.push_back(incoming);
+    receivers.push_back(ridx);
   }
 
-  sim_.schedule_at(st.tx_end, [this, id] {
-    NodeState& sender = state_of(id);
-    sender.transmitting = false;
-    maybe_schedule_attempt(id, SimTime::zero());
-  });
+  // One completion event per transmission, iterating receivers in candidate
+  // (registration) order — the same per-receiver sequence the historical
+  // per-receiver events produced, since those carried consecutive sequence
+  // numbers at the identical timestamp.
+  if (!receivers.empty()) {
+    sim_.schedule_at(
+        st.tx_end,
+        [this, recv = std::move(receivers), fr = std::move(frame), tx_seq] {
+          for (Index ridx : recv) finish_reception(ridx, tx_seq, fr);
+        });
+  }
+
+  sim_.schedule_at(st.tx_end, [this, idx] { finish_transmission(idx); });
 }
 
-void RadioMedium::finish_reception(NodeId receiver, std::uint64_t tx_seq) {
-  NodeState& rx = state_of(receiver);
+void RadioMedium::finish_transmission(Index idx) {
+  NodeState& sender = states_[idx];
+  sender.transmitting = false;
+  auto it = std::find(transmitting_.begin(), transmitting_.end(), idx);
+  PDS_ENSURE(it != transmitting_.end());
+  *it = transmitting_.back();
+  transmitting_.pop_back();
+  maybe_schedule_attempt(idx, SimTime::zero());
+}
+
+void RadioMedium::finish_reception(Index ridx, std::uint64_t tx_seq,
+                                   const Frame& frame) {
+  NodeState& rx = states_[ridx];
   auto it = std::find_if(rx.receptions.begin(), rx.receptions.end(),
                          [tx_seq](const Reception& r) {
                            return r.tx_seq == tx_seq;
                          });
   if (it == rx.receptions.end()) return;  // node left mid-frame
-  Reception rec = std::move(*it);
+  const Reception rec = *it;
   rx.receptions.erase(it);
 
   if (!rx.enabled || !rec.decodable) return;
@@ -273,7 +386,7 @@ void RadioMedium::finish_reception(NodeId receiver, std::uint64_t tx_seq) {
     return;
   }
   ++stats_.deliveries;
-  rx.sink->on_frame(rec.frame);
+  rx.sink->on_frame(frame);
 }
 
 }  // namespace pds::sim

@@ -106,6 +106,14 @@ struct RadioConfig {
   // every adjacent-neighbor transfer, matching the per-link loss rates the
   // paper measured and ported into its simulator.
   double capture_ratio = 0.6;
+
+  // When true (default), delivery fan-out, carrier sensing and neighbors()
+  // use the spatial hash grid / active-transmitter index and visit only
+  // nearby nodes. When false, every query scans the whole fleet — the
+  // original O(N) reference path, kept for determinism regression tests and
+  // as the perf baseline. Both paths produce bit-identical results for the
+  // same seed (DESIGN.md §"Spatial index").
+  bool use_spatial_grid = true;
 };
 
 // Calibrated radio environments.
@@ -133,6 +141,8 @@ struct MediumStats {
   std::uint64_t losses_collision = 0;
   std::uint64_t losses_noise = 0;
   std::uint64_t losses_half_duplex = 0;
+
+  friend bool operator==(const MediumStats&, const MediumStats&) = default;
 
   void reset() { *this = MediumStats{}; }
 };
@@ -185,9 +195,16 @@ class RadioMedium {
   [[nodiscard]] const RadioConfig& config() const { return cfg_; }
 
  private:
+  // Dense registration index into `states_`; doubles as the deterministic
+  // iteration order (registration order), matching the historical
+  // `node_order_` scan.
+  using Index = std::uint32_t;
+
+  // In-flight reception bookkeeping at one receiver. The frame itself is
+  // carried once per transmission (in the batched completion event), not
+  // copied per receiver.
   struct Reception {
     std::uint64_t tx_seq = 0;
-    Frame frame;
     double sender_distance = 0.0;
     bool corrupted = false;
     // False for interference-only receptions (transmitter inside the
@@ -197,8 +214,10 @@ class RadioMedium {
   };
 
   struct NodeState {
+    NodeId id;
     FrameSink* sink = nullptr;
     Vec2 pos;
+    std::uint64_t cell = 0;  // spatial-grid cell key currently occupying
     bool enabled = true;
     std::deque<Frame> os_queue;
     std::size_t os_bytes = 0;
@@ -209,9 +228,9 @@ class RadioMedium {
     RadioActivity activity;
   };
 
-  NodeState& state_of(NodeId id);
-  const NodeState& state_of(NodeId id) const;
-  [[nodiscard]] bool in_range(const NodeState& a, const NodeState& b) const;
+  [[nodiscard]] Index index_of(NodeId id) const;
+  NodeState& state_of(NodeId id) { return states_[index_of(id)]; }
+  const NodeState& state_of(NodeId id) const { return states_[index_of(id)]; }
   [[nodiscard]] double carrier_sense_range() const {
     return cfg_.carrier_sense_range_m > 0.0 ? cfg_.carrier_sense_range_m
                                             : 2.0 * cfg_.range_m;
@@ -220,22 +239,43 @@ class RadioMedium {
     return cfg_.interference_range_m > 0.0 ? cfg_.interference_range_m
                                            : 1.5 * cfg_.range_m;
   }
-  [[nodiscard]] bool medium_busy_around(NodeId id) const;
-  [[nodiscard]] SimTime busy_end_around(NodeId id) const;
+
+  // -- Spatial hash grid ------------------------------------------------------
+  [[nodiscard]] std::uint64_t cell_key(Vec2 pos) const;
+  void grid_insert(Index idx, std::uint64_t key);
+  void grid_remove(Index idx, std::uint64_t key);
+  // Indices of all nodes other than `self` whose grid cell intersects the
+  // disk (pos, radius) — a superset of the nodes actually within `radius` —
+  // sorted by registration index so callers iterate in the same order as a
+  // full registration-order scan. Falls back to "everyone but self" when the
+  // grid is disabled. Returns a reusable scratch buffer.
+  const std::vector<Index>& candidates_near(Index self, Vec2 pos,
+                                            double radius) const;
+
+  [[nodiscard]] bool medium_busy_around(Index idx) const;
+  [[nodiscard]] SimTime busy_end_around(Index idx) const;
   [[nodiscard]] SimTime random_backoff();
   [[nodiscard]] SimTime access_delay(const NodeState& st);
 
-  void maybe_schedule_attempt(NodeId id, SimTime extra_delay);
-  void attempt_transmission(NodeId id);
-  void start_transmission(NodeId id);
-  void finish_reception(NodeId receiver, std::uint64_t tx_seq);
+  void maybe_schedule_attempt(Index idx, SimTime extra_delay);
+  void attempt_transmission(Index idx);
+  void start_transmission(Index idx);
+  void finish_reception(Index ridx, std::uint64_t tx_seq, const Frame& frame);
+  void finish_transmission(Index idx);
 
   Simulator& sim_;
   RadioConfig cfg_;
   Rng rng_;
-  std::unordered_map<NodeId, NodeState> nodes_;
-  // Stable iteration order for determinism.
-  std::vector<NodeId> node_order_;
+  double cell_size_m_ = 0.0;
+  std::vector<NodeState> states_;  // dense, in registration order
+  std::unordered_map<NodeId, Index> index_of_;
+  // cell key -> registration indices of nodes currently in that cell
+  // (unsorted; candidates_near sorts its gathered superset).
+  std::unordered_map<std::uint64_t, std::vector<Index>> grid_;
+  // Nodes with a frame on the air right now; carrier sensing only ever asks
+  // about these, so scanning this list replaces the O(N) busy scans.
+  std::vector<Index> transmitting_;
+  mutable std::vector<Index> scratch_;  // candidate buffer, reused per query
   MediumStats stats_;
   TxObserver tx_observer_;
   std::uint64_t next_tx_seq_ = 1;

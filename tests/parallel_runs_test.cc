@@ -1,0 +1,112 @@
+// The parallel multi-seed runner must be a drop-in replacement for the
+// serial seed loop: same results, same order, same merged statistics —
+// regardless of PDS_BENCH_JOBS.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.h"
+#include "parallel_runs.h"
+
+namespace pds::bench {
+namespace {
+
+class JobsEnv : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("PDS_BENCH_JOBS"); }
+};
+
+using ParallelRuns = JobsEnv;
+
+TEST_F(ParallelRuns, JobsHonorsEnvironment) {
+  ::setenv("PDS_BENCH_JOBS", "3", 1);
+  EXPECT_EQ(jobs(), 3);
+  ::setenv("PDS_BENCH_JOBS", "1", 1);
+  EXPECT_EQ(jobs(), 1);
+  ::setenv("PDS_BENCH_JOBS", "garbage", 1);
+  EXPECT_GE(jobs(), 1);  // falls back to hardware concurrency
+  ::unsetenv("PDS_BENCH_JOBS");
+  EXPECT_GE(jobs(), 1);
+}
+
+TEST_F(ParallelRuns, ResultsIndexedInCallOrder) {
+  ::setenv("PDS_BENCH_JOBS", "4", 1);
+  // Skew completion times against index order: later indices finish first.
+  const auto results = run_indexed(8, [](int i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(8 - i));
+    return i * 10;
+  });
+  ASSERT_EQ(results.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST_F(ParallelRuns, HandlesZeroAndSingleRuns) {
+  EXPECT_TRUE(run_indexed(0, [](int) { return 1; }).empty());
+  EXPECT_EQ(run_indexed(1, [](int i) { return i + 41; }),
+            (std::vector<int>{41}));
+}
+
+TEST_F(ParallelRuns, ExceptionsPropagateToCaller) {
+  ::setenv("PDS_BENCH_JOBS", "4", 1);
+  EXPECT_THROW(run_indexed(6,
+                           [](int i) {
+                             if (i == 3) throw std::runtime_error("boom");
+                             return i;
+                           }),
+               std::runtime_error);
+}
+
+// A deterministic stand-in for an experiment: metrics are pure functions of
+// the seed, so the merged Series must match the serial reference exactly.
+std::tuple<double, double, double> fake_outcome(std::uint64_t seed) {
+  const auto s = static_cast<double>(seed);
+  return {1.0 / s, s * 0.25, s * s * 0.125};
+}
+
+Series serial_reference(int n) {
+  Series s;
+  for (int i = 0; i < n; ++i) {
+    const auto [recall, latency, overhead] =
+        fake_outcome(static_cast<std::uint64_t>(i + 1));
+    s.recall.add(recall);
+    s.latency_s.add(latency);
+    s.overhead_mb.add(overhead);
+  }
+  return s;
+}
+
+void expect_same_series(const Series& got, const Series& want) {
+  ASSERT_EQ(got.recall.count(), want.recall.count());
+  // Bit-exact, not approximate: merging in seed order means the same doubles
+  // are accumulated in the same order.
+  EXPECT_EQ(got.recall.mean(), want.recall.mean());
+  EXPECT_EQ(got.latency_s.mean(), want.latency_s.mean());
+  EXPECT_EQ(got.overhead_mb.mean(), want.overhead_mb.mean());
+  EXPECT_EQ(got.recall.percentile(90.0), want.recall.percentile(90.0));
+  EXPECT_EQ(got.latency_s.median(), want.latency_s.median());
+  EXPECT_EQ(got.overhead_mb.percentile(25.0),
+            want.overhead_mb.percentile(25.0));
+}
+
+TEST_F(ParallelRuns, AverageMatchesSerialLoopAcrossJobCounts) {
+  const int n = 9;
+  const Series want = serial_reference(n);
+  for (const char* env_jobs : {"1", "2", "4", "13"}) {
+    ::setenv("PDS_BENCH_JOBS", env_jobs, 1);
+    const Series got = average(n, fake_outcome);
+    expect_same_series(got, want);
+  }
+}
+
+TEST_F(ParallelRuns, AverageWithMoreJobsThanSeeds) {
+  ::setenv("PDS_BENCH_JOBS", "16", 1);
+  expect_same_series(average(2, fake_outcome), serial_reference(2));
+}
+
+}  // namespace
+}  // namespace pds::bench

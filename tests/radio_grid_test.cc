@@ -1,0 +1,206 @@
+// Determinism and correctness of the RadioMedium spatial hash grid.
+//
+// The grid is a pure indexing optimization: with the same seed, a scenario
+// driven through the grid path must produce bit-identical MediumStats and
+// delivery traces to the brute-force full-scan reference
+// (RadioConfig::use_spatial_grid = false), and grid neighbors() must equal
+// brute-force distance filtering under arbitrary mobility.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/radio.h"
+#include "sim/simulator.h"
+
+namespace pds::sim {
+namespace {
+
+// Records every delivered frame with receiver, sender and arrival time.
+struct TraceSink : FrameSink {
+  Simulator* sim = nullptr;
+  NodeId self;
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::size_t,
+                         std::int64_t>>* trace = nullptr;
+
+  void on_frame(const Frame& frame) override {
+    trace->emplace_back(self.value(), frame.sender.value(), frame.size_bytes,
+                        sim->now().as_micros());
+  }
+};
+
+using Trace = std::vector<
+    std::tuple<std::uint32_t, std::uint32_t, std::size_t, std::int64_t>>;
+
+// Drives a contended 6×6 grid with saturating broadcast traffic, mid-run
+// mobility (including cell-crossing moves) and a join/leave, and returns the
+// final stats plus the full delivery trace.
+std::pair<MediumStats, Trace> run_contended(bool use_grid,
+                                            std::uint64_t seed) {
+  Simulator sim(seed);
+  RadioConfig cfg = contended_radio_profile();
+  cfg.use_spatial_grid = use_grid;
+  RadioMedium medium(sim, cfg);
+
+  constexpr std::size_t kSide = 6;
+  constexpr std::size_t kNodes = kSide * kSide;
+  const double spacing = 12.0;
+
+  Trace trace;
+  std::vector<TraceSink> sinks(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    sinks[i].sim = &sim;
+    sinks[i].self = NodeId(static_cast<std::uint32_t>(i));
+    sinks[i].trace = &trace;
+    medium.add_node(sinks[i].self,
+                    sinks[i],
+                    Vec2{static_cast<double>(i % kSide) * spacing,
+                         static_cast<double>(i / kSide) * spacing});
+  }
+
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    const NodeId id(static_cast<std::uint32_t>(i));
+    for (int k = 0; k < 12; ++k) {
+      sim.schedule_at(SimTime::millis(3 * k) +
+                          SimTime::micros(static_cast<std::int64_t>(i) * 11),
+                      [&medium, id] {
+                        medium.send(id,
+                                    Frame{.sender = id, .size_bytes = 900});
+                      });
+    }
+  }
+  // Mobility: node 7 sweeps across several grid cells; node 20 jitters
+  // within its cell; node 13 leaves and rejoins elsewhere.
+  for (int step = 1; step <= 8; ++step) {
+    sim.schedule_at(SimTime::millis(5 * step), [&medium, step] {
+      medium.set_position(NodeId(7),
+                          Vec2{6.0 * static_cast<double>(step), 12.0});
+    });
+    sim.schedule_at(SimTime::millis(5 * step + 2), [&medium, step] {
+      medium.set_position(NodeId(20),
+                          Vec2{24.0 + 0.5 * static_cast<double>(step), 36.0});
+    });
+  }
+  sim.schedule_at(SimTime::millis(11),
+                  [&medium] { medium.set_enabled(NodeId(13), false); });
+  sim.schedule_at(SimTime::millis(29), [&medium] {
+    medium.set_position(NodeId(13), Vec2{60.0, 60.0});
+    medium.set_enabled(NodeId(13), true);
+  });
+
+  sim.run(SimTime::seconds(10.0));
+  return {medium.stats(), trace};
+}
+
+TEST(RadioGrid, GridPathBitIdenticalToBruteForce) {
+  for (const std::uint64_t seed : {1u, 2u, 7u}) {
+    const auto [grid_stats, grid_trace] = run_contended(true, seed);
+    const auto [brute_stats, brute_trace] = run_contended(false, seed);
+    EXPECT_EQ(grid_stats, brute_stats) << "seed " << seed;
+    EXPECT_EQ(grid_trace, brute_trace) << "seed " << seed;
+    EXPECT_GT(grid_stats.deliveries, 0u);
+    EXPECT_GT(grid_stats.losses_collision, 0u)
+        << "scenario should actually be contended";
+  }
+}
+
+TEST(RadioGrid, SameSeedSameStatsAcrossRuns) {
+  const auto [a_stats, a_trace] = run_contended(true, 3);
+  const auto [b_stats, b_trace] = run_contended(true, 3);
+  EXPECT_EQ(a_stats, b_stats);
+  EXPECT_EQ(a_trace, b_trace);
+}
+
+struct NullSink : FrameSink {
+  void on_frame(const Frame&) override {}
+};
+
+// Property: grid neighbors() == brute-force distance filtering, under random
+// placement, random mobility updates and random enable/disable toggles.
+TEST(RadioGrid, NeighborsMatchBruteForceUnderRandomMobility) {
+  Rng rng(99);
+  for (int round = 0; round < 5; ++round) {
+    Simulator sim(static_cast<std::uint64_t>(round + 1));
+    RadioConfig cfg;
+    cfg.range_m = rng.uniform(5.0, 40.0);
+    RadioMedium medium(sim, cfg);
+
+    const std::size_t n = 40;
+    NullSink sink;
+    std::vector<Vec2> pos(n);
+    std::vector<bool> enabled(n, true);
+    for (std::size_t i = 0; i < n; ++i) {
+      pos[i] = Vec2{rng.uniform(-80.0, 80.0), rng.uniform(-80.0, 80.0)};
+      medium.add_node(NodeId(static_cast<std::uint32_t>(i)), sink, pos[i]);
+    }
+
+    for (int update = 0; update < 60; ++update) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (rng.bernoulli(0.15)) {
+        enabled[i] = !enabled[i];
+        medium.set_enabled(NodeId(static_cast<std::uint32_t>(i)), enabled[i]);
+      } else {
+        pos[i] = Vec2{rng.uniform(-80.0, 80.0), rng.uniform(-80.0, 80.0)};
+        medium.set_position(NodeId(static_cast<std::uint32_t>(i)), pos[i]);
+      }
+
+      for (std::size_t q = 0; q < n; ++q) {
+        std::vector<NodeId> expected;
+        if (enabled[q]) {
+          for (std::size_t o = 0; o < n; ++o) {
+            if (o != q && enabled[o] &&
+                distance(pos[q], pos[o]) <= cfg.range_m) {
+              expected.push_back(NodeId(static_cast<std::uint32_t>(o)));
+            }
+          }
+        }
+        EXPECT_EQ(medium.neighbors(NodeId(static_cast<std::uint32_t>(q))),
+                  expected)
+            << "round " << round << " update " << update << " node " << q;
+      }
+    }
+  }
+}
+
+// Positions straddling cell boundaries and negative coordinates must hash to
+// distinct cells without losing anyone.
+TEST(RadioGrid, NegativeAndBoundaryCoordinates) {
+  Simulator sim(1);
+  RadioConfig cfg;
+  cfg.range_m = 10.0;
+  RadioMedium medium(sim, cfg);
+  NullSink sink;
+  medium.add_node(NodeId(0), sink, Vec2{0.0, 0.0});
+  medium.add_node(NodeId(1), sink, Vec2{-0.5, -0.5});
+  medium.add_node(NodeId(2), sink, Vec2{-14.9, 0.0});
+  medium.add_node(NodeId(3), sink, Vec2{15.0, 0.0});
+  medium.add_node(NodeId(4), sink, Vec2{100.0, -100.0});
+
+  EXPECT_EQ(medium.neighbors(NodeId(0)),
+            (std::vector<NodeId>{NodeId(1)}));
+  medium.set_position(NodeId(4), Vec2{-5.0, 5.0});
+  EXPECT_EQ(medium.neighbors(NodeId(0)),
+            (std::vector<NodeId>{NodeId(1), NodeId(4)}));
+  medium.set_position(NodeId(4), Vec2{-300.0, 300.0});
+  EXPECT_EQ(medium.neighbors(NodeId(0)),
+            (std::vector<NodeId>{NodeId(1)}));
+}
+
+TEST(RadioGrid, DisabledQuerierHasNoNeighbors) {
+  Simulator sim(1);
+  RadioMedium medium(sim, RadioConfig{});
+  NullSink sink;
+  medium.add_node(NodeId(0), sink, Vec2{0.0, 0.0});
+  medium.add_node(NodeId(1), sink, Vec2{1.0, 0.0});
+  medium.set_enabled(NodeId(0), false);
+  EXPECT_TRUE(medium.neighbors(NodeId(0)).empty());
+  EXPECT_EQ(medium.neighbors(NodeId(1)), std::vector<NodeId>{});
+  medium.set_enabled(NodeId(0), true);
+  EXPECT_EQ(medium.neighbors(NodeId(1)), std::vector<NodeId>{NodeId(0)});
+}
+
+}  // namespace
+}  // namespace pds::sim

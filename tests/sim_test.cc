@@ -48,6 +48,29 @@ TEST(EventQueue, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
+TEST(EventQueue, CancelAfterFireAndDoubleCancelAreNoOps) {
+  EventQueue q;
+  const auto first = q.push(SimTime::seconds(1.0), [] {});
+  const auto second = q.push(SimTime::seconds(2.0), [] {});
+  q.pop().action();  // fires `first`
+  q.cancel(first);   // already fired: must not disturb accounting
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(second);
+  q.cancel(second);  // double cancel
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockNextTime) {
+  EventQueue q;
+  const auto head = q.push(SimTime::seconds(1.0), [] {});
+  q.push(SimTime::seconds(2.0), [] {});
+  q.cancel(head);
+  EXPECT_EQ(q.next_time(), SimTime::seconds(2.0));
+  EXPECT_EQ(q.pop().at, SimTime::seconds(2.0));
+  EXPECT_TRUE(q.empty());
+}
+
 // -- Simulator ---------------------------------------------------------------
 
 TEST(Simulator, ClockAdvancesWithEvents) {
