@@ -45,6 +45,49 @@ int run() {
   }
   table.print();
   std::printf("\ntotal overhead: %.2f MB\n", overhead.mean());
+
+  // Per-round timelines for the first (deterministic, seed 1) run — the
+  // per-consumer recall curves behind the figure's aggregate numbers.
+  const wl::PddOutcome& first = outs.front();
+  std::printf("\nper-round progress (seed 1):\n");
+  util::Table rounds_table(
+      {"consumer", "round", "end (s)", "new", "total", "recall"});
+  for (std::size_t i = 0; i < first.per_consumer_rounds.size(); ++i) {
+    for (const wl::PddRoundRecord& rec : first.per_consumer_rounds[i]) {
+      rounds_table.add_row(
+          {std::to_string(i + 1), std::to_string(rec.round),
+           util::Table::num(rec.end_s, 2), std::to_string(rec.new_keys),
+           std::to_string(rec.cumulative),
+           util::Table::num(static_cast<double>(rec.cumulative) / 5000.0,
+                            3)});
+    }
+  }
+  rounds_table.print();
+
+  std::FILE* json = std::fopen("BENCH_pdd_rounds.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"benchmark\": \"pdd_rounds\",\n");
+    std::fprintf(json, "  \"seed\": 1,\n  \"entries\": 5000,\n");
+    std::fprintf(json, "  \"consumers\": [\n");
+    for (std::size_t i = 0; i < first.per_consumer_rounds.size(); ++i) {
+      std::fprintf(json, "    {\"consumer\": %zu, \"rounds\": [", i + 1);
+      const auto& rounds = first.per_consumer_rounds[i];
+      for (std::size_t r = 0; r < rounds.size(); ++r) {
+        std::fprintf(json,
+                     "%s\n      {\"round\": %d, \"start_s\": %.6f, "
+                     "\"end_s\": %.6f, \"new\": %zu, \"total\": %zu, "
+                     "\"responses\": %zu}",
+                     r == 0 ? "" : ",", rounds[r].round, rounds[r].start_s,
+                     rounds[r].end_s, rounds[r].new_keys,
+                     rounds[r].cumulative, rounds[r].responses);
+      }
+      std::fprintf(json, "\n    ]}%s\n",
+                   i + 1 < first.per_consumer_rounds.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_pdd_rounds.json\n");
+  }
   return 0;
 }
 

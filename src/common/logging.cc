@@ -5,6 +5,9 @@
 #include <cstring>
 #include <string>
 
+#include "common/sim_clock.h"
+#include "common/types.h"
+
 namespace pds {
 
 namespace {
@@ -44,7 +47,20 @@ LogLevel log_level() {
 }
 
 void log_line(LogLevel level, std::string_view module, std::string_view msg) {
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+  // Prefix sim time and node id when a simulator/node context is live so
+  // protocol traces line up with the structured tracer's timeline.
+  char context[64];
+  context[0] = '\0';
+  if (const SimTime* now = current_sim_clock(); now != nullptr) {
+    const std::uint32_t node = current_log_node();
+    if (node != NodeId::invalid().value()) {
+      std::snprintf(context, sizeof(context), " [t=%.6fs n=%u]",
+                    now->as_seconds(), node);
+    } else {
+      std::snprintf(context, sizeof(context), " [t=%.6fs]", now->as_seconds());
+    }
+  }
+  std::fprintf(stderr, "[%s]%s %.*s: %.*s\n", level_name(level), context,
                static_cast<int>(module.size()), module.data(),
                static_cast<int>(msg.size()), msg.data());
 }

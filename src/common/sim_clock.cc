@@ -1,0 +1,42 @@
+#include "common/sim_clock.h"
+
+#include <array>
+
+#include "common/assert.h"
+
+namespace pds {
+namespace {
+
+// Fixed-depth stack: a thread never nests more than a couple of simulators
+// (tests that build a scratch sim inside a scenario are the deep case).
+constexpr std::size_t kMaxClockDepth = 8;
+
+thread_local std::array<const SimTime*, kMaxClockDepth> g_clock_stack{};
+thread_local std::size_t g_clock_depth = 0;
+thread_local std::uint32_t g_log_node = NodeId::invalid().value();
+
+}  // namespace
+
+void push_sim_clock(const SimTime* now) {
+  PDS_ENSURE(g_clock_depth < kMaxClockDepth);
+  g_clock_stack[g_clock_depth++] = now;
+}
+
+void pop_sim_clock() {
+  PDS_ENSURE(g_clock_depth > 0);
+  --g_clock_depth;
+}
+
+const SimTime* current_sim_clock() {
+  return g_clock_depth == 0 ? nullptr : g_clock_stack[g_clock_depth - 1];
+}
+
+std::uint32_t current_log_node() { return g_log_node; }
+
+ScopedLogNode::ScopedLogNode(NodeId node) : previous_(g_log_node) {
+  g_log_node = node.value();
+}
+
+ScopedLogNode::~ScopedLogNode() { g_log_node = previous_; }
+
+}  // namespace pds

@@ -1,0 +1,44 @@
+// Thread-local simulation clock / node context for log enrichment.
+//
+// A Simulator pushes a pointer to its `now_` on construction and pops it on
+// destruction; PdsNode message handlers wrap dispatch in ScopedLogNode. The
+// logger (logging.cc) consults both so every PDS_LOG line carries
+// `[t=<sim seconds> n=<node>]` without touching the 8 existing call sites.
+//
+// The stack is thread-local: under PDS_BENCH_JOBS>1 each worker thread runs
+// its own Simulator, so contexts never interleave across runs. Nesting (a
+// simulator constructed while another is live on the same thread) restores
+// the outer clock on pop.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace pds {
+
+// Clock registration — `now` must stay valid until the matching pop.
+void push_sim_clock(const SimTime* now);
+void pop_sim_clock();
+
+// Innermost registered clock, or nullptr when no simulator is live.
+[[nodiscard]] const SimTime* current_sim_clock();
+
+// Node attribution for log lines emitted while handling a node's messages.
+// Returns NodeId::invalid().value() when outside any node scope.
+[[nodiscard]] std::uint32_t current_log_node();
+
+class ScopedLogNode {
+ public:
+  explicit ScopedLogNode(NodeId node);
+  ~ScopedLogNode();
+
+  ScopedLogNode(const ScopedLogNode&) = delete;
+  ScopedLogNode& operator=(const ScopedLogNode&) = delete;
+
+ private:
+  std::uint32_t previous_;
+};
+
+}  // namespace pds

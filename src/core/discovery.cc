@@ -6,6 +6,7 @@
 #include "common/assert.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace pds::core {
 
@@ -59,6 +60,9 @@ void DiscoverySession::start_round() {
   PDS_LOG_DEBUG("pdd", "node " << ctx_.self << " discovery round " << rounds_
                                << " (" << arrivals_.size()
                                << " entries so far)");
+  PDS_TRACE_BEGIN(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdd",
+                  "round", {"round", rounds_},
+                  {"arrivals", arrivals_.size()});
   round_start_ = ctx_.now();
   round_new_ = 0;
   round_response_times_.clear();
@@ -136,6 +140,7 @@ void DiscoverySession::check_round() {
   }
 
   // Round finished; decide whether to start another (§III-B.2).
+  close_round();
   if (arrivals_.empty()) {
     // Nothing received at all: the flooded query itself was probably lost.
     // The paper's rule would terminate with recall 0; a real consumer
@@ -158,6 +163,20 @@ void DiscoverySession::check_round() {
   }
 }
 
+void DiscoverySession::close_round() {
+  RoundRecord rec;
+  rec.round = rounds_;
+  rec.start = round_start_;
+  rec.end = ctx_.now();
+  rec.new_keys = round_new_;
+  rec.cumulative = arrivals_.size();
+  rec.responses = round_response_times_.size();
+  round_history_.push_back(rec);
+  PDS_TRACE_END(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdd", "round",
+                {"round", rec.round}, {"new", rec.new_keys},
+                {"total", rec.cumulative}, {"responses", rec.responses});
+}
+
 void DiscoverySession::finish() {
   PDS_ENSURE(!finished_);
   PDS_LOG_DEBUG("pdd", "node " << ctx_.self << " discovery finished: "
@@ -169,6 +188,9 @@ void DiscoverySession::finish() {
                                       : last_new_arrival_ - start_time_;
   result_.rounds = rounds_;
   result_.finished_at = ctx_.now();
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdd",
+                    "session_done", {"rounds", rounds_},
+                    {"total", arrivals_.size()});
   if (done_) done_(result_);
 }
 

@@ -34,6 +34,17 @@ class DiscoverySession {
   };
   using Callback = std::function<void(const Result&)>;
 
+  // Per-round timeline (paper Figs. 5–8 reason about per-round recall
+  // growth). A record closes when the diminishing rule ends the round.
+  struct RoundRecord {
+    int round = 0;
+    SimTime start = SimTime::zero();
+    SimTime end = SimTime::zero();
+    std::size_t new_keys = 0;    // distinct entries first seen this round
+    std::size_t cumulative = 0;  // distinct entries held after the round
+    std::size_t responses = 0;   // response messages heard this round
+  };
+
   // `kind` must be kMetadata or kItem.
   DiscoverySession(NodeContext& ctx, net::ContentKind kind, Filter filter,
                    Callback done);
@@ -60,8 +71,14 @@ class DiscoverySession {
     return entries_;
   }
 
+  // Closed rounds, in order; the live round is not included.
+  [[nodiscard]] const std::vector<RoundRecord>& round_history() const {
+    return round_history_;
+  }
+
  private:
   void start_round();
+  void close_round();
   void on_local_response(const net::Message& response);
   void schedule_check();
   void check_round();
@@ -89,6 +106,7 @@ class DiscoverySession {
   SimTime round_start_ = SimTime::zero();
   std::size_t round_new_ = 0;
   std::vector<SimTime> round_response_times_;
+  std::vector<RoundRecord> round_history_;
 };
 
 }  // namespace pds::core

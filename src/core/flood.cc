@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace pds::core {
 
 void note_duplicate_flood_copy(NodeContext& ctx, QueryId query_id) {
@@ -17,10 +19,16 @@ void maybe_forward_flood(NodeContext& ctx, QueryId query_id,
 
   if (cfg.flood_forward_probability < 1.0 &&
       !ctx.rng.bernoulli(cfg.flood_forward_probability)) {
-    return;  // probabilistic scheme: this node sits the flood out
+    // Probabilistic scheme: this node sits the flood out.
+    PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "flood",
+                      "suppress", {"query", query_id.value()},
+                      {"reason", "probability"});
+    return;
   }
 
   if (cfg.flood_assessment_delay <= SimTime::zero()) {
+    PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "flood",
+                      "forward", {"query", query_id.value()}, {"copies", 0});
     ctx.transport.send(std::move(fwd));
     return;
   }
@@ -32,8 +40,16 @@ void maybe_forward_flood(NodeContext& ctx, QueryId query_id,
     LingeringQuery* lq = ctx.lqt.find(query_id);
     if (lq == nullptr || lq->expired(ctx.now())) return;
     if (lq->duplicate_copies_heard >= ctx.config.flood_copy_threshold) {
-      return;  // neighbors already covered by other copies
+      // Neighbors already covered by other copies.
+      PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "flood",
+                        "suppress", {"query", query_id.value()},
+                        {"reason", "copies"},
+                        {"copies", lq->duplicate_copies_heard});
+      return;
     }
+    PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "flood",
+                      "forward", {"query", query_id.value()},
+                      {"copies", lq->duplicate_copies_heard});
     ctx.transport.send(fwd);
   });
 }

@@ -34,10 +34,17 @@ std::vector<LingeringQuery*> LingeringQueryTable::live_queries(
   return out;
 }
 
-void LingeringQueryTable::sweep(SimTime now) {
+std::size_t LingeringQueryTable::sweep(SimTime now) {
+  std::size_t expired = 0;
   for (auto it = table_.begin(); it != table_.end();) {
-    it = it->second.expired(now) ? table_.erase(it) : std::next(it);
+    if (it->second.expired(now)) {
+      it = table_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
   }
+  return expired;
 }
 
 }  // namespace pds::core

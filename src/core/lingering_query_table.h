@@ -68,7 +68,8 @@ class LingeringQueryTable {
   [[nodiscard]] std::vector<LingeringQuery*> live_queries(
       net::ContentKind kind, SimTime now);
 
-  void sweep(SimTime now);
+  // Erases expired entries; returns how many were dropped (lq.expired trace).
+  std::size_t sweep(SimTime now);
 
   [[nodiscard]] std::size_t size() const { return table_.size(); }
 

@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace pds::core {
 
@@ -96,6 +97,8 @@ void MdrSession::start_round() {
   PDS_LOG_DEBUG("mdr", "node " << ctx_.self << " MDR round " << rounds_
                                << " requesting " << missing_chunks().size()
                                << " chunks");
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "mdr", "round",
+                    {"round", rounds_}, {"missing", missing_chunks().size()});
   round_start_ = ctx_.now();
   round_new_ = 0;
   round_response_times_.clear();

@@ -1,6 +1,8 @@
 #include "core/node.h"
 
 #include "common/assert.h"
+#include "common/sim_clock.h"
+#include "obs/trace.h"
 
 namespace pds::core {
 
@@ -121,6 +123,8 @@ SubscriptionSession& PdsNode::subscribe_items(
 
 void PdsNode::on_message(const net::MessagePtr& msg) {
   PDS_ENSURE(!msg->is_ack());
+  // Attribute any PDS_LOG line emitted while handling to this node.
+  const ScopedLogNode log_node(id_);
   ++messages_handled_;
   maybe_sweep();
   switch (msg->kind) {
@@ -156,7 +160,10 @@ void PdsNode::maybe_sweep() {
   // recurring event (which would keep the event queue from draining).
   if (messages_handled_ % 512 != 0) return;
   const SimTime now = sim_.now();
-  lqt_.sweep(now);
+  if (const std::size_t expired = lqt_.sweep(now); expired > 0) {
+    PDS_TRACE_INSTANT(sim_.tracer(), now, id_, "lq", "expired",
+                      {"count", expired});
+  }
   store_.sweep(now);
   cdi_.sweep(now);
   // Local response handlers live exactly as long as their lingering query;

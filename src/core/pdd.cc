@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "core/flood.h"
+#include "obs/trace.h"
 
 namespace pds::core {
 
@@ -72,9 +73,14 @@ void PddEngine::handle_query(const net::MessagePtr& query) {
   // (counting them for counter-based flood suppression).
   if (ctx_.lqt.contains(query->query_id)) {
     note_duplicate_flood_copy(ctx_, query->query_id);
+    PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "lq",
+                      "query_duplicate", {"query", query->query_id.value()});
     return;
   }
   LingeringQuery& lq = ctx_.lqt.insert(query, now);
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "lq", "query_install",
+                    {"query", query->query_id.value()},
+                    {"upstream", query->sender}, {"ttl", query->ttl});
 
   // {DS Lookup} — answer with matching local entries.
   serve_from_store(lq);
@@ -92,6 +98,8 @@ void PddEngine::handle_query(const net::MessagePtr& query) {
   fwd->receivers.clear();
   if (fwd->ttl > 0) --fwd->ttl;
   if (ctx_.config.enable_bloom_rewriting) fwd->exclude = lq.exclude;
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "lq", "query_forward",
+                    {"query", query->query_id.value()}, {"ttl", fwd->ttl});
   maybe_forward_flood(ctx_, query->query_id, std::move(fwd));
 }
 
@@ -126,6 +134,7 @@ void PddEngine::serve_from_store(LingeringQuery& lq) {
       }
       ctx_.transport.send(std::move(resp));
     }
+    trace_serve(lq, fresh.size());
     return;
   }
 
@@ -159,6 +168,21 @@ void PddEngine::serve_from_store(LingeringQuery& lq) {
                   cfg.enable_bloom_rewriting);
     }
     ctx_.transport.send(std::move(resp));
+  }
+  trace_serve(lq, fresh.size());
+}
+
+void PddEngine::trace_serve(const LingeringQuery& lq, std::size_t entries) {
+  if (entries == 0) return;
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdd", "serve",
+                    {"query", lq.query->query_id.value()},
+                    {"entries", entries});
+  // En-route rewriting: the keys just served were folded into the query's
+  // Bloom filter, so downstream copies stop returning them (§III-B.1).
+  if (ctx_.config.enable_bloom_rewriting && !lq.exclude.empty_filter()) {
+    PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "lq",
+                      "rewrite", {"query", lq.query->query_id.value()},
+                      {"keys_added", entries});
   }
 }
 
@@ -280,6 +304,9 @@ void PddEngine::handle_response(const net::MessagePtr& response) {
 
     if (lq->upstream == ctx_.self) {
       // Locally originated query: deliver to the consumer session.
+      PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "pdd",
+                        "deliver_local", {"query", lq->query->query_id.value()},
+                        {"entries", needed.size()});
       ctx_.deliver_local(lq->query->query_id,
                          prune_payload(*response, needed));
       continue;
@@ -307,6 +334,9 @@ void PddEngine::handle_response(const net::MessagePtr& response) {
         std::unique(relay_receivers.begin(), relay_receivers.end()),
         relay_receivers.end());
     std::sort(relay_union.begin(), relay_union.end());
+    PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "pdd", "mixedcast",
+                      {"receivers", relay_receivers.size()},
+                      {"union", relay_union.size()});
     auto relay =
         std::make_shared<net::Message>(prune_payload(*response, relay_union));
     relay->sender = ctx_.self;

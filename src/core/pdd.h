@@ -44,6 +44,9 @@ class PddEngine {
   // updates the query's Bloom filter / served sets.
   void serve_from_store(LingeringQuery& lq);
 
+  // Emits serve/rewrite trace events for `entries` entries just served.
+  void trace_serve(const LingeringQuery& lq, std::size_t entries);
+
   // Keys (entry_key) of payload units in a response, parallel to payload
   // order.
   static std::vector<std::uint64_t> payload_keys(const net::Message& r);

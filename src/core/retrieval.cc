@@ -6,6 +6,7 @@
 #include "common/assert.h"
 #include "common/logging.h"
 #include "core/pdr.h"
+#include "obs/trace.h"
 
 namespace pds::core {
 
@@ -54,6 +55,8 @@ void PdrSession::start() {
 void PdrSession::send_cdi_query() {
   ++cdi_rounds_;
   last_cdi_activity_ = ctx_.now();
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdr",
+                    "cdi_round", {"round", cdi_rounds_});
 
   auto query = std::make_shared<net::Message>();
   query->type = net::MessageType::kQuery;
@@ -101,6 +104,9 @@ void PdrSession::begin_fetch() {
   PDS_LOG_DEBUG("pdr", "node " << ctx_.self << " CDI phase done after "
                                << cdi_rounds_ << " round(s); fetching "
                                << missing_chunks().size() << " chunks");
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdr",
+                    "cdi_done", {"rounds", cdi_rounds_},
+                    {"missing", missing_chunks().size()});
   phase_ = Phase::kFetch;
   last_progress_ = ctx_.now();
   issue_requests();
@@ -135,7 +141,14 @@ void PdrSession::issue_requests() {
     PDS_LOG_DEBUG("pdr", "node " << ctx_.self << ": " << plan.unroutable.size()
                                  << " chunk(s) unroutable; refreshing CDI");
   }
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdr", "plan",
+                    {"missing", missing.size()},
+                    {"neighbors", plan.by_neighbor.size()},
+                    {"unroutable", plan.unroutable.size()});
   for (const auto& [neighbor, chunk_list] : plan.by_neighbor) {
+    PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdr",
+                      "assign", {"neighbor", neighbor},
+                      {"chunks", chunk_list.size()});
     auto query = std::make_shared<net::Message>();
     query->type = net::MessageType::kQuery;
     query->kind = net::ContentKind::kChunk;
@@ -190,6 +203,9 @@ void PdrSession::on_local_response(const net::Message& response) {
     arrivals_[c] = ctx_.now();
     last_new_chunk_ = ctx_.now();
     last_progress_ = ctx_.now();
+    PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdr",
+                      "chunk_arrival", {"chunk", c},
+                      {"have", chunks_.size()}, {"total", total_chunks_});
     if (chunks_.size() >= total_chunks_ && phase_ != Phase::kDone) {
       finish(true);
     }
@@ -202,6 +218,10 @@ void PdrSession::finish(bool complete) {
                                << (complete ? "complete" : "INCOMPLETE")
                                << ": " << chunks_.size() << "/"
                                << total_chunks_ << " chunks");
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdr",
+                    "session_done",
+                    {"complete", static_cast<std::int64_t>(complete)},
+                    {"chunks", chunks_.size()}, {"total", total_chunks_});
   phase_ = Phase::kDone;
   result_.complete = complete;
   result_.chunks_received = chunks_.size();

@@ -6,6 +6,8 @@
 #include "common/assert.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pds::net {
 
@@ -83,6 +85,11 @@ void Transport::send(MessagePtr msg) {
                         !msg->receivers.empty();
   ++stats_.messages_sent;
   std::vector<Packet> packets = packetize(msg);
+  if (packets.size() > 1) {
+    PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), self_, "transport",
+                      "fragments", {"count", packets.size()},
+                      {"bytes", codec_.wire_size(*msg)});
+  }
   if (cfg_.repair_enabled && packets.size() > 1) {
     // Keep the message around so receivers can ask for missing fragments.
     const std::uint64_t token = message_token(*msg);
@@ -168,12 +175,17 @@ void Transport::transmit(const Packet& packet, bool track_reliably) {
     payload = std::move(frag);
   }
 
+  if (packet.count > 1) ++stats_.fragments_sent;
   sim_.schedule_at(release, [this, payload = std::move(payload),
                              size = packet.wire_bytes, track_reliably, token,
                              round] {
-    face_.send(sim::Frame{.sender = self_,
-                          .size_bytes = size,
-                          .payload = payload});
+    if (!face_.send(sim::Frame{.sender = self_,
+                               .size_bytes = size,
+                               .payload = payload})) {
+      ++stats_.frames_dropped_overflow;
+      PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), self_, "transport",
+                        "drop_overflow", {"bytes", size});
+    }
     if (track_reliably) {
       // The ack round trip cannot complete before this packet drains through
       // the link's buffer and crosses the air, so the timer starts after an
@@ -198,6 +210,9 @@ void Transport::check_pending(std::uint64_t token, int expected_round) {
   }
   if (p.retransmissions >= cfg_.max_retransmissions) {
     ++stats_.deliveries_gave_up;
+    PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), self_, "transport", "give_up",
+                      {"round", p.retransmissions},
+                      {"awaiting", p.awaiting.size()});
     PDS_LOG_DEBUG("transport",
                   "node " << self_ << " gave up on packet after "
                           << p.retransmissions << " retransmissions ("
@@ -210,6 +225,9 @@ void Transport::check_pending(std::uint64_t token, int expected_round) {
   std::sort(p.packet.receivers.begin(), p.packet.receivers.end());
   ++p.retransmissions;
   ++stats_.retransmissions;
+  PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), self_, "transport",
+                    "retransmit", {"round", p.retransmissions},
+                    {"awaiting", p.awaiting.size()});
   transmit(p.packet, true);
 }
 
@@ -236,10 +254,15 @@ void Transport::flush_acks() {
     i = end;
     ++stats_.acks_sent;
     // Acks bypass the leaky bucket and ride as priority control frames.
-    face_.send(sim::Frame{.sender = self_,
-                          .size_bytes = codec_.wire_size(*ack),
-                          .control = true,
-                          .payload = std::move(ack)});
+    const std::size_t ack_bytes = codec_.wire_size(*ack);
+    if (!face_.send(sim::Frame{.sender = self_,
+                               .size_bytes = ack_bytes,
+                               .control = true,
+                               .payload = std::move(ack)})) {
+      ++stats_.frames_dropped_overflow;
+      PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), self_, "transport",
+                        "drop_overflow", {"bytes", ack_bytes});
+    }
   }
   ack_batch_.clear();
 }
@@ -341,10 +364,15 @@ void Transport::check_repair(std::uint64_t msg_token) {
        ++i) {
     if (!r.have[i]) request->requested_chunks.push_back(i);
   }
-  face_.send(sim::Frame{.sender = self_,
-                        .size_bytes = codec_.wire_size(*request),
-                        .control = true,
-                        .payload = std::move(request)});
+  const std::size_t request_bytes = codec_.wire_size(*request);
+  if (!face_.send(sim::Frame{.sender = self_,
+                             .size_bytes = request_bytes,
+                             .control = true,
+                             .payload = std::move(request)})) {
+    ++stats_.frames_dropped_overflow;
+    PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), self_, "transport",
+                      "drop_overflow", {"bytes", request_bytes});
+  }
   r.repair_scheduled = true;
   sim_.schedule(cfg_.repair_timeout,
                 [this, msg_token] { check_repair(msg_token); });
@@ -389,6 +417,23 @@ void Transport::on_frame(const sim::Frame& frame) {
   PDS_ENSURE(frag != nullptr);
   on_data_packet(frag->whole, frag->token, frag->index, frag->count,
                  packet_ack_token(frag->token, frag->index), frag->receivers);
+}
+
+void Transport::register_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.expose_counter(prefix + "messages_sent", &stats_.messages_sent);
+  registry.expose_counter(prefix + "retransmissions", &stats_.retransmissions);
+  registry.expose_counter(prefix + "acks_sent", &stats_.acks_sent);
+  registry.expose_counter(prefix + "acks_received", &stats_.acks_received);
+  registry.expose_counter(prefix + "deliveries_gave_up",
+                          &stats_.deliveries_gave_up);
+  registry.expose_counter(prefix + "repair_requests_sent",
+                          &stats_.repair_requests_sent);
+  registry.expose_counter(prefix + "repair_requests_served",
+                          &stats_.repair_requests_served);
+  registry.expose_counter(prefix + "fragments_sent", &stats_.fragments_sent);
+  registry.expose_counter(prefix + "frames_dropped_overflow",
+                          &stats_.frames_dropped_overflow);
 }
 
 }  // namespace pds::net

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -112,10 +113,20 @@ class Transport final {
     std::uint64_t deliveries_gave_up = 0;
     std::uint64_t repair_requests_sent = 0;
     std::uint64_t repair_requests_served = 0;
+    // Fragment frames handed to the face (fragmented messages only).
+    std::uint64_t fragments_sent = 0;
+    // Frames the face refused (OS send-buffer overflow). Previously these
+    // losses were invisible at the transport: the frame silently never flew.
+    std::uint64_t frames_dropped_overflow = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] const Codec& codec() const { return codec_; }
+
+  // Surfaces Stats through a metrics registry as "<prefix>messages_sent"
+  // etc. — a view over the same fields, read at snapshot time.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
 
  private:
   // One reliable in-flight packet: a whole small message or one fragment.

@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace pds::obs {
+namespace {
+
+// Doubles print via shortest round-trip form (std::to_chars) so NDJSON output
+// is byte-deterministic across runs and build hosts.
+void append_double(std::ostream& os, double v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc{}) {
+    os.write(buf, ptr - buf);
+  } else {
+    os << v;
+  }
+}
+
+// Subsystem/event/key strings are literals we control (no quotes/control
+// characters), but escape defensively so output is always valid JSON.
+void append_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_arg_value(std::ostream& os, const Arg& arg) {
+  switch (arg.kind) {
+    case Arg::Kind::kInt:
+      os << arg.i;
+      break;
+    case Arg::Kind::kUint:
+      os << arg.u;
+      break;
+    case Arg::Kind::kDouble:
+      append_double(os, arg.d);
+      break;
+    case Arg::Kind::kStr:
+      append_json_string(os, arg.s);
+      break;
+    case Arg::Kind::kNone:
+      os << "null";
+      break;
+  }
+}
+
+void append_args_object(std::ostream& os, const TraceEvent& event) {
+  os << '{';
+  for (std::uint8_t i = 0; i < event.arg_count; ++i) {
+    if (i > 0) os << ',';
+    append_json_string(os, event.args[i].key);
+    os << ':';
+    append_arg_value(os, event.args[i]);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {}
+
+void Tracer::emit(Phase phase, SimTime t, NodeId node, const char* subsystem,
+                  const char* name, std::initializer_list<Arg> args) {
+  if (!enabled_) return;
+  if (capacity_ != 0 && events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  TraceEvent& event = events_.emplace_back();
+  event.t_us = t.as_micros();
+  event.node = node.value();
+  event.phase = phase;
+  event.subsystem = subsystem;
+  event.name = name;
+  for (const Arg& arg : args) {
+    if (event.arg_count == TraceEvent::kMaxArgs) break;
+    event.args[event.arg_count++] = arg;
+  }
+}
+
+void Tracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void Tracer::format_ndjson(const TraceEvent& event, std::ostream& os) {
+  os << "{\"t\":" << event.t_us << ",\"node\":" << event.node << ",\"ph\":\""
+     << static_cast<char>(event.phase) << "\",\"sub\":";
+  append_json_string(os, event.subsystem);
+  os << ",\"ev\":";
+  append_json_string(os, event.name);
+  os << ",\"args\":";
+  append_args_object(os, event);
+  os << "}";
+}
+
+void Tracer::write_ndjson(std::ostream& os) const {
+  for (const TraceEvent& event : events_) {
+    format_ndjson(event, os);
+    os << '\n';
+  }
+}
+
+std::string Tracer::ndjson() const {
+  std::ostringstream os;
+  write_ndjson(os);
+  return os.str();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":";
+    append_json_string(os, event.name);
+    os << ",\"cat\":";
+    append_json_string(os, event.subsystem);
+    os << ",\"ph\":\"" << static_cast<char>(event.phase)
+       << "\",\"ts\":" << event.t_us << ",\"pid\":0,\"tid\":" << event.node;
+    // Chrome renders instants with a scope field; 't' = thread-scoped.
+    if (event.phase == Phase::kInstant) os << ",\"s\":\"t\"";
+    os << ",\"args\":";
+    append_args_object(os, event);
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace pds::obs

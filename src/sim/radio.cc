@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pds::sim {
 
@@ -154,6 +156,8 @@ bool RadioMedium::send(NodeId sender, Frame frame) {
   if (!st.enabled) return false;
   if (st.os_bytes + frame.size_bytes > cfg_.os_buffer_bytes) {
     ++stats_.os_buffer_drops;
+    PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), sender, "radio", "os_drop",
+                      {"bytes", frame.size_bytes});
     return false;
   }
   st.os_bytes += frame.size_bytes;
@@ -279,6 +283,8 @@ void RadioMedium::attempt_transmission(Index idx) {
   if (medium_busy_around(idx)) {
     // Defer: retry after the sensed busy period plus fresh backoff.
     const SimTime wait = busy_end_around(idx) - sim_.now();
+    PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), st.id, "radio", "defer",
+                      {"wait_us", wait.as_micros()});
     st.attempt_scheduled = true;
     sim_.schedule(wait + access_delay(st),
                   [this, idx] { attempt_transmission(idx); });
@@ -302,6 +308,9 @@ void RadioMedium::start_transmission(Index idx) {
 
   ++stats_.frames_transmitted;
   stats_.bytes_transmitted += frame.size_bytes;
+  PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), st.id, "radio", "tx",
+                    {"bytes", frame.size_bytes},
+                    {"control", static_cast<std::int64_t>(frame.control)});
   if (tx_observer_) tx_observer_(st.id, frame);
 
   const std::uint64_t tx_seq = next_tx_seq_++;
@@ -379,6 +388,8 @@ void RadioMedium::finish_reception(Index ridx, std::uint64_t tx_seq,
   if (!rx.enabled || !rec.decodable) return;
   if (rec.corrupted) {
     ++stats_.losses_collision;
+    PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), rx.id, "radio", "collision",
+                      {"bytes", frame.size_bytes});
     return;
   }
   if (rng_.bernoulli(cfg_.loss_probability)) {
@@ -387,6 +398,22 @@ void RadioMedium::finish_reception(Index ridx, std::uint64_t tx_seq,
   }
   ++stats_.deliveries;
   rx.sink->on_frame(frame);
+}
+
+void RadioMedium::register_metrics(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.expose_counter(prefix + "frames_offered", &stats_.frames_offered);
+  registry.expose_counter(prefix + "os_buffer_drops", &stats_.os_buffer_drops);
+  registry.expose_counter(prefix + "frames_transmitted",
+                          &stats_.frames_transmitted);
+  registry.expose_counter(prefix + "bytes_transmitted",
+                          &stats_.bytes_transmitted);
+  registry.expose_counter(prefix + "deliveries", &stats_.deliveries);
+  registry.expose_counter(prefix + "losses_collision",
+                          &stats_.losses_collision);
+  registry.expose_counter(prefix + "losses_noise", &stats_.losses_noise);
+  registry.expose_counter(prefix + "losses_half_duplex",
+                          &stats_.losses_half_duplex);
 }
 
 }  // namespace pds::sim

@@ -24,6 +24,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,10 @@
 #include "common/types.h"
 #include "sim/position.h"
 #include "sim/simulator.h"
+
+namespace pds::obs {
+class MetricsRegistry;
+}  // namespace pds::obs
 
 namespace pds::sim {
 
@@ -193,6 +198,12 @@ class RadioMedium {
   }
 
   [[nodiscard]] const RadioConfig& config() const { return cfg_; }
+
+  // Surfaces MediumStats through a metrics registry as
+  // "<prefix>frames_offered" etc. — registry-backed views over the same
+  // struct fields (the struct keeps its layout and operator==).
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "radio.") const;
 
  private:
   // Dense registration index into `states_`; doubles as the deterministic

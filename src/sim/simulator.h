@@ -5,17 +5,33 @@
 #include <functional>
 
 #include "common/rng.h"
+#include "common/sim_clock.h"
 #include "common/sim_time.h"
 #include "sim/event_queue.h"
+
+namespace pds::obs {
+class Tracer;
+}  // namespace pds::obs
 
 namespace pds::sim {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed) : rng_(seed) {
+    push_sim_clock(&now_);
+  }
+  ~Simulator() { pop_sim_clock(); }
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  // Observability hooks: a structured-event tracer owned by the caller
+  // (Scenario or test). Null means untraced; subsystems guard every emit.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
   // Schedule `action` to run `delay` after the current time.
   EventQueue::EventId schedule(SimTime delay, EventQueue::Action action) {
@@ -38,6 +54,7 @@ class Simulator {
   Rng rng_;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pds::sim

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 #include "workload/generator.h"
 
 namespace pds::wl {
@@ -18,6 +19,20 @@ double mean(const std::vector<double>& v) {
   double sum = 0.0;
   for (double x : v) sum += x;
   return sum / static_cast<double>(v.size());
+}
+
+std::vector<PddRoundRecord> round_timeline(const core::DiscoverySession& s) {
+  std::vector<PddRoundRecord> out;
+  out.reserve(s.round_history().size());
+  for (const core::DiscoverySession::RoundRecord& r : s.round_history()) {
+    out.push_back(PddRoundRecord{.round = r.round,
+                                 .start_s = r.start.as_seconds(),
+                                 .end_s = r.end.as_seconds(),
+                                 .new_keys = r.new_keys,
+                                 .cumulative = r.cumulative,
+                                 .responses = r.responses});
+  }
+  return out;
 }
 
 // Consumer placement: the paper puts a single consumer at the grid center
@@ -51,9 +66,11 @@ PddOutcome run_pdd_grid(const PddGridParams& params) {
   GridSetup setup;
   setup.nx = params.nx;
   setup.ny = params.ny;
+  setup.radio = params.radio;
   setup.pds = pds;
   Grid grid = make_grid(setup, params.seed);
   Scenario& sc = *grid.scenario;
+  sc.set_tracer(params.tracer);
 
   Rng rng(params.seed * 7919 + 17);
   const std::vector<NodeId> consumers =
@@ -101,6 +118,7 @@ PddOutcome run_pdd_grid(const PddGridParams& params) {
         s->finished() ? s->result().latency.as_seconds() : 0.0);
     rounds.push_back(static_cast<double>(
         s->finished() ? s->result().rounds : 0));
+    out.per_consumer_rounds.push_back(round_timeline(*s));
   }
   out.recall = mean(out.per_consumer_recall);
   out.latency_s = mean(out.per_consumer_latency_s);
@@ -117,6 +135,7 @@ PddOutcome run_pdd_mobility(const PddMobilityParams& params) {
   setup.pinned_consumers = 1;
   MobileWorld world = make_mobile_world(setup, params.seed);
   Scenario& sc = *world.scenario;
+  sc.set_tracer(params.tracer);
 
   Rng rng(params.seed * 104729 + 29);
   std::vector<core::DataDescriptor> entries =
@@ -145,11 +164,24 @@ PddOutcome run_pdd_mobility(const PddMobilityParams& params) {
       session->finished() ? static_cast<double>(session->result().rounds) : 0.0;
   out.per_consumer_recall = {out.recall};
   out.per_consumer_latency_s = {out.latency_s};
+  out.per_consumer_rounds = {round_timeline(*session)};
   out.overhead_mb = sc.overhead_mb();
   return out;
 }
 
 namespace {
+
+// Sorted chunk-arrival seconds for a PDR session (empty for MDR/null).
+std::vector<double> chunk_timeline(const core::PdrSession* s) {
+  std::vector<double> out;
+  if (s == nullptr) return out;
+  out.reserve(s->arrivals().size());
+  for (const auto& [chunk, when] : s->arrivals()) {
+    out.push_back(when.as_seconds());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 RetrievalOutcome collect_retrieval(
     Scenario& sc, std::size_t total_chunks,
@@ -186,6 +218,7 @@ RetrievalOutcome run_retrieval_grid(const RetrievalGridParams& params) {
   setup.pds = params.pds;
   Grid grid = make_grid(setup, params.seed);
   Scenario& sc = *grid.scenario;
+  sc.set_tracer(params.tracer);
 
   Rng rng(params.seed * 6151 + 3);
   const std::vector<NodeId> consumers =
@@ -203,6 +236,7 @@ RetrievalOutcome run_retrieval_grid(const RetrievalGridParams& params) {
 
   std::vector<core::RetrievalResult> results(consumers.size());
   std::vector<bool> finished(consumers.size(), false);
+  std::vector<const core::PdrSession*> pdr_sessions(consumers.size(), nullptr);
   std::function<void(std::size_t)> start_consumer = [&](std::size_t i) {
     auto done = [&, i](const core::RetrievalResult& r) {
       results[i] = r;
@@ -212,7 +246,7 @@ RetrievalOutcome run_retrieval_grid(const RetrievalGridParams& params) {
       }
     };
     if (params.method == RetrievalMethod::kPdr) {
-      sc.node(consumers[i]).retrieve(item, done);
+      pdr_sessions[i] = &sc.node(consumers[i]).retrieve(item, done);
     } else {
       sc.node(consumers[i]).retrieve_mdr(item, done);
     }
@@ -224,7 +258,11 @@ RetrievalOutcome run_retrieval_grid(const RetrievalGridParams& params) {
   }
 
   sc.run_until(params.horizon);
-  return collect_retrieval(sc, total_chunks, results, finished);
+  RetrievalOutcome out = collect_retrieval(sc, total_chunks, results, finished);
+  for (const core::PdrSession* s : pdr_sessions) {
+    out.per_consumer_chunk_arrival_s.push_back(chunk_timeline(s));
+  }
+  return out;
 }
 
 RetrievalOutcome run_retrieval_mobility(
@@ -238,6 +276,7 @@ RetrievalOutcome run_retrieval_mobility(
   setup.pinned_consumers = 1;
   MobileWorld world = make_mobile_world(setup, params.seed);
   Scenario& sc = *world.scenario;
+  sc.set_tracer(params.tracer);
 
   Rng rng(params.seed * 2741 + 11);
   const core::DataDescriptor item = make_chunked_item(
@@ -253,18 +292,21 @@ RetrievalOutcome run_retrieval_mobility(
 
   std::vector<core::RetrievalResult> results(1);
   std::vector<bool> finished(1, false);
+  const core::PdrSession* pdr_session = nullptr;
   auto done = [&](const core::RetrievalResult& r) {
     results[0] = r;
     finished[0] = true;
   };
   if (params.method == RetrievalMethod::kPdr) {
-    sc.node(world.consumers.front()).retrieve(item, done);
+    pdr_session = &sc.node(world.consumers.front()).retrieve(item, done);
   } else {
     sc.node(world.consumers.front()).retrieve_mdr(item, done);
   }
 
   sc.run_until(params.horizon);
-  return collect_retrieval(sc, total_chunks, results, finished);
+  RetrievalOutcome out = collect_retrieval(sc, total_chunks, results, finished);
+  out.per_consumer_chunk_arrival_s.push_back(chunk_timeline(pdr_session));
+  return out;
 }
 
 SingleHopOutcome run_single_hop(const SingleHopParams& params) {

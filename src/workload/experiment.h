@@ -15,6 +15,10 @@
 #include "sim/mobility.h"
 #include "workload/scenario.h"
 
+namespace pds::obs {
+class Tracer;
+}  // namespace pds::obs
+
 namespace pds::wl {
 
 // -- PDD on the static grid (§VI-B.1/2; Figs. 4–8 and the saturation text) --
@@ -29,8 +33,25 @@ struct PddGridParams {
   std::size_t consumers = 1;
   bool sequential = false;  // consumers one-after-another vs simultaneous
   core::PdsConfig pds;
+  // Radio profile (range is still taken from the grid geometry); lets tests
+  // flip e.g. use_spatial_grid while holding everything else fixed.
+  sim::RadioConfig radio;
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(180.0);
+  // Optional structured-event tracer attached to the run's simulator (owned
+  // by the caller; see src/obs/trace.h). Tracing never perturbs outcomes.
+  obs::Tracer* tracer = nullptr;
+};
+
+// One closed discovery round at one consumer (DiscoverySession::RoundRecord
+// in experiment-friendly units).
+struct PddRoundRecord {
+  int round = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::size_t new_keys = 0;    // distinct entries first seen this round
+  std::size_t cumulative = 0;  // distinct entries held after the round
+  std::size_t responses = 0;   // response messages heard this round
 };
 
 struct PddOutcome {
@@ -41,6 +62,9 @@ struct PddOutcome {
   bool all_finished = false;
   std::vector<double> per_consumer_recall;
   std::vector<double> per_consumer_latency_s;
+  // Per-consumer round timelines (the paper's per-round recall curves,
+  // Figs. 5–8); parallel to per_consumer_recall.
+  std::vector<std::vector<PddRoundRecord>> per_consumer_rounds;
 };
 
 [[nodiscard]] PddOutcome run_pdd_grid(const PddGridParams& params);
@@ -55,6 +79,7 @@ struct PddMobilityParams {
   core::PdsConfig pds;
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(180.0);
+  obs::Tracer* tracer = nullptr;
 };
 
 [[nodiscard]] PddOutcome run_pdd_mobility(const PddMobilityParams& params);
@@ -77,6 +102,7 @@ struct RetrievalGridParams {
   core::PdsConfig pds;
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(900.0);
+  obs::Tracer* tracer = nullptr;
 };
 
 struct RetrievalOutcome {
@@ -86,6 +112,10 @@ struct RetrievalOutcome {
   bool all_complete = false;
   std::vector<double> per_consumer_recall;
   std::vector<double> per_consumer_latency_s;
+  // Per-consumer chunk arrival times (seconds since run start, sorted) —
+  // retrieval progress curves. Empty for MDR sessions, which do not track
+  // per-chunk arrival times.
+  std::vector<std::vector<double>> per_consumer_chunk_arrival_s;
 };
 
 [[nodiscard]] RetrievalOutcome run_retrieval_grid(
@@ -103,6 +133,7 @@ struct RetrievalMobilityParams {
   core::PdsConfig pds;
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(900.0);
+  obs::Tracer* tracer = nullptr;
 };
 
 [[nodiscard]] RetrievalOutcome run_retrieval_mobility(

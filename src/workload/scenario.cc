@@ -1,6 +1,9 @@
 #include "workload/scenario.h"
 
+#include <string>
+
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace pds::wl {
 
@@ -27,6 +30,14 @@ std::vector<core::PdsNode*> Scenario::nodes() {
   out.reserve(order_.size());
   for (NodeId id : order_) out.push_back(&node(id));
   return out;
+}
+
+void Scenario::register_metrics(obs::MetricsRegistry& registry) {
+  medium_.register_metrics(registry, "radio.");
+  for (const NodeId id : order_) {
+    node(id).transport().register_metrics(
+        registry, "node" + std::to_string(id.value()) + ".transport.");
+  }
 }
 
 Grid make_grid(const GridSetup& setup, std::uint64_t seed) {

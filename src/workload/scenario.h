@@ -14,6 +14,11 @@
 #include "sim/simulator.h"
 #include "sim/topology.h"
 
+namespace pds::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace pds::obs
+
 namespace pds::wl {
 
 class Scenario {
@@ -43,6 +48,15 @@ class Scenario {
     return static_cast<double>(medium_.stats().bytes_transmitted) / 1e6;
   }
   void reset_overhead() { medium_.stats().reset(); }
+
+  // Attaches a structured-event tracer (null detaches). The tracer must
+  // outlive the scenario's simulation runs.
+  void set_tracer(obs::Tracer* tracer) { sim_.set_tracer(tracer); }
+
+  // Exposes the medium's stats plus every node's transport stats through
+  // `registry` ("radio.*", "node<N>.transport.*"). Call after all nodes are
+  // added; the registry must not outlive this scenario.
+  void register_metrics(obs::MetricsRegistry& registry);
 
  private:
   sim::Simulator sim_;

@@ -1,0 +1,243 @@
+// Unit tests for src/obs: metrics registry (counters/gauges/histograms,
+// snapshot/diff/merge, exposed-struct views) and the sim-time tracer (ring
+// buffer, NDJSON/Chrome rendering, macro no-eval guarantees), plus the
+// tools/trace_reader.h parser against the writer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/sim_clock.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/radio.h"
+#include "sim/simulator.h"
+#include "tools/trace_reader.h"
+#include "workload/scenario.h"
+
+namespace pds::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterHandlesAreStableAndIdempotent) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("pdd.rounds");
+  a->inc();
+  a->inc(4);
+  // Same name returns the same handle; churn must not invalidate it.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("churn." + std::to_string(i));
+  }
+  EXPECT_EQ(registry.counter("pdd.rounds"), a);
+  EXPECT_EQ(a->value(), 5u);
+}
+
+TEST(MetricsRegistry, GaugeAndHistogram) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("lqt.size");
+  g->set(3.0);
+  g->add(2.0);
+  EXPECT_DOUBLE_EQ(g->value(), 5.0);
+
+  Histogram* h = registry.histogram("latency_s", {0.1, 1.0, 10.0});
+  h->observe(0.05);   // bucket 0
+  h->observe(0.5);    // bucket 1
+  h->observe(100.0);  // overflow bucket
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 100.55);
+  ASSERT_EQ(h->buckets().size(), 4u);
+  EXPECT_EQ(h->buckets()[0], 1u);
+  EXPECT_EQ(h->buckets()[1], 1u);
+  EXPECT_EQ(h->buckets()[2], 0u);
+  EXPECT_EQ(h->buckets()[3], 1u);
+}
+
+TEST(MetricsRegistry, ExposedCounterIsAViewOverTheField) {
+  MetricsRegistry registry;
+  std::uint64_t field = 7;
+  registry.expose_counter("radio.frames_offered", &field);
+  EXPECT_EQ(registry.snapshot().counters.at("radio.frames_offered"), 7u);
+  // The registry reads through the pointer at snapshot time — hot-path
+  // increments stay plain `++field` on the original struct.
+  field += 3;
+  EXPECT_EQ(registry.snapshot().counters.at("radio.frames_offered"), 10u);
+}
+
+TEST(MetricsRegistry, SnapshotDiffAttributesAPhase) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("tx");
+  Gauge* g = registry.gauge("depth");
+  c->inc(10);
+  g->set(4.0);
+  const MetricsSnapshot before = registry.snapshot();
+  c->inc(5);
+  g->set(9.0);
+  const MetricsSnapshot delta = diff(registry.snapshot(), before);
+  EXPECT_EQ(delta.counters.at("tx"), 5u);
+  EXPECT_DOUBLE_EQ(delta.gauges.at("depth"), 9.0);  // gauges keep later value
+}
+
+TEST(MetricsRegistry, MergeAggregatesRuns) {
+  MetricsRegistry a, b;
+  a.counter("tx")->inc(3);
+  b.counter("tx")->inc(4);
+  b.counter("only_b")->inc(1);
+  a.histogram("h", {1.0})->observe(0.5);
+  b.histogram("h", {1.0})->observe(2.0);
+  const MetricsSnapshot sum = merge(a.snapshot(), b.snapshot());
+  EXPECT_EQ(sum.counters.at("tx"), 7u);
+  EXPECT_EQ(sum.counters.at("only_b"), 1u);
+  EXPECT_EQ(sum.histograms.at("h").count, 2u);
+  EXPECT_EQ(sum.histograms.at("h").buckets[0], 1u);
+  EXPECT_EQ(sum.histograms.at("h").buckets[1], 1u);
+}
+
+TEST(MetricsRegistry, ScenarioAdapterExposesRadioAndTransportStats) {
+  wl::GridSetup setup;
+  setup.nx = setup.ny = 2;
+  wl::Grid grid = wl::make_grid(setup, 1);
+  MetricsRegistry registry;
+  grid.scenario->register_metrics(registry);
+  const MetricsSnapshot snap = registry.snapshot();
+  // Medium stats and per-node transport stats appear under stable names.
+  EXPECT_TRUE(snap.counters.contains("radio.frames_transmitted"));
+  EXPECT_TRUE(snap.counters.contains("radio.bytes_transmitted"));
+  EXPECT_TRUE(snap.counters.contains("node0.transport.messages_sent"));
+  EXPECT_TRUE(snap.counters.contains("node3.transport.fragments_sent"));
+  EXPECT_TRUE(
+      snap.counters.contains("node0.transport.frames_dropped_overflow"));
+}
+
+TEST(SimClock, SimulatorRegistersClockAndScopedNodeNests) {
+  EXPECT_EQ(current_sim_clock(), nullptr);
+  EXPECT_EQ(current_log_node(), NodeId::invalid().value());
+  {
+    sim::Simulator outer(1);
+    ASSERT_NE(current_sim_clock(), nullptr);
+    EXPECT_EQ(*current_sim_clock(), SimTime::zero());
+    {
+      // A nested simulator (e.g. a sub-experiment) shadows, then restores.
+      sim::Simulator inner(2);
+      inner.schedule(SimTime::seconds(1.5), [] {
+        EXPECT_DOUBLE_EQ(current_sim_clock()->as_seconds(), 1.5);
+      });
+      inner.run(SimTime::seconds(2.0));
+    }
+    ASSERT_NE(current_sim_clock(), nullptr);
+    EXPECT_EQ(*current_sim_clock(), SimTime::zero());
+
+    const ScopedLogNode a(NodeId(4));
+    EXPECT_EQ(current_log_node(), 4u);
+    {
+      const ScopedLogNode b(NodeId(9));
+      EXPECT_EQ(current_log_node(), 9u);
+    }
+    EXPECT_EQ(current_log_node(), 4u);
+  }
+  EXPECT_EQ(current_sim_clock(), nullptr);
+}
+
+TEST(Tracer, RingBufferDropsOldestAtCapacity) {
+  Tracer tracer(2);
+  tracer.instant(SimTime::micros(1), NodeId(0), "s", "a");
+  tracer.instant(SimTime::micros(2), NodeId(0), "s", "b");
+  tracer.instant(SimTime::micros(3), NodeId(0), "s", "c");
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_STREQ(tracer.events().front().name, "b");
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, NdjsonIsExactAndTyped) {
+  Tracer tracer;
+  tracer.begin(SimTime::micros(1500), NodeId(7), "pdd", "round",
+               {{"round", 1}, {"ratio", 0.5}, {"why", "test"}});
+  EXPECT_EQ(tracer.ndjson(),
+            "{\"t\":1500,\"node\":7,\"ph\":\"B\",\"sub\":\"pdd\","
+            "\"ev\":\"round\",\"args\":{\"round\":1,\"ratio\":0.5,"
+            "\"why\":\"test\"}}\n");
+}
+
+TEST(Tracer, ChromeTraceRendersPhasesAndTids) {
+  Tracer tracer;
+  tracer.begin(SimTime::micros(10), NodeId(3), "pdd", "round", {{"round", 1}});
+  tracer.end(SimTime::micros(20), NodeId(3), "pdd", "round");
+  tracer.instant(SimTime::micros(15), NodeId(4), "radio", "tx");
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"B\",\"ts\":10,\"pid\":0,\"tid\":3"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"E\",\"ts\":20"), std::string::npos);
+  // Instants carry a scope field for chrome://tracing.
+  EXPECT_NE(out.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(Tracer, MacroSkipsArgEvaluationWhenDetachedOrDisabled) {
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::int64_t{42};
+  };
+  Tracer* detached = nullptr;
+  PDS_TRACE_INSTANT(detached, SimTime::zero(), NodeId(0), "s", "e",
+                    {"v", expensive()});
+  EXPECT_EQ(evaluations, 0);
+
+  Tracer tracer;
+  tracer.set_enabled(false);
+  PDS_TRACE_INSTANT(&tracer, SimTime::zero(), NodeId(0), "s", "e",
+                    {"v", expensive()});
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(tracer.events().empty());
+
+  tracer.set_enabled(true);
+  PDS_TRACE_INSTANT(&tracer, SimTime::zero(), NodeId(0), "s", "e",
+                    {"v", expensive()});
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(Tracer, StringArgsAreEscaped) {
+  Tracer tracer;
+  tracer.instant(SimTime::zero(), NodeId(0), "s", "e",
+                 {{"text", "a\"b\\c\nd"}});
+  EXPECT_NE(tracer.ndjson().find("\"text\":\"a\\\"b\\\\c\\nd\""),
+            std::string::npos);
+}
+
+TEST(TraceReader, ParsesWriterOutputExactly) {
+  Tracer tracer;
+  tracer.instant(SimTime::micros(250), NodeId(9), "transport", "retransmit",
+                 {{"round", 2}, {"awaiting", std::uint64_t{3}}});
+  std::istringstream in(tracer.ndjson());
+  std::size_t bad_line = 0;
+  const auto events = tools::read_trace(in, bad_line);
+  EXPECT_EQ(bad_line, 0u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].t_us, 250);
+  EXPECT_EQ(events[0].node, 9u);
+  EXPECT_EQ(events[0].ph, 'i');
+  EXPECT_EQ(events[0].sub, "transport");
+  EXPECT_EQ(events[0].ev, "retransmit");
+  EXPECT_DOUBLE_EQ(events[0].num("round"), 2.0);
+  EXPECT_DOUBLE_EQ(events[0].num("awaiting"), 3.0);
+  EXPECT_EQ(events[0].arg("missing"), nullptr);
+}
+
+TEST(TraceReader, RejectsMalformedLines) {
+  std::istringstream in(
+      "{\"t\":1,\"node\":0,\"ph\":\"i\",\"sub\":\"s\",\"ev\":\"e\","
+      "\"args\":{}}\nnot json\n");
+  std::size_t bad_line = 0;
+  const auto events = tools::read_trace(in, bad_line);
+  EXPECT_EQ(events.size(), 1u);
+  EXPECT_EQ(bad_line, 2u);
+}
+
+}  // namespace
+}  // namespace pds::obs

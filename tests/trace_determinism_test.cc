@@ -1,0 +1,111 @@
+// Tracing must be a pure observer: with the same seed, (a) attaching a
+// tracer leaves every experiment outcome bit-identical to the untraced run,
+// (b) the NDJSON bytes are identical whether the radio's spatial grid is on
+// or off, and (c) identical when runs execute on PDS_BENCH_JOBS>1 worker
+// threads (each worker owns its own Simulator and tracer; the thread-local
+// sim-clock context must not leak between them).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/trace.h"
+#include "parallel_runs.h"
+#include "workload/experiment.h"
+
+namespace pds::wl {
+namespace {
+
+PddGridParams small_pdd(std::uint64_t seed, obs::Tracer* tracer,
+                        bool spatial_grid = true) {
+  PddGridParams p;
+  p.nx = p.ny = 5;
+  p.metadata_count = 400;
+  p.consumers = 2;
+  p.sequential = true;
+  p.seed = seed;
+  p.tracer = tracer;
+  p.radio.use_spatial_grid = spatial_grid;
+  return p;
+}
+
+bool same_outcome(const PddOutcome& a, const PddOutcome& b) {
+  return a.recall == b.recall && a.latency_s == b.latency_s &&
+         a.overhead_mb == b.overhead_mb && a.rounds == b.rounds &&
+         a.all_finished == b.all_finished &&
+         a.per_consumer_recall == b.per_consumer_recall &&
+         a.per_consumer_latency_s == b.per_consumer_latency_s;
+}
+
+TEST(TraceDeterminism, TracedPddOutcomeBitIdenticalToUntraced) {
+  const PddOutcome untraced = run_pdd_grid(small_pdd(7, nullptr));
+  obs::Tracer tracer(0);
+  const PddOutcome traced = run_pdd_grid(small_pdd(7, &tracer));
+  EXPECT_TRUE(same_outcome(untraced, traced));
+  EXPECT_FALSE(tracer.events().empty());
+  // The traced run also reconstructs the per-round history.
+  ASSERT_EQ(traced.per_consumer_rounds.size(), 2u);
+  EXPECT_FALSE(traced.per_consumer_rounds[0].empty());
+  const PddRoundRecord& last = traced.per_consumer_rounds[0].back();
+  EXPECT_GT(last.cumulative, 0u);
+}
+
+TEST(TraceDeterminism, TracedPdrOutcomeBitIdenticalToUntraced) {
+  RetrievalGridParams p;
+  p.nx = p.ny = 4;
+  p.item_size_bytes = 2u * 1024 * 1024;
+  p.seed = 3;
+  const RetrievalOutcome untraced = run_retrieval_grid(p);
+  obs::Tracer tracer(0);
+  p.tracer = &tracer;
+  const RetrievalOutcome traced = run_retrieval_grid(p);
+  EXPECT_EQ(untraced.recall, traced.recall);
+  EXPECT_EQ(untraced.latency_s, traced.latency_s);
+  EXPECT_EQ(untraced.overhead_mb, traced.overhead_mb);
+  EXPECT_EQ(untraced.per_consumer_chunk_arrival_s,
+            traced.per_consumer_chunk_arrival_s);
+  EXPECT_FALSE(tracer.events().empty());
+  ASSERT_EQ(traced.per_consumer_chunk_arrival_s.size(), 1u);
+  EXPECT_FALSE(traced.per_consumer_chunk_arrival_s[0].empty());
+}
+
+TEST(TraceDeterminism, NdjsonBytesIdenticalWithGridOnAndOff) {
+  obs::Tracer with_grid(0);
+  run_pdd_grid(small_pdd(11, &with_grid, /*spatial_grid=*/true));
+  obs::Tracer without_grid(0);
+  run_pdd_grid(small_pdd(11, &without_grid, /*spatial_grid=*/false));
+  EXPECT_FALSE(with_grid.events().empty());
+  EXPECT_EQ(with_grid.ndjson(), without_grid.ndjson());
+}
+
+TEST(TraceDeterminism, NdjsonBytesIdenticalUnderParallelJobs) {
+  // Serial reference: one trace per seed.
+  ::setenv("PDS_BENCH_JOBS", "1", 1);
+  std::vector<obs::Tracer> serial_tracers(4);
+  const auto serial = bench::run_indexed(4, [&](int i) {
+    run_pdd_grid(small_pdd(static_cast<std::uint64_t>(i + 1),
+                           &serial_tracers[static_cast<std::size_t>(i)]));
+    return serial_tracers[static_cast<std::size_t>(i)].ndjson();
+  });
+
+  // Parallel: each worker thread runs its own Simulator + tracer.
+  ::setenv("PDS_BENCH_JOBS", "4", 1);
+  std::vector<obs::Tracer> parallel_tracers(4);
+  const auto parallel = bench::run_indexed(4, [&](int i) {
+    run_pdd_grid(small_pdd(static_cast<std::uint64_t>(i + 1),
+                           &parallel_tracers[static_cast<std::size_t>(i)]));
+    return parallel_tracers[static_cast<std::size_t>(i)].ndjson();
+  });
+  ::unsetenv("PDS_BENCH_JOBS");
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty());
+    EXPECT_EQ(serial[i], parallel[i]) << "seed " << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace pds::wl

@@ -13,12 +13,23 @@
 //
 // Every run is deterministic for a given --seed; --runs averages seeds
 // seed, seed+1, ...
+//
+// Any experiment accepts --trace=FILE to capture the final run's structured
+// event trace as NDJSON (--trace-format=chrome writes Chrome trace_event
+// JSON for chrome://tracing instead). `pdscli trace --file=FILE` renders a
+// captured trace: per-round recall table, top talkers, retransmit heatmap.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/trace.h"
+#include "tools/trace_reader.h"
 #include "util/stats.h"
 #include "workload/experiment.h"
 
@@ -64,7 +75,9 @@ int usage() {
       stderr,
       "usage: pdscli --experiment=<pdd|pdr|mdr|pdd-mobility|pdr-mobility|"
       "singlehop> [options]\n"
-      "  common:       --seed=N --runs=N\n"
+      "       pdscli trace --file=<trace.ndjson> [--entries=N]\n"
+      "  common:       --seed=N --runs=N --trace=FILE "
+      "[--trace-format=chrome]\n"
       "  pdd:          --grid=N --entries=N --redundancy=N --consumers=N\n"
       "                --sequential --single-round --no-ack\n"
       "  pdr/mdr:      --grid=N --item-mb=N --redundancy=N --consumers=N\n"
@@ -76,6 +89,46 @@ int usage() {
   return 2;
 }
 
+// --trace=FILE support: an unbounded tracer attached to every run (cleared
+// between runs, so the file holds the final seed's trace), written on scope
+// exit as NDJSON or Chrome trace_event JSON.
+class TraceSink {
+ public:
+  explicit TraceSink(const Flags& flags)
+      : path_(flags.get("trace", "")),
+        chrome_(flags.get("trace-format", "ndjson") == "chrome"),
+        tracer_(path_.empty() ? nullptr
+                              : std::make_unique<obs::Tracer>(0)) {}
+
+  ~TraceSink() {
+    if (!tracer_) return;
+    std::ofstream out(path_, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "pdscli: cannot write trace to %s\n",
+                   path_.c_str());
+      return;
+    }
+    if (chrome_) {
+      tracer_->write_chrome_trace(out);
+    } else {
+      tracer_->write_ndjson(out);
+    }
+    std::fprintf(stderr, "pdscli: wrote %zu trace events to %s\n",
+                 tracer_->events().size(), path_.c_str());
+  }
+
+  // Call at the start of each run; returns the tracer for params.tracer.
+  obs::Tracer* begin_run() {
+    if (tracer_) tracer_->clear();
+    return tracer_.get();
+  }
+
+ private:
+  std::string path_;
+  bool chrome_ = false;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
+
 sim::MobilityParams scenario_params(const std::string& name) {
   return name == "classroom" ? sim::classroom_params()
                              : sim::student_center_params();
@@ -84,8 +137,10 @@ sim::MobilityParams scenario_params(const std::string& name) {
 int run_pdd(const Flags& flags) {
   util::SampleSet recall, latency, overhead;
   const long runs = flags.num("runs", 1);
+  TraceSink trace(flags);
   for (long r = 0; r < runs; ++r) {
     wl::PddGridParams p;
+    p.tracer = trace.begin_run();
     p.nx = p.ny = static_cast<std::size_t>(flags.num("grid", 10));
     p.metadata_count = static_cast<std::size_t>(flags.num("entries", 5000));
     p.redundancy = static_cast<int>(flags.num("redundancy", 1));
@@ -109,8 +164,10 @@ int run_retrieval(const Flags& flags, wl::RetrievalMethod method) {
   util::SampleSet recall, latency, overhead;
   const long runs = flags.num("runs", 1);
   bool all_complete = true;
+  TraceSink trace(flags);
   for (long r = 0; r < runs; ++r) {
     wl::RetrievalGridParams p;
+    p.tracer = trace.begin_run();
     p.nx = p.ny = static_cast<std::size_t>(flags.num("grid", 10));
     p.item_size_bytes =
         static_cast<std::size_t>(flags.num("item-mb", 20)) * 1024 * 1024;
@@ -137,8 +194,10 @@ int run_retrieval(const Flags& flags, wl::RetrievalMethod method) {
 int run_pdd_mobility(const Flags& flags) {
   util::SampleSet recall, latency, overhead;
   const long runs = flags.num("runs", 1);
+  TraceSink trace(flags);
   for (long r = 0; r < runs; ++r) {
     wl::PddMobilityParams p;
+    p.tracer = trace.begin_run();
     p.mobility = scenario_params(flags.get("scenario", "student_center"));
     p.mobility.frequency_multiplier = flags.real("mobility", 1.0);
     p.mobility.duration = SimTime::minutes(flags.real("minutes", 5.0));
@@ -162,8 +221,10 @@ int run_pdd_mobility(const Flags& flags) {
 int run_pdr_mobility(const Flags& flags) {
   util::SampleSet recall, latency, overhead;
   const long runs = flags.num("runs", 1);
+  TraceSink trace(flags);
   for (long r = 0; r < runs; ++r) {
     wl::RetrievalMobilityParams p;
+    p.tracer = trace.begin_run();
     p.mobility = scenario_params(flags.get("scenario", "student_center"));
     p.mobility.frequency_multiplier = flags.real("mobility", 1.0);
     p.mobility.duration = SimTime::minutes(flags.real("minutes", 20.0));
@@ -205,9 +266,128 @@ int run_singlehop(const Flags& flags) {
   return 0;
 }
 
+// -- `pdscli trace` — render a captured NDJSON trace -------------------------
+
+int run_trace_report(const Flags& flags) {
+  const std::string path = flags.get("file", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: pdscli trace --file=<trace.ndjson> "
+                         "[--entries=N] [--top=N]\n");
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "pdscli: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::size_t bad_line = 0;
+  const std::vector<tools::ParsedEvent> events =
+      tools::read_trace(in, bad_line);
+  if (bad_line != 0) {
+    std::fprintf(stderr, "pdscli: malformed trace line %zu in %s\n", bad_line,
+                 path.c_str());
+    return 1;
+  }
+
+  // Per-round recall table: every closed PDD round ("pdd"/"round" ph=E),
+  // grouped by consumer node. --entries converts cumulative counts into the
+  // paper's recall fraction.
+  const double entries = flags.real("entries", 0.0);
+  std::printf("per-round discovery progress:\n");
+  std::printf("  %-6s %-6s %10s %8s %8s %10s", "node", "round", "end_s",
+              "new", "total", "responses");
+  if (entries > 0) std::printf(" %8s", "recall");
+  std::printf("\n");
+  std::size_t round_rows = 0;
+  for (const tools::ParsedEvent& e : events) {
+    if (e.sub != "pdd" || e.ev != "round" || e.ph != 'E') continue;
+    ++round_rows;
+    std::printf("  %-6u %-6.0f %10.3f %8.0f %8.0f %10.0f", e.node,
+                e.num("round"), static_cast<double>(e.t_us) / 1e6,
+                e.num("new"), e.num("total"), e.num("responses"));
+    if (entries > 0) std::printf(" %8.3f", e.num("total") / entries);
+    std::printf("\n");
+  }
+  if (round_rows == 0) std::printf("  (no closed pdd rounds in trace)\n");
+
+  // Top talkers: radio transmissions per node.
+  struct Talker {
+    std::uint32_t node = 0;
+    std::uint64_t frames = 0;
+    double bytes = 0;
+  };
+  std::map<std::uint32_t, Talker> talkers;
+  for (const tools::ParsedEvent& e : events) {
+    if (e.sub != "radio" || e.ev != "tx") continue;
+    Talker& t = talkers[e.node];
+    t.node = e.node;
+    ++t.frames;
+    t.bytes += e.num("bytes");
+  }
+  std::vector<Talker> ranked;
+  for (const auto& [node, t] : talkers) ranked.push_back(t);
+  std::sort(ranked.begin(), ranked.end(), [](const Talker& a, const Talker& b) {
+    return a.bytes != b.bytes ? a.bytes > b.bytes : a.node < b.node;
+  });
+  const std::size_t top = static_cast<std::size_t>(flags.num("top", 10));
+  std::printf("\ntop talkers (radio tx):\n");
+  std::printf("  %-6s %10s %12s\n", "node", "frames", "kbytes");
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    std::printf("  %-6u %10llu %12.1f\n", ranked[i].node,
+                static_cast<unsigned long long>(ranked[i].frames),
+                ranked[i].bytes / 1e3);
+  }
+  if (ranked.empty()) std::printf("  (no radio tx events in trace)\n");
+
+  // Retransmit heatmap: per node, retransmission attempts by attempt number
+  // (transport "round" arg), plus give-ups.
+  std::map<std::uint32_t, std::map<int, std::uint64_t>> retr;
+  std::map<std::uint32_t, std::uint64_t> give_ups;
+  int max_attempt = 0;
+  for (const tools::ParsedEvent& e : events) {
+    if (e.sub != "transport") continue;
+    if (e.ev == "retransmit") {
+      const int attempt = static_cast<int>(e.num("round"));
+      ++retr[e.node][attempt];
+      max_attempt = std::max(max_attempt, attempt);
+    } else if (e.ev == "give_up") {
+      ++give_ups[e.node];
+    }
+  }
+  std::printf("\nretransmit heatmap (node x attempt):\n");
+  if (retr.empty() && give_ups.empty()) {
+    std::printf("  (no retransmissions in trace)\n");
+    return 0;
+  }
+  std::printf("  %-6s", "node");
+  for (int a = 1; a <= max_attempt; ++a) std::printf(" %7s%d", "try", a);
+  std::printf(" %8s\n", "give_up");
+  for (const auto& [node, by_attempt] : retr) {
+    std::printf("  %-6u", node);
+    for (int a = 1; a <= max_attempt; ++a) {
+      const auto it = by_attempt.find(a);
+      std::printf(" %8llu",
+                  static_cast<unsigned long long>(
+                      it == by_attempt.end() ? 0 : it->second));
+    }
+    std::printf(" %8llu\n",
+                static_cast<unsigned long long>(give_ups[node]));
+  }
+  for (const auto& [node, count] : give_ups) {
+    if (retr.contains(node)) continue;
+    std::printf("  %-6u", node);
+    for (int a = 1; a <= max_attempt; ++a) std::printf(" %8u", 0u);
+    std::printf(" %8llu\n", static_cast<unsigned long long>(count));
+  }
+  return 0;
+}
+
 int run_main(int argc, char** argv) {
   const Flags flags = parse(argc, argv);
-  const std::string experiment = flags.get("experiment", "");
+  std::string experiment = flags.get("experiment", "");
+  // `pdscli trace --file=...` — subcommand form.
+  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) experiment = "trace";
+  if (experiment == "trace") return run_trace_report(flags);
   if (experiment == "pdd") return run_pdd(flags);
   if (experiment == "pdr") {
     return run_retrieval(flags, wl::RetrievalMethod::kPdr);

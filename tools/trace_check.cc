@@ -1,0 +1,146 @@
+// trace_check — validates an NDJSON trace against the event schema catalog.
+//
+//   trace_check <trace.ndjson>      (or: trace_check - < trace.ndjson)
+//
+// Checks, in order:
+//  * every line parses as a tracer NDJSON object;
+//  * timestamps are non-negative and non-decreasing;
+//  * ph is one of B/E/i and allowed for the event;
+//  * every (sub, ev) pair appears in tools/trace_schema.h;
+//  * each event carries its required payload keys;
+//  * B/E spans balance per (node, sub, ev).
+//
+// Exit status 0 = valid, 1 = violations found (first few printed), 2 = usage
+// or I/O error. CI runs this over a traced integration scenario.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "tools/trace_reader.h"
+#include "tools/trace_schema.h"
+
+namespace pds::tools {
+namespace {
+
+constexpr std::size_t kMaxReported = 20;
+
+struct Checker {
+  std::size_t violations = 0;
+
+  void report(std::size_t line_no, const std::string& what) {
+    ++violations;
+    if (violations <= kMaxReported) {
+      std::fprintf(stderr, "trace_check: line %zu: %s\n", line_no,
+                   what.c_str());
+    }
+  }
+};
+
+const EventSchema* find_schema(const ParsedEvent& event) {
+  for (const EventSchema& schema : kEventCatalog) {
+    if (event.sub == schema.sub && event.ev == schema.ev) return &schema;
+  }
+  return nullptr;
+}
+
+int check(std::istream& is) {
+  std::size_t bad_line = 0;
+  const std::vector<ParsedEvent> events = read_trace(is, bad_line);
+  Checker checker;
+  if (bad_line != 0) {
+    checker.report(bad_line, "malformed NDJSON line");
+  }
+
+  std::int64_t prev_t = -1;
+  // Open span count per (node, sub, ev).
+  std::map<std::tuple<std::uint32_t, std::string, std::string>, long> open;
+  for (std::size_t idx = 0; idx < events.size(); ++idx) {
+    const ParsedEvent& event = events[idx];
+    const std::size_t line_no = idx + 1;
+    if (event.t_us < 0) {
+      checker.report(line_no, "negative timestamp");
+    }
+    if (event.t_us < prev_t) {
+      checker.report(line_no, "timestamp decreased (events must be emitted "
+                              "in simulation order)");
+    }
+    prev_t = event.t_us;
+    if (event.ph != 'B' && event.ph != 'E' && event.ph != 'i') {
+      checker.report(line_no, "bad phase '" + std::string(1, event.ph) + "'");
+      continue;
+    }
+    const EventSchema* schema = find_schema(event);
+    if (schema == nullptr) {
+      checker.report(line_no,
+                     "unknown event " + event.sub + "/" + event.ev);
+      continue;
+    }
+    if (std::strchr(schema->phases, event.ph) == nullptr) {
+      checker.report(line_no, "phase '" + std::string(1, event.ph) +
+                                  "' not allowed for " + event.sub + "/" +
+                                  event.ev);
+    }
+    const auto& required =
+        event.ph == 'E' ? schema->end_keys : schema->begin_keys;
+    for (const char* key : required) {
+      if (key != nullptr && event.arg(key) == nullptr) {
+        checker.report(line_no, event.sub + "/" + event.ev +
+                                    " missing required arg \"" + key + "\"");
+      }
+    }
+    if (event.ph == 'B') {
+      ++open[{event.node, event.sub, event.ev}];
+    } else if (event.ph == 'E') {
+      long& count = open[{event.node, event.sub, event.ev}];
+      if (count == 0) {
+        checker.report(line_no, "span end without matching begin for " +
+                                    event.sub + "/" + event.ev);
+      } else {
+        --count;
+      }
+    }
+  }
+  // A horizon can legitimately cut a run mid-span, so unclosed spans warn
+  // rather than fail (span ends without a begin still fail above).
+  for (const auto& [key, count] : open) {
+    if (count != 0) {
+      std::fprintf(stderr,
+                   "trace_check: warning: %ld unclosed %s/%s span(s) at "
+                   "node %u\n",
+                   count, std::get<1>(key).c_str(), std::get<2>(key).c_str(),
+                   std::get<0>(key));
+    }
+  }
+
+  if (checker.violations > 0) {
+    std::fprintf(stderr, "trace_check: %zu violation(s) in %zu event(s)\n",
+                 checker.violations, events.size());
+    return 1;
+  }
+  std::printf("trace_check: OK (%zu events)\n", events.size());
+  return 0;
+}
+
+int run_main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.ndjson | ->\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "-") == 0) return check(std::cin);
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  return check(file);
+}
+
+}  // namespace
+}  // namespace pds::tools
+
+int main(int argc, char** argv) { return pds::tools::run_main(argc, argv); }

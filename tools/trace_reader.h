@@ -1,0 +1,177 @@
+// Minimal NDJSON trace reader for the format obs::Tracer emits (one flat
+// JSON object per line, fixed field order, args values limited to numbers
+// and strings). Used by `pdscli trace` and tools/trace_check; intentionally
+// not a general JSON parser.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <istream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pds::tools {
+
+struct ParsedEvent {
+  std::int64_t t_us = 0;
+  std::uint32_t node = 0;
+  char ph = 'i';
+  std::string sub;
+  std::string ev;
+  // Raw value text, unescaped for strings ("3", "1.5", "probability").
+  std::vector<std::pair<std::string, std::string>> args;
+
+  [[nodiscard]] const std::string* arg(const std::string& key) const {
+    for (const auto& [k, v] : args) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double num(const std::string& key, double dflt = 0.0) const {
+    const std::string* v = arg(key);
+    return v == nullptr ? dflt : std::atof(v->c_str());
+  }
+};
+
+namespace detail {
+
+inline void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+inline bool expect(const std::string& s, std::size_t& i, char c) {
+  skip_ws(s, i);
+  if (i >= s.size() || s[i] != c) return false;
+  ++i;
+  return true;
+}
+
+// Parses a JSON string at s[i] (opening quote included), appending the
+// unescaped content to `out`.
+inline bool parse_string(const std::string& s, std::size_t& i,
+                         std::string& out) {
+  if (!expect(s, i, '"')) return false;
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i++];
+    if (c == '\\') {
+      if (i >= s.size()) return false;
+      const char esc = s[i++];
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'u': {
+          if (i + 4 > s.size()) return false;
+          c = static_cast<char>(
+              std::strtol(s.substr(i, 4).c_str(), nullptr, 16));
+          i += 4;
+          break;
+        }
+        default: c = esc;
+      }
+    }
+    out.push_back(c);
+  }
+  return expect(s, i, '"');
+}
+
+// Parses a bare scalar (number / true / false / null) as raw text.
+inline bool parse_scalar(const std::string& s, std::size_t& i,
+                         std::string& out) {
+  skip_ws(s, i);
+  const std::size_t start = i;
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ' ') ++i;
+  out = s.substr(start, i - start);
+  return !out.empty();
+}
+
+inline bool parse_value(const std::string& s, std::size_t& i,
+                        std::string& out) {
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '"') return parse_string(s, i, out);
+  return parse_scalar(s, i, out);
+}
+
+}  // namespace detail
+
+// Parses one tracer NDJSON line; nullopt on malformed input.
+inline std::optional<ParsedEvent> parse_trace_line(const std::string& line) {
+  using detail::expect;
+  using detail::parse_string;
+  using detail::parse_value;
+  ParsedEvent event;
+  std::size_t i = 0;
+  if (!expect(line, i, '{')) return std::nullopt;
+  bool first = true;
+  while (true) {
+    detail::skip_ws(line, i);
+    if (i < line.size() && line[i] == '}') break;
+    if (!first && !expect(line, i, ',')) return std::nullopt;
+    first = false;
+    std::string key;
+    if (!parse_string(line, i, key) || !expect(line, i, ':')) {
+      return std::nullopt;
+    }
+    if (key == "args") {
+      if (!expect(line, i, '{')) return std::nullopt;
+      bool first_arg = true;
+      while (true) {
+        detail::skip_ws(line, i);
+        if (i < line.size() && line[i] == '}') {
+          ++i;
+          break;
+        }
+        if (!first_arg && !expect(line, i, ',')) return std::nullopt;
+        first_arg = false;
+        std::string arg_key, arg_value;
+        if (!parse_string(line, i, arg_key) || !expect(line, i, ':') ||
+            !parse_value(line, i, arg_value)) {
+          return std::nullopt;
+        }
+        event.args.emplace_back(std::move(arg_key), std::move(arg_value));
+      }
+    } else {
+      std::string value;
+      if (!parse_value(line, i, value)) return std::nullopt;
+      if (key == "t") {
+        event.t_us = std::atoll(value.c_str());
+      } else if (key == "node") {
+        event.node = static_cast<std::uint32_t>(std::atoll(value.c_str()));
+      } else if (key == "ph") {
+        if (value.size() != 1) return std::nullopt;
+        event.ph = value[0];
+      } else if (key == "sub") {
+        event.sub = std::move(value);
+      } else if (key == "ev") {
+        event.ev = std::move(value);
+      }  // Unknown top-level keys are ignored (forward compatibility).
+    }
+  }
+  if (event.sub.empty() || event.ev.empty()) return std::nullopt;
+  return event;
+}
+
+// Reads a whole NDJSON stream; stops and returns nullopt-free events read so
+// far via `out`, reporting the first bad line number (1-based) in `bad_line`
+// (0 = clean).
+inline std::vector<ParsedEvent> read_trace(std::istream& is,
+                                           std::size_t& bad_line) {
+  std::vector<ParsedEvent> out;
+  bad_line = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto event = parse_trace_line(line);
+    if (!event.has_value()) {
+      bad_line = line_no;
+      break;
+    }
+    out.push_back(std::move(*event));
+  }
+  return out;
+}
+
+}  // namespace pds::tools

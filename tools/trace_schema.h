@@ -1,0 +1,70 @@
+// Trace event schema catalog (DESIGN.md §9).
+//
+// Every event the instrumented subsystems may emit, with its allowed phases
+// and required payload keys. tools/trace_check validates NDJSON traces
+// against this table; keep it in sync with the PDS_TRACE_* sites in
+// src/sim/radio.cc, src/net/transport.cc and src/core/*.cc.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace pds::tools {
+
+struct EventSchema {
+  const char* sub;     // subsystem ("pdd", "lq", ...)
+  const char* ev;      // event name
+  const char* phases;  // allowed phase characters, e.g. "i" or "BE"
+  // Required arg keys for phase B/i (begin_keys) and E (end_keys); extra
+  // keys beyond the required set are allowed (e.g. flood/suppress "copies").
+  std::array<const char*, 4> begin_keys;
+  std::array<const char*, 4> end_keys;
+};
+
+// Shorthand: nullptr-padded key lists.
+inline constexpr std::array<const char*, 4> keys(const char* a = nullptr,
+                                                 const char* b = nullptr,
+                                                 const char* c = nullptr,
+                                                 const char* d = nullptr) {
+  return {a, b, c, d};
+}
+
+inline constexpr std::array<EventSchema, 27> kEventCatalog = {{
+    // -- PDD discovery round lifecycle (§IV-B) -------------------------------
+    {"pdd", "round", "BE", keys("round", "arrivals"),
+     keys("round", "new", "total", "responses")},
+    {"pdd", "session_done", "i", keys("rounds", "total"), keys()},
+    {"pdd", "serve", "i", keys("query", "entries"), keys()},
+    {"pdd", "deliver_local", "i", keys("query", "entries"), keys()},
+    {"pdd", "mixedcast", "i", keys("receivers", "union"), keys()},
+    // -- Lingering query table (§IV-C) ---------------------------------------
+    {"lq", "query_install", "i", keys("query", "upstream", "ttl"), keys()},
+    {"lq", "query_duplicate", "i", keys("query"), keys()},
+    {"lq", "query_forward", "i", keys("query", "ttl"), keys()},
+    {"lq", "rewrite", "i", keys("query", "keys_added"), keys()},
+    {"lq", "expired", "i", keys("count"), keys()},
+    // -- Counter-based flooding (§IV-A) --------------------------------------
+    {"flood", "forward", "i", keys("query", "copies"), keys()},
+    {"flood", "suppress", "i", keys("query", "reason"), keys()},
+    // -- PDR retrieval: CDI phase + chunk assignment (§V) --------------------
+    {"pdr", "cdi_round", "i", keys("round"), keys()},
+    {"pdr", "cdi_done", "i", keys("rounds", "missing"), keys()},
+    {"pdr", "plan", "i", keys("missing", "neighbors", "unroutable"), keys()},
+    {"pdr", "assign", "i", keys("neighbor", "chunks"), keys()},
+    {"pdr", "chunk_arrival", "i", keys("chunk", "have", "total"), keys()},
+    {"pdr", "session_done", "i", keys("complete", "chunks", "total"), keys()},
+    // -- MDR baseline (§VI-B.3) ----------------------------------------------
+    {"mdr", "round", "i", keys("round", "missing"), keys()},
+    // -- Per-hop transport (§V.2/V.4) ----------------------------------------
+    {"transport", "fragments", "i", keys("count", "bytes"), keys()},
+    {"transport", "retransmit", "i", keys("round", "awaiting"), keys()},
+    {"transport", "give_up", "i", keys("round", "awaiting"), keys()},
+    {"transport", "drop_overflow", "i", keys("bytes"), keys()},
+    // -- Radio medium --------------------------------------------------------
+    {"radio", "tx", "i", keys("bytes", "control"), keys()},
+    {"radio", "defer", "i", keys("wait_us"), keys()},
+    {"radio", "collision", "i", keys("bytes"), keys()},
+    {"radio", "os_drop", "i", keys("bytes"), keys()},
+}};
+
+}  // namespace pds::tools
