@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
 #include "parallel_runs.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -15,13 +16,9 @@ namespace pds::bench {
 
 // Seeds averaged per data point. The paper averages over 5 runs; the default
 // here keeps each binary within a couple of minutes. Override with
-// PDS_BENCH_RUNS.
+// PDS_BENCH_RUNS (invalid or non-positive values are fatal, not ignored).
 inline int runs(int dflt = 2) {
-  if (const char* env = std::getenv("PDS_BENCH_RUNS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return dflt;
+  return env_positive_int("PDS_BENCH_RUNS", dflt);
 }
 
 struct Series {
@@ -55,6 +52,31 @@ inline void print_header(const std::string& experiment,
   std::printf("runs per point: %d (PDS_BENCH_RUNS to change)\n",
               runs_used > 0 ? runs_used : runs());
   std::printf("worker threads: %d (PDS_BENCH_JOBS to change)\n\n", jobs());
+}
+
+// Prints the canonical experiment header (byte-identical to the historical
+// print_header output) and opens the telemetry Report the binary routes its
+// results through.
+inline obs::Report make_report(const char* experiment, const char* title,
+                               const char* paper, int runs_used = 0) {
+  const int n = runs_used > 0 ? runs_used : runs();
+  print_header(title, paper, n);
+  obs::Report::Options options;
+  options.experiment = experiment;
+  options.title = title;
+  options.paper = paper;
+  options.runs = n;
+  options.jobs = jobs();
+  return obs::Report(std::move(options));
+}
+
+// Writes BENCH_<experiment>.json, announcing on *stderr* so the stdout
+// tables stay byte-identical to the pre-telemetry harnesses. Returns the
+// binary's exit status: a bench run whose results cannot be recorded fails.
+inline int finish(const obs::Report& report) {
+  if (!report.write_json()) return 1;
+  std::fprintf(stderr, "wrote %s\n", report.json_path().c_str());
+  return 0;
 }
 
 }  // namespace pds::bench

@@ -25,11 +25,13 @@ const char* mode_name(wl::TransportMode mode) {
 }
 
 int run() {
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "fig03_singlehop",
       "Fig. 3 — single-hop reception & data rate vs concurrent senders",
       "raw UDP ~14%; leaky bucket 40-90%; leaky+ack 85-99%");
 
-  util::Table table({"mode", "senders", "reception", "data rate (Mb/s)"});
+  report.begin_table("main",
+                     {"mode", "senders", "reception", "data rate (Mb/s)"});
   for (const wl::TransportMode mode :
        {wl::TransportMode::kRawUdp, wl::TransportMode::kLeakyBucket,
         wl::TransportMode::kLeakyBucketAck}) {
@@ -48,13 +50,15 @@ int run() {
         reception.add(out.reception);
         rate.add(out.data_rate_mbps);
       }
-      table.add_row({mode_name(mode), std::to_string(senders),
-                     util::Table::num(reception.mean(), 3),
-                     util::Table::num(rate.mean(), 2)});
+      report.point()
+          .param("mode", mode_name(mode))
+          .param("senders", static_cast<std::int64_t>(senders))
+          .metric("reception", reception, 3)
+          .metric("data_rate_mbps", rate, 2);
     }
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

@@ -12,12 +12,13 @@ namespace pds {
 namespace {
 
 int run() {
-  bench::print_header(
-      "Fig. 4 — single-round PDD vs maximum hop count",
+  obs::Report report = bench::make_report(
+      "fig04_hopcount", "Fig. 4 — single-round PDD vs maximum hop count",
       "recall 100% -> 72.3%, latency 0.3 -> 3.5 s, overhead 0.04 -> 1.71 MB");
+  report.set_param("radio_profile", "contended");
 
-  util::Table table({"grid", "max hops", "recall", "latency (s)",
-                     "overhead (MB)"});
+  report.begin_table(
+      "main", {"grid", "max hops", "recall", "latency (s)", "overhead (MB)"});
   for (const std::size_t n : {3u, 5u, 7u, 9u, 11u}) {
     const bench::Series s =
         bench::average(bench::runs(), [&](std::uint64_t seed) {
@@ -30,13 +31,15 @@ int run() {
           const wl::PddOutcome out = wl::run_pdd_grid(p);
           return std::tuple{out.recall, out.latency_s, out.overhead_mb};
         });
-    table.add_row({std::to_string(n) + "x" + std::to_string(n),
-                   std::to_string(n / 2), util::Table::num(s.recall.mean(), 3),
-                   util::Table::num(s.latency_s.mean(), 2),
-                   util::Table::num(s.overhead_mb.mean(), 2)});
+    report.point()
+        .param("grid", std::to_string(n) + "x" + std::to_string(n))
+        .param("max_hops", static_cast<std::int64_t>(n / 2))
+        .metric("recall", s.recall, 3)
+        .metric("latency_s", s.latency_s, 2)
+        .metric("overhead_mb", s.overhead_mb, 2);
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

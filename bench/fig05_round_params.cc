@@ -24,13 +24,15 @@ wl::PddOutcome run_with(double window_s, double td, double tr,
 }
 
 int run() {
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "fig05_round_params",
       "Fig. 5 — multi-round PDD recall vs window T and threshold T_d",
       "recall stabilizes for T >= 0.6-0.8 s; T_d=0 -> recall 1.0 "
       "(5.6 s, 5.13 MB), T_d=0.3 -> 0.95 (3.4 s, 3.85 MB); T_r flat");
+  report.set_param("entries", 5000);
 
-  util::Table table({"T (s)", "T_d", "recall", "latency (s)", "overhead (MB)",
-                     "rounds"});
+  report.begin_table("window_td", {"T (s)", "T_d", "recall", "latency (s)",
+                                   "overhead (MB)", "rounds"});
   for (const double td : {0.0, 0.3}) {
     for (const double window : {0.2, 0.4, 0.6, 0.8, 1.0, 1.2}) {
       util::SampleSet recall;
@@ -46,18 +48,21 @@ int run() {
         overhead.add(out.overhead_mb);
         rounds.add(out.rounds);
       }
-      table.add_row({util::Table::num(window, 1), util::Table::num(td, 1),
-                     util::Table::num(recall.mean(), 3),
-                     util::Table::num(latency.mean(), 2),
-                     util::Table::num(overhead.mean(), 2),
-                     util::Table::num(rounds.mean(), 1)});
+      report.point()
+          .param("window_s", window, 1)
+          .param("td", td, 1)
+          .metric("recall", recall, 3)
+          .metric("latency_s", latency, 2)
+          .metric("overhead_mb", overhead, 2)
+          .metric("rounds", rounds, 1);
     }
   }
-  table.print();
+  report.print_table();
 
   std::printf("\nT_r sweep at T = 1 s, T_d = 0 (paper: no significant "
               "impact):\n");
-  util::Table tr_table({"T_r", "recall", "latency (s)", "overhead (MB)"});
+  report.begin_table("tr_sweep",
+                     {"T_r", "recall", "latency (s)", "overhead (MB)"});
   for (const double tr : {0.0, 0.05, 0.1, 0.2}) {
     util::SampleSet recall;
     util::SampleSet latency;
@@ -70,13 +75,14 @@ int run() {
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);
     }
-    tr_table.add_row({util::Table::num(tr, 2),
-                      util::Table::num(recall.mean(), 3),
-                      util::Table::num(latency.mean(), 2),
-                      util::Table::num(overhead.mean(), 2)});
+    report.point()
+        .param("tr", tr, 2)
+        .metric("recall", recall, 3)
+        .metric("latency_s", latency, 2)
+        .metric("overhead_mb", overhead, 2);
   }
-  tr_table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

@@ -11,13 +11,14 @@ namespace pds {
 namespace {
 
 int run() {
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "fig06_metadata_amount",
       "Fig. 6 — multi-round PDD vs metadata amount (10×10 grid)",
       "recall 100%; latency 5.6 -> 11.2 s sublinear; overhead 5.13 -> "
       "22.21 MB ~linear");
 
-  util::Table table({"entries", "recall", "latency (s)", "overhead (MB)",
-                     "rounds"});
+  report.begin_table("main", {"entries", "recall", "latency (s)",
+                              "overhead (MB)", "rounds"});
   for (const std::size_t entries : {5000u, 10000u, 15000u, 20000u}) {
     util::SampleSet recall;
     util::SampleSet latency;
@@ -35,14 +36,15 @@ int run() {
       overhead.add(out.overhead_mb);
       rounds.add(out.rounds);
     }
-    table.add_row({std::to_string(entries),
-                   util::Table::num(recall.mean(), 3),
-                   util::Table::num(latency.mean(), 2),
-                   util::Table::num(overhead.mean(), 2),
-                   util::Table::num(rounds.mean(), 1)});
+    report.point()
+        .param("entries", static_cast<std::int64_t>(entries))
+        .metric("recall", recall, 3)
+        .metric("latency_s", latency, 2)
+        .metric("overhead_mb", overhead, 2)
+        .metric("rounds", rounds, 1);
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

@@ -12,9 +12,11 @@ namespace pds {
 namespace {
 
 int run() {
-  bench::print_header(
-      "Fig. 7 — PDD with sequential consumers (5,000 entries)",
+  obs::Report report = bench::make_report(
+      "pdd_rounds", "Fig. 7 — PDD with sequential consumers (5,000 entries)",
       "recall ~100% for all; latency 5-7 s (1st/2nd), 4.8 s, 3.2 s, 0.2 s");
+  report.set_param("seed", 1);
+  report.set_param("entries", 5000);
 
   const std::size_t consumers = 5;
   std::vector<util::SampleSet> recall(consumers);
@@ -37,57 +39,46 @@ int run() {
     overhead.add(out.overhead_mb);
   }
 
-  util::Table table({"consumer", "recall", "latency (s)"});
+  report.begin_table("consumers", {"consumer", "recall", "latency (s)"});
   for (std::size_t i = 0; i < consumers; ++i) {
-    table.add_row({std::to_string(i + 1),
-                   util::Table::num(recall[i].mean(), 3),
-                   util::Table::num(latency[i].mean(), 2)});
+    report.point()
+        .param("consumer", static_cast<std::int64_t>(i + 1))
+        .metric("recall", recall[i], 3)
+        .metric("latency_s", latency[i], 2);
   }
-  table.print();
+  report.print_table();
   std::printf("\ntotal overhead: %.2f MB\n", overhead.mean());
 
+  report.begin_section("summary");
+  report.point().hidden_metric("overhead_mb", overhead);
+
   // Per-round timelines for the first (deterministic, seed 1) run — the
-  // per-consumer recall curves behind the figure's aggregate numbers.
+  // per-consumer recall curves behind the figure's aggregate numbers. The
+  // JSON keeps the historical per-round field names (round, start_s, end_s,
+  // new, total, responses).
   const wl::PddOutcome& first = outs.front();
   std::printf("\nper-round progress (seed 1):\n");
-  util::Table rounds_table(
-      {"consumer", "round", "end (s)", "new", "total", "recall"});
+  report.begin_table("rounds",
+                     {"consumer", "round", "end (s)", "new", "total",
+                      "recall"});
   for (std::size_t i = 0; i < first.per_consumer_rounds.size(); ++i) {
     for (const wl::PddRoundRecord& rec : first.per_consumer_rounds[i]) {
-      rounds_table.add_row(
-          {std::to_string(i + 1), std::to_string(rec.round),
-           util::Table::num(rec.end_s, 2), std::to_string(rec.new_keys),
-           std::to_string(rec.cumulative),
-           util::Table::num(static_cast<double>(rec.cumulative) / 5000.0,
-                            3)});
+      report.point()
+          .param("consumer", static_cast<std::int64_t>(i + 1))
+          .param("round", static_cast<std::int64_t>(rec.round))
+          .metric("end_s", rec.end_s, 2)
+          .metric("new", static_cast<std::int64_t>(rec.new_keys))
+          .metric("total", static_cast<std::int64_t>(rec.cumulative))
+          .metric("recall", static_cast<double>(rec.cumulative) / 5000.0, 3)
+          .hidden_metric("start_s", rec.start_s)
+          .hidden_metric("responses", static_cast<double>(rec.responses));
     }
   }
-  rounds_table.print();
+  report.print_table();
 
-  std::FILE* json = std::fopen("BENCH_pdd_rounds.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"benchmark\": \"pdd_rounds\",\n");
-    std::fprintf(json, "  \"seed\": 1,\n  \"entries\": 5000,\n");
-    std::fprintf(json, "  \"consumers\": [\n");
-    for (std::size_t i = 0; i < first.per_consumer_rounds.size(); ++i) {
-      std::fprintf(json, "    {\"consumer\": %zu, \"rounds\": [", i + 1);
-      const auto& rounds = first.per_consumer_rounds[i];
-      for (std::size_t r = 0; r < rounds.size(); ++r) {
-        std::fprintf(json,
-                     "%s\n      {\"round\": %d, \"start_s\": %.6f, "
-                     "\"end_s\": %.6f, \"new\": %zu, \"total\": %zu, "
-                     "\"responses\": %zu}",
-                     r == 0 ? "" : ",", rounds[r].round, rounds[r].start_s,
-                     rounds[r].end_s, rounds[r].new_keys,
-                     rounds[r].cumulative, rounds[r].responses);
-      }
-      std::fprintf(json, "\n    ]}%s\n",
-                   i + 1 < first.per_consumer_rounds.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("\nwrote BENCH_pdd_rounds.json\n");
-  }
+  // Historically this binary announced its JSON on stdout; keep that.
+  if (!report.write_json()) return 1;
+  std::printf("\nwrote %s\n", report.json_path().c_str());
   return 0;
 }
 

@@ -11,12 +11,14 @@ namespace pds {
 namespace {
 
 int run() {
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "fig08_simultaneous_pdd",
       "Fig. 8 — PDD with simultaneous consumers (5,000 entries)",
       "recall 100%; latency grows sub-linearly, then stabilizes");
+  report.set_param("entries", 5000);
 
-  util::Table table({"consumers", "recall", "mean latency (s)",
-                     "overhead (MB)"});
+  report.begin_table("main", {"consumers", "recall", "mean latency (s)",
+                              "overhead (MB)"});
   for (const std::size_t consumers : {1u, 2u, 3u, 4u, 5u}) {
     util::SampleSet recall;
     util::SampleSet latency;
@@ -34,13 +36,14 @@ int run() {
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);
     }
-    table.add_row({std::to_string(consumers),
-                   util::Table::num(recall.mean(), 3),
-                   util::Table::num(latency.mean(), 2),
-                   util::Table::num(overhead.mean(), 2)});
+    report.point()
+        .param("consumers", static_cast<std::int64_t>(consumers))
+        .metric("recall", recall, 3)
+        .metric("latency_s", latency, 2)
+        .metric("overhead_mb", overhead, 2);
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

@@ -11,13 +11,13 @@ namespace pds {
 namespace {
 
 int run() {
-  bench::print_header(
-      "Fig. 11 — PDR latency & overhead vs data item size",
+  obs::Report report = bench::make_report(
+      "fig11_item_size", "Fig. 11 — PDR latency & overhead vs data item size",
       "recall 100%; 1 MB: 8.2 s / 4.83 MB ... 20 MB: 46.1 s / 54.22 MB "
       "(overhead 2-3x item size)");
 
-  util::Table table({"size (MB)", "recall", "latency (s)", "overhead (MB)",
-                     "overhead / size"});
+  report.begin_table("main", {"size (MB)", "recall", "latency (s)",
+                              "overhead (MB)", "overhead / size"});
   for (const std::size_t mib : {1u, 5u, 10u, 15u, 20u}) {
     util::SampleSet recall;
     util::SampleSet latency;
@@ -33,14 +33,16 @@ int run() {
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);
     }
-    table.add_row(
-        {std::to_string(mib), util::Table::num(recall.mean(), 3),
-         util::Table::num(latency.mean(), 1),
-         util::Table::num(overhead.mean(), 1),
-         util::Table::num(overhead.mean() / static_cast<double>(mib), 2)});
+    report.point()
+        .param("size_mb", static_cast<std::int64_t>(mib))
+        .metric("recall", recall, 3)
+        .metric("latency_s", latency, 1)
+        .metric("overhead_mb", overhead, 1)
+        .metric("overhead_per_mb",
+                overhead.mean() / static_cast<double>(mib), 2);
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

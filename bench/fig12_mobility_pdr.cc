@@ -10,11 +10,14 @@ namespace pds {
 namespace {
 
 int run() {
-  bench::print_header(
-      "Fig. 12 — PDR (20 MB) under Student Center mobility",
+  obs::Report report = bench::make_report(
+      "fig12_mobility_pdr", "Fig. 12 — PDR (20 MB) under Student Center mobility",
       "latency flat 42-48 s; overhead 24-27 MB; recall 100%");
+  report.set_param("item_size_mb", 20);
+  report.set_param("redundancy", 2);
 
-  util::Table table({"mobility x", "recall", "latency (s)", "overhead (MB)"});
+  report.begin_table(
+      "main", {"mobility x", "recall", "latency (s)", "overhead (MB)"});
   for (const double mult : {0.5, 1.0, 1.5, 2.0}) {
     util::SampleSet recall;
     util::SampleSet latency;
@@ -34,13 +37,14 @@ int run() {
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);
     }
-    table.add_row({util::Table::num(mult, 1),
-                   util::Table::num(recall.mean(), 3),
-                   util::Table::num(latency.mean(), 1),
-                   util::Table::num(overhead.mean(), 1)});
+    report.point()
+        .param("mobility_multiplier", mult, 1)
+        .metric("recall", recall, 3)
+        .metric("latency_s", latency, 1)
+        .metric("overhead_mb", overhead, 1);
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

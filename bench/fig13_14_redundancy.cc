@@ -15,13 +15,15 @@ namespace {
 
 int run() {
   const int n_runs = bench::runs(2);
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "fig13_14_redundancy",
       "Figs. 13/14 — PDR vs MDR vs chunk redundancy (20 MB item)",
       "MDR wins slightly at 1 copy; PDR flat/slightly decreasing, MDR "
       "~linear growth, ~2x PDR at 5 copies", n_runs);
+  report.set_param("item_size_mb", 20);
 
-  util::Table table({"redundancy", "method", "recall", "latency (s)",
-                     "overhead (MB)"});
+  report.begin_table("main", {"redundancy", "method", "recall", "latency (s)",
+                              "overhead (MB)"});
   for (const int redundancy : {1, 2, 3, 4, 5}) {
     for (const wl::RetrievalMethod method :
          {wl::RetrievalMethod::kPdr, wl::RetrievalMethod::kMdr}) {
@@ -41,16 +43,17 @@ int run() {
         latency.add(out.latency_s);
         overhead.add(out.overhead_mb);
       }
-      table.add_row(
-          {std::to_string(redundancy),
-           method == wl::RetrievalMethod::kPdr ? "PDR" : "MDR",
-           util::Table::num(recall.mean(), 3),
-           util::Table::num(latency.mean(), 1),
-           util::Table::num(overhead.mean(), 1)});
+      report.point()
+          .param("redundancy", static_cast<std::int64_t>(redundancy))
+          .param("method",
+                 method == wl::RetrievalMethod::kPdr ? "PDR" : "MDR")
+          .metric("recall", recall, 3)
+          .metric("latency_s", latency, 1)
+          .metric("overhead_mb", overhead, 1);
     }
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

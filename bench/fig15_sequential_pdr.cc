@@ -13,9 +13,12 @@ namespace {
 
 int run() {
   const int n_runs = bench::runs(2);
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "fig15_sequential_pdr",
       "Fig. 15 — PDR with sequential consumers (20 MB item)",
-      "latency 46.1 -> 38.1 s; overhead 54.22 -> 23.11 MB; recall 100%", n_runs);
+      "latency 46.1 -> 38.1 s; overhead 54.22 -> 23.11 MB; recall 100%",
+      n_runs);
+  report.set_param("item_size_mb", 20);
 
   const std::size_t consumers = 5;
   std::vector<util::SampleSet> recall(consumers);
@@ -39,16 +42,19 @@ int run() {
     overhead.add(out.overhead_mb);
   }
 
-  util::Table table({"consumer", "recall", "latency (s)"});
+  report.begin_table("consumers", {"consumer", "recall", "latency (s)"});
   for (std::size_t i = 0; i < consumers; ++i) {
-    table.add_row({std::to_string(i + 1),
-                   util::Table::num(recall[i].mean(), 3),
-                   util::Table::num(latency[i].mean(), 1)});
+    report.point()
+        .param("consumer", static_cast<std::int64_t>(i + 1))
+        .metric("recall", recall[i], 3)
+        .metric("latency_s", latency[i], 1);
   }
-  table.print();
+  report.print_table();
   std::printf("\ntotal overhead (all 5 retrievals): %.1f MB\n",
               overhead.mean());
-  return 0;
+  report.begin_section("summary");
+  report.point().hidden_metric("overhead_mb", overhead);
+  return bench::finish(report);
 }
 
 }  // namespace

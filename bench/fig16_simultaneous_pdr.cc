@@ -12,12 +12,14 @@ namespace {
 
 int run() {
   const int n_runs = bench::runs(2);
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "fig16_simultaneous_pdr",
       "Fig. 16 — PDR with simultaneous consumers (20 MB item)",
       "recall 100%; latency & overhead rise then stabilize", n_runs);
+  report.set_param("item_size_mb", 20);
 
-  util::Table table({"consumers", "recall", "mean latency (s)",
-                     "overhead (MB)"});
+  report.begin_table("main", {"consumers", "recall", "mean latency (s)",
+                              "overhead (MB)"});
   for (const std::size_t consumers : {1u, 2u, 3u, 4u, 5u}) {
     util::SampleSet recall;
     util::SampleSet latency;
@@ -36,13 +38,14 @@ int run() {
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);
     }
-    table.add_row({std::to_string(consumers),
-                   util::Table::num(recall.mean(), 3),
-                   util::Table::num(latency.mean(), 1),
-                   util::Table::num(overhead.mean(), 1)});
+    report.point()
+        .param("consumers", static_cast<std::int64_t>(consumers))
+        .metric("recall", recall, 3)
+        .metric("latency_s", latency, 1)
+        .metric("overhead_mb", overhead, 1);
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

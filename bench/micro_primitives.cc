@@ -7,6 +7,7 @@
 // cost <PDS_TRACE_OVERHEAD_MAX_PCT% (default 1%) over the same run with no
 // tracer attached. Exit 0 = pass, 1 = fail.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstring>
@@ -14,6 +15,7 @@
 #include "common/rng.h"
 #include "core/data_store.h"
 #include "net/codec.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "util/bloom_filter.h"
@@ -276,6 +278,53 @@ int run_trace_overhead_gate() {
   return 0;
 }
 
+// Console output stays the stock ConsoleReporter; each per-iteration run is
+// also captured so the results land in BENCH_micro_primitives.json.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  using ConsoleReporter::ConsoleReporter;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.run_type == Run::RT_Iteration && !r.error_occurred) {
+        captured.push_back(r);
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<Run> captured;
+};
+
+int write_micro_report(const std::vector<benchmark::BenchmarkReporter::Run>&
+                           runs) {
+  obs::Report::Options options;
+  options.experiment = "micro_primitives";
+  options.title = "micro_primitives — hot-primitive microbenchmarks";
+  options.paper =
+      "engineering benchmark (not a paper figure): Bloom, descriptor "
+      "hashing, store matching, codec, GAP, event queue, trace macros";
+  options.runs = 1;
+  options.jobs = 1;
+  obs::Report report{std::move(options)};
+  report.begin_section("benchmarks");
+  for (const auto& r : runs) {
+    obs::Report::Point& p = report.point();
+    p.param("name", r.benchmark_name());
+    p.param("time_unit", benchmark::GetTimeUnitString(r.time_unit));
+    p.hidden_metric("real_time", r.GetAdjustedRealTime());
+    p.hidden_metric("cpu_time", r.GetAdjustedCPUTime());
+    p.hidden_metric("iterations", static_cast<double>(r.iterations));
+    for (const auto& [name, counter] : r.counters) {
+      p.hidden_metric("counter." + name,
+                      static_cast<double>(counter.value));
+    }
+  }
+  if (!report.write_json()) return 1;
+  std::fprintf(stderr, "wrote %s\n", report.json_path().c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace pds
 
@@ -287,7 +336,12 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // Mirror the stock reporter's color policy: escapes only on a terminal.
+  pds::CapturingReporter reporter(
+      isatty(fileno(stdout)) != 0
+          ? benchmark::ConsoleReporter::OO_Defaults
+          : benchmark::ConsoleReporter::OO_Tabular);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return 0;
+  return pds::write_micro_report(reporter.captured);
 }

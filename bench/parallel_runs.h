@@ -12,6 +12,8 @@
 #pragma once
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -21,14 +23,31 @@
 
 namespace pds::bench {
 
+// Strictly parses a positive integer from environment variable `name`;
+// returns `dflt` when the variable is unset. A set-but-invalid value
+// (non-numeric, trailing junk, non-positive, out of range) is a fatal
+// configuration error — running a sweep with a silently-substituted default
+// produces results that claim an average the user never asked for.
+inline int env_positive_int(const char* name, int dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return dflt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v <= 0 ||
+      v > 1'000'000) {
+    std::fprintf(stderr, "%s must be a positive integer, got \"%s\"\n", name,
+                 env);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
 // Worker threads used for multi-seed sweeps.
 inline int jobs() {
-  if (const char* env = std::getenv("PDS_BENCH_JOBS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
   const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
+  return env_positive_int("PDS_BENCH_JOBS",
+                          hc == 0 ? 1 : static_cast<int>(hc));
 }
 
 // Runs `body(i)` for i in [0, n) across jobs() worker threads and returns

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
 #include "parallel_runs.h"
 #include "sim/radio.h"
 #include "sim/simulator.h"
@@ -134,8 +135,21 @@ int run(bool smoke) {
             : std::vector<std::size_t>{50, 100, 200};
   const int frames_per_node = smoke ? 40 : 250;
 
-  util::Table table({"nodes", "frames", "brute (s)", "grid (s)", "speedup",
-                     "grid events/s", "identical stats"});
+  obs::Report::Options options;
+  options.experiment = "sim_perf";
+  options.title = "perf_radio — spatial-grid radio medium vs brute force";
+  options.paper =
+      "engineering benchmark (not a paper figure): grid must beat brute "
+      "force with bit-identical MediumStats";
+  options.runs = 1;
+  options.jobs = bench::jobs();
+  obs::Report report{std::move(options)};
+  report.set_param("mode", smoke ? "smoke" : "full");
+  report.set_param("profile", "contended");
+
+  report.begin_table("scenarios",
+                     {"nodes", "frames", "brute (s)", "grid (s)", "speedup",
+                      "grid events/s", "identical stats"});
   std::vector<ScenarioReport> reports;
   for (const std::size_t nodes : node_counts) {
     ScenarioReport rep;
@@ -146,17 +160,25 @@ int run(bool smoke) {
     rep.stats_identical = rep.brute.stats == rep.grid.stats;
     rep.speedup = rep.grid.wall_s > 0.0 ? rep.brute.wall_s / rep.grid.wall_s
                                         : 0.0;
-    table.add_row({std::to_string(nodes), std::to_string(frames_per_node),
-                   util::Table::num(rep.brute.wall_s, 3),
-                   util::Table::num(rep.grid.wall_s, 3),
-                   util::Table::num(rep.speedup, 2),
-                   util::Table::num(static_cast<double>(rep.grid.events) /
-                                        rep.grid.wall_s,
-                                    0),
-                   rep.stats_identical ? "yes" : "NO"});
+    report.point()
+        .param("nodes", static_cast<std::int64_t>(nodes))
+        .param("frames_per_node", static_cast<std::int64_t>(frames_per_node))
+        .metric("brute.wall_s", rep.brute.wall_s, 3)
+        .metric("grid.wall_s", rep.grid.wall_s, 3)
+        .metric("speedup", rep.speedup, 2)
+        .metric("grid.events_per_s",
+                static_cast<double>(rep.grid.events) / rep.grid.wall_s, 0)
+        .param("stats_identical", rep.stats_identical,
+               rep.stats_identical ? "yes" : "NO")
+        .hidden_metric("brute.events",
+                       static_cast<double>(rep.brute.events))
+        .hidden_metric("brute.events_per_s",
+                       static_cast<double>(rep.brute.events) /
+                           rep.brute.wall_s)
+        .hidden_metric("grid.events", static_cast<double>(rep.grid.events));
     reports.push_back(rep);
   }
-  table.print();
+  report.print_table();
 
   // Multi-seed leg: same 100-node grid scenario across seeds, fanned out by
   // bench::run_indexed; wall-clock shrinks as PDS_BENCH_JOBS grows.
@@ -176,41 +198,20 @@ int run(bool smoke) {
       "(%.3f s of single-thread work)\n",
       n_seeds, multi_wall, bench::jobs(), multi_serial);
 
-  std::FILE* json = std::fopen("BENCH_sim_perf.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"benchmark\": \"sim_perf\",\n");
-    std::fprintf(json, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
-    std::fprintf(json, "  \"profile\": \"contended\",\n");
-    std::fprintf(json, "  \"scenarios\": [\n");
-    for (std::size_t i = 0; i < reports.size(); ++i) {
-      const ScenarioReport& r = reports[i];
-      std::fprintf(
-          json,
-          "    {\"nodes\": %zu, \"frames_per_node\": %d,\n"
-          "     \"brute\": {\"wall_s\": %.6f, \"events\": %llu, "
-          "\"events_per_s\": %.0f},\n"
-          "     \"grid\": {\"wall_s\": %.6f, \"events\": %llu, "
-          "\"events_per_s\": %.0f},\n"
-          "     \"speedup\": %.3f, \"stats_identical\": %s}%s\n",
-          r.nodes, r.frames_per_node, r.brute.wall_s,
-          static_cast<unsigned long long>(r.brute.events),
-          static_cast<double>(r.brute.events) / r.brute.wall_s, r.grid.wall_s,
-          static_cast<unsigned long long>(r.grid.events),
-          static_cast<double>(r.grid.events) / r.grid.wall_s, r.speedup,
-          r.stats_identical ? "true" : "false",
-          i + 1 < reports.size() ? "," : "");
-    }
-    std::fprintf(json, "  ],\n");
-    std::fprintf(json,
-                 "  \"multi_seed\": {\"nodes\": 100, \"seeds\": %d, "
-                 "\"jobs\": %d, \"wall_s\": %.6f, \"serial_work_s\": %.6f}\n",
-                 n_seeds, bench::jobs(), multi_wall, multi_serial);
-    std::fprintf(json, "}\n");
-    std::fclose(json);
-    std::printf("wrote BENCH_sim_perf.json\n");
-  }
+  report.begin_section("multi_seed");
+  report.point()
+      .hidden_param("nodes", 100)
+      .hidden_param("seeds", n_seeds)
+      .hidden_param("jobs", bench::jobs())
+      .hidden_metric("wall_s", multi_wall)
+      .hidden_metric("serial_work_s", multi_serial);
 
   int rc = 0;
+  if (report.write_json()) {
+    std::printf("wrote %s\n", report.json_path().c_str());
+  } else {
+    rc = 1;
+  }
   for (const ScenarioReport& r : reports) {
     if (!r.stats_identical) {
       std::fprintf(stderr,

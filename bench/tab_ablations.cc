@@ -14,8 +14,8 @@ struct Variant {
 };
 
 int run() {
-  bench::print_header(
-      "Ablations — each mechanism off vs full PDS",
+  obs::Report report = bench::make_report(
+      "tab_ablations", "Ablations — each mechanism off vs full PDS",
       "each mechanism exists to cut overhead/latency; turning one off "
       "should not break recall but should cost transmissions");
 
@@ -36,8 +36,9 @@ int run() {
   for (const bool sequential : {false, true}) {
     std::printf("PDD, 5,000 entries, redundancy 2, 3 %s consumers:\n",
                 sequential ? "sequential" : "simultaneous");
-    util::Table pdd_table({"variant", "recall", "latency (s)",
-                           "overhead (MB)", "rounds"});
+    report.begin_table(sequential ? "pdd_sequential" : "pdd_simultaneous",
+                       {"variant", "recall", "latency (s)", "overhead (MB)",
+                        "rounds"});
     for (const Variant& v : variants) {
       util::SampleSet recall;
       util::SampleSet latency;
@@ -57,19 +58,21 @@ int run() {
         overhead.add(out.overhead_mb);
         rounds.add(out.rounds);
       }
-      pdd_table.add_row({v.name, util::Table::num(recall.mean(), 3),
-                         util::Table::num(latency.mean(), 2),
-                         util::Table::num(overhead.mean(), 2),
-                         util::Table::num(rounds.mean(), 1)});
+      report.point()
+          .param("variant", v.name)
+          .metric("recall", recall, 3)
+          .metric("latency_s", latency, 2)
+          .metric("overhead_mb", overhead, 2)
+          .metric("rounds", rounds, 1);
     }
-    pdd_table.print();
+    report.print_table();
     std::printf("\n");
   }
 
   std::printf(
       "\nPDR, 10 MB item, redundancy 3 — GAP balancing vs naive nearest:\n");
-  util::Table pdr_table({"variant", "recall", "latency (s)",
-                         "overhead (MB)"});
+  report.begin_table("pdr_gap",
+                     {"variant", "recall", "latency (s)", "overhead (MB)"});
   for (const bool balanced : {true, false}) {
     util::SampleSet recall;
     util::SampleSet latency;
@@ -85,13 +88,15 @@ int run() {
       latency.add(out.latency_s);
       overhead.add(out.overhead_mb);
     }
-    pdr_table.add_row({balanced ? "min-max GAP balancing" : "naive nearest",
-                       util::Table::num(recall.mean(), 3),
-                       util::Table::num(latency.mean(), 1),
-                       util::Table::num(overhead.mean(), 1)});
+    report.point()
+        .param("variant",
+               balanced ? "min-max GAP balancing" : "naive nearest")
+        .metric("recall", recall, 3)
+        .metric("latency_s", latency, 1)
+        .metric("overhead_mb", overhead, 1);
   }
-  pdr_table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

@@ -19,9 +19,11 @@ struct CachePoint {
 };
 
 int run() {
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "tab_cache_policies",
       "Chunk-cache policies — second-consumer benefit vs cache budget",
       "§VII future work; unlimited caching is the paper's implicit default");
+  report.set_param("item_size_mb", 10);
 
   const CachePoint points[] = {
       {"unlimited (paper)", 0, core::ChunkEvictionPolicy::kLru},
@@ -31,8 +33,8 @@ int run() {
       {"1 MB, LFU", 1u << 20, core::ChunkEvictionPolicy::kLfu},
   };
 
-  util::Table table({"cache", "recall", "2nd consumer latency (s)",
-                     "total overhead (MB)"});
+  report.begin_table("main", {"cache", "recall", "2nd consumer latency (s)",
+                              "total overhead (MB)"});
   for (const CachePoint& point : points) {
     util::SampleSet recall;
     util::SampleSet second_latency;
@@ -52,12 +54,14 @@ int run() {
       }
       overhead.add(out.overhead_mb);
     }
-    table.add_row({point.name, util::Table::num(recall.mean(), 3),
-                   util::Table::num(second_latency.mean(), 1),
-                   util::Table::num(overhead.mean(), 1)});
+    report.point()
+        .param("cache", point.name)
+        .metric("recall", recall, 3)
+        .metric("second_latency_s", second_latency, 1)
+        .metric("overhead_mb", overhead, 1);
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

@@ -75,37 +75,45 @@ EnergyReport run_pdr(bool overhearing, std::uint64_t seed) {
 }
 
 int run() {
-  bench::print_header(
-      "Energy — radio cost of always-on overhearing (§VII)",
+  obs::Report telemetry = bench::make_report(
+      "tab_energy", "Energy — radio cost of always-on overhearing (§VII)",
       "the paper defers energy to message overhead; this is the actual "
       "idle/tx/rx ledger (100 nodes)");
+  telemetry.set_param("seed", 1);
 
-  util::Table table({"experiment", "overhearing", "elapsed (s)", "total (J)",
-                     "mean/node (J)", "max node (J)", "vs pure idle"});
+  telemetry.begin_table(
+      "main", {"experiment", "overhearing", "elapsed (s)", "total (J)",
+               "mean/node (J)", "max node (J)", "vs pure idle"});
   for (const bool overhearing : {true, false}) {
     const EnergyReport pdd = run_pdd(overhearing, 1);
-    table.add_row({"PDD 5k entries", overhearing ? "on" : "off",
-                   util::Table::num(pdd.elapsed_s, 1),
-                   util::Table::num(pdd.total_j, 1),
-                   util::Table::num(pdd.mean_node_j, 2),
-                   util::Table::num(pdd.max_node_j, 2),
-                   util::Table::num(pdd.total_j / pdd.idle_only_j, 3)});
+    telemetry.point()
+        .param("experiment", "PDD 5k entries")
+        .param("overhearing", overhearing, overhearing ? "on" : "off")
+        .metric("elapsed_s", pdd.elapsed_s, 1)
+        .metric("total_j", pdd.total_j, 1)
+        .metric("mean_node_j", pdd.mean_node_j, 2)
+        .metric("max_node_j", pdd.max_node_j, 2)
+        .metric("vs_idle", pdd.total_j / pdd.idle_only_j, 3)
+        .hidden_metric("idle_only_j", pdd.idle_only_j);
   }
   for (const bool overhearing : {true, false}) {
     const EnergyReport pdr = run_pdr(overhearing, 1);
-    table.add_row({"PDR 10 MB", overhearing ? "on" : "off",
-                   util::Table::num(pdr.elapsed_s, 1),
-                   util::Table::num(pdr.total_j, 1),
-                   util::Table::num(pdr.mean_node_j, 2),
-                   util::Table::num(pdr.max_node_j, 2),
-                   util::Table::num(pdr.total_j / pdr.idle_only_j, 3)});
+    telemetry.point()
+        .param("experiment", "PDR 10 MB")
+        .param("overhearing", overhearing, overhearing ? "on" : "off")
+        .metric("elapsed_s", pdr.elapsed_s, 1)
+        .metric("total_j", pdr.total_j, 1)
+        .metric("mean_node_j", pdr.mean_node_j, 2)
+        .metric("max_node_j", pdr.max_node_j, 2)
+        .metric("vs_idle", pdr.total_j / pdr.idle_only_j, 3)
+        .hidden_metric("idle_only_j", pdr.idle_only_j);
   }
-  table.print();
+  telemetry.print_table();
   std::printf(
       "\nIdle listening dominates: the overhead of actually moving data is\n"
       "the small factor above pure idle, which is why the paper's §VII\n"
       "points at duty-cycling as the real energy lever.\n");
-  return 0;
+  return bench::finish(telemetry);
 }
 
 }  // namespace

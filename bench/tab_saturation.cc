@@ -11,13 +11,13 @@ namespace pds {
 namespace {
 
 int run() {
-  bench::print_header(
-      "Saturation — single-round PDD without ack (10×10 grid)",
+  obs::Report report = bench::make_report(
+      "tab_saturation", "Saturation — single-round PDD without ack (10×10 grid)",
       "1 copy: ~0.35 recall up to 10k entries, ~0.20 at 20k; 2 copies: "
       "~0.55 up to 5k");
 
-  util::Table table(
-      {"entries", "redundancy", "recall", "latency (s)", "overhead (MB)"});
+  report.begin_table("main", {"entries", "redundancy", "recall",
+                              "latency (s)", "overhead (MB)"});
   for (const int redundancy : {1, 2}) {
     for (const std::size_t entries : {2500u, 5000u, 10000u, 20000u}) {
       const bench::Series s =
@@ -31,14 +31,16 @@ int run() {
             const wl::PddOutcome out = wl::run_pdd_grid(p);
             return std::tuple{out.recall, out.latency_s, out.overhead_mb};
           });
-      table.add_row({std::to_string(entries), std::to_string(redundancy),
-                     util::Table::num(s.recall.mean(), 3),
-                     util::Table::num(s.latency_s.mean(), 2),
-                     util::Table::num(s.overhead_mb.mean(), 2)});
+      report.point()
+          .param("entries", static_cast<std::int64_t>(entries))
+          .param("redundancy", static_cast<std::int64_t>(redundancy))
+          .metric("recall", s.recall, 3)
+          .metric("latency_s", s.latency_s, 2)
+          .metric("overhead_mb", s.overhead_mb, 2);
     }
   }
-  table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

@@ -31,9 +31,11 @@ double time_to_fraction(const ArrivalMap& arrivals, double fraction) {
 constexpr double kFractions[] = {0.25, 0.50, 0.75, 0.90, 0.99, 1.0};
 
 int run() {
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "tab_timeline",
       "Progress timelines — time to reach X% of the final result",
       "(supplementary; paper reports only the final-arrival latency)");
+  report.set_param("seed", 1);
 
   {
     core::PdsConfig pds;
@@ -50,13 +52,17 @@ int run() {
 
     std::printf("PDD, 5,000 entries (final recall %.3f):\n",
                 static_cast<double>(session.arrivals().size()) / 5000.0);
-    util::Table table({"fraction", "time (s)"});
+    report.begin_table("pdd", {"fraction", "time (s)"});
     for (double f : kFractions) {
-      table.add_row({util::Table::num(f * 100, 0) + "%",
-                     util::Table::num(time_to_fraction(session.arrivals(), f),
-                                      2)});
+      report.point()
+          .param("fraction", util::Table::num(f * 100, 0) + "%")
+          .metric("time_s", time_to_fraction(session.arrivals(), f), 2);
     }
-    table.print();
+    report.print_table();
+    report.begin_section("pdd_summary");
+    report.point().hidden_metric(
+        "final_recall",
+        static_cast<double>(session.arrivals().size()) / 5000.0);
   }
 
   {
@@ -77,15 +83,18 @@ int run() {
 
     std::printf("\nPDR, 20 MB item (%zu/80 chunks):\n",
                 session.chunks().size());
-    util::Table table({"fraction", "time (s)"});
+    report.begin_table("pdr", {"fraction", "time (s)"});
     for (double f : kFractions) {
-      table.add_row({util::Table::num(f * 100, 0) + "%",
-                     util::Table::num(time_to_fraction(session.arrivals(), f),
-                                      1)});
+      report.point()
+          .param("fraction", util::Table::num(f * 100, 0) + "%")
+          .metric("time_s", time_to_fraction(session.arrivals(), f), 1);
     }
-    table.print();
+    report.print_table();
+    report.begin_section("pdr_summary");
+    report.point().hidden_metric(
+        "chunks", static_cast<double>(session.chunks().size()));
   }
-  return 0;
+  return bench::finish(report);
 }
 
 }  // namespace

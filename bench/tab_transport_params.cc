@@ -13,84 +13,95 @@
 namespace pds {
 namespace {
 
-wl::SingleHopOutcome averaged(const wl::SingleHopParams& base) {
+// Per-seed sample sets, not just the means: the Report records the spread.
+struct Averaged {
   util::SampleSet reception;
-  util::SampleSet rate;
+  util::SampleSet data_rate_mbps;
+};
+
+Averaged averaged(const wl::SingleHopParams& base) {
+  Averaged out;
   for (int r = 0; r < bench::runs(); ++r) {
     wl::SingleHopParams p = base;
     p.seed = static_cast<std::uint64_t>(r + 1);
-    const wl::SingleHopOutcome out = wl::run_single_hop(p);
-    reception.add(out.reception);
-    rate.add(out.data_rate_mbps);
+    const wl::SingleHopOutcome o = wl::run_single_hop(p);
+    out.reception.add(o.reception);
+    out.data_rate_mbps.add(o.data_rate_mbps);
   }
-  return {.reception = reception.mean(), .data_rate_mbps = rate.mean()};
+  return out;
 }
 
 int run() {
-  bench::print_header(
+  obs::Report report = bench::make_report(
+      "tab_transport_params",
       "§V parameter tables — leaky bucket and ack/retransmission",
       "reception high until LeakingRate exceeds the radio; too-large "
       "BucketCapacity overflows the OS buffer; gains plateau beyond "
       "RetrTimeout 0.2 s / MaxRetrTime 4");
+  report.set_param("senders", 2);
 
   std::printf("LeakingRate sweep (2 senders, 300 KB bucket, no ack):\n");
-  util::Table rate_table({"leak rate (Mb/s)", "reception",
-                          "data rate (Mb/s)"});
+  report.begin_table("leaking_rate", {"leak rate (Mb/s)", "reception",
+                                      "data rate (Mb/s)"});
   for (const double mbps : {1.0, 2.0, 3.0, 4.0, 4.5, 5.0, 6.0}) {
     wl::SingleHopParams p;
     p.mode = wl::TransportMode::kLeakyBucket;
     p.senders = 2;
     p.messages_per_sender = 5000;
     p.leak_rate_bps = mbps * 1e6;
-    const auto out = averaged(p);
-    rate_table.add_row({util::Table::num(mbps, 1),
-                        util::Table::num(out.reception, 3),
-                        util::Table::num(out.data_rate_mbps, 2)});
+    const Averaged out = averaged(p);
+    report.point()
+        .param("leak_rate_mbps", mbps, 1)
+        .metric("reception", out.reception, 3)
+        .metric("data_rate_mbps", out.data_rate_mbps, 2);
   }
-  rate_table.print();
+  report.print_table();
 
   std::printf("\nBucketCapacity sweep (2 senders, 4.5 Mb/s leak, no ack):\n");
-  util::Table cap_table({"capacity (KB)", "reception"});
+  report.begin_table("bucket_capacity", {"capacity (KB)", "reception"});
   for (const std::size_t kb : {100u, 300u, 600u, 1200u, 2400u}) {
     wl::SingleHopParams p;
     p.mode = wl::TransportMode::kLeakyBucket;
     p.senders = 2;
     p.messages_per_sender = 5000;
     p.bucket_capacity_bytes = kb * 1000;
-    const auto out = averaged(p);
-    cap_table.add_row(
-        {std::to_string(kb), util::Table::num(out.reception, 3)});
+    const Averaged out = averaged(p);
+    report.point()
+        .param("capacity_kb", static_cast<std::int64_t>(kb))
+        .metric("reception", out.reception, 3);
   }
-  cap_table.print();
+  report.print_table();
 
   std::printf("\nRetrTimeout sweep (2 senders, ack/retx, MaxRetrTime 4):\n");
-  util::Table to_table({"RetrTimeout (s)", "reception"});
+  report.begin_table("retr_timeout", {"RetrTimeout (s)", "reception"});
   for (const double timeout_s : {0.05, 0.1, 0.2, 0.4, 0.8}) {
     wl::SingleHopParams p;
     p.mode = wl::TransportMode::kLeakyBucketAck;
     p.senders = 2;
     p.messages_per_sender = 5000;
     p.retr_timeout = SimTime::seconds(timeout_s);
-    const auto out = averaged(p);
-    to_table.add_row({util::Table::num(timeout_s, 2),
-                      util::Table::num(out.reception, 3)});
+    const Averaged out = averaged(p);
+    report.point()
+        .param("retr_timeout_s", timeout_s, 2)
+        .metric("reception", out.reception, 3);
   }
-  to_table.print();
+  report.print_table();
 
   std::printf("\nMaxRetrTime sweep (2 senders, ack/retx, 0.2 s timeout):\n");
-  util::Table mr_table({"MaxRetrTime", "reception"});
+  report.begin_table("max_retr_time", {"MaxRetrTime", "reception"});
   for (const int retries : {0, 1, 2, 4, 8}) {
     wl::SingleHopParams p;
     p.mode = wl::TransportMode::kLeakyBucketAck;
     p.senders = 2;
     p.messages_per_sender = 5000;
     p.max_retransmissions = retries;
-    const auto out = averaged(p);
-    mr_table.add_row(
-        {std::to_string(retries), util::Table::num(out.reception, 3)});
+    const Averaged out = averaged(p);
+    report.point()
+        .param("max_retr_time", static_cast<std::int64_t>(retries))
+        .metric("reception", out.reception, 3);
   }
-  mr_table.print();
-  return 0;
+  report.print_table();
+  return bench::finish(report);
 }
 
 }  // namespace

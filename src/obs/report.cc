@@ -1,0 +1,350 @@
+#include "obs/report.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/assert.h"
+
+// Provenance stamp: filled in by CMake (git sha at configure time, build
+// type, sanitizer flags); "unknown" when built outside the tree.
+#ifndef PDS_BUILD_GIT_SHA
+#define PDS_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef PDS_BUILD_TYPE
+#define PDS_BUILD_TYPE "unknown"
+#endif
+#ifndef PDS_BUILD_SANITIZERS
+#define PDS_BUILD_SANITIZERS "unknown"
+#endif
+
+namespace pds::obs {
+
+void append_json_double(std::string& out, double v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  PDS_ENSURE(ec == std::errc{});
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// -- JsonWriter ---------------------------------------------------------------
+
+JsonWriter::JsonWriter() { out_.reserve(4096); }
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_.push_back(',');
+    }
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_.push_back('{');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PDS_ENSURE(!first_.empty());
+  first_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_.push_back('[');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PDS_ENSURE(!first_.empty());
+  first_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  append_json_string(out_, k);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  append_json_string(out_, s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  append_json_double(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
+// -- Report::Point ------------------------------------------------------------
+
+Report::Point& Report::Point::param(const std::string& name,
+                                    const std::string& value) {
+  params.push_back({name, value, /*literal=*/false, /*hidden=*/false});
+  cells.push_back(value);
+  return *this;
+}
+
+Report::Point& Report::Point::param(const std::string& name,
+                                    std::int64_t value) {
+  params.push_back(
+      {name, std::to_string(value), /*literal=*/true, /*hidden=*/false});
+  cells.push_back(std::to_string(value));
+  return *this;
+}
+
+Report::Point& Report::Point::param(const std::string& name, double value,
+                                    int precision) {
+  std::string rendered;
+  append_json_double(rendered, value);
+  params.push_back({name, std::move(rendered), /*literal=*/true,
+                    /*hidden=*/false});
+  cells.push_back(util::Table::num(value, precision));
+  return *this;
+}
+
+Report::Point& Report::Point::param(const std::string& name, bool value,
+                                    const char* cell) {
+  params.push_back(
+      {name, value ? "true" : "false", /*literal=*/true, /*hidden=*/false});
+  cells.emplace_back(cell);
+  return *this;
+}
+
+Report::Point& Report::Point::hidden_param(const std::string& name,
+                                           std::int64_t value) {
+  params.push_back(
+      {name, std::to_string(value), /*literal=*/true, /*hidden=*/true});
+  return *this;
+}
+
+Report::Point& Report::Point::metric(const std::string& name,
+                                     const util::SampleSet& samples,
+                                     int precision) {
+  metrics.push_back({name, samples.samples(), /*hidden=*/false});
+  cells.push_back(util::Table::num(samples.mean(), precision));
+  return *this;
+}
+
+Report::Point& Report::Point::metric(const std::string& name, double value,
+                                     int precision) {
+  metrics.push_back({name, {value}, /*hidden=*/false});
+  cells.push_back(util::Table::num(value, precision));
+  return *this;
+}
+
+Report::Point& Report::Point::metric(const std::string& name,
+                                     std::int64_t value) {
+  metrics.push_back({name, {static_cast<double>(value)}, /*hidden=*/false});
+  cells.push_back(std::to_string(value));
+  return *this;
+}
+
+Report::Point& Report::Point::hidden_metric(const std::string& name,
+                                            double value) {
+  metrics.push_back({name, {value}, /*hidden=*/true});
+  return *this;
+}
+
+Report::Point& Report::Point::hidden_metric(const std::string& name,
+                                            const util::SampleSet& samples) {
+  metrics.push_back({name, samples.samples(), /*hidden=*/true});
+  return *this;
+}
+
+// -- Report -------------------------------------------------------------------
+
+Report::Report(Options options) : options_(std::move(options)) {
+  PDS_ENSURE(!options_.experiment.empty());
+}
+
+void Report::set_param(const std::string& name, const std::string& value) {
+  std::string rendered;
+  append_json_string(rendered, value);
+  params_.emplace_back(name, std::move(rendered));
+}
+
+void Report::set_param(const std::string& name, std::int64_t value) {
+  params_.emplace_back(name, std::to_string(value));
+}
+
+void Report::begin_table(const std::string& section,
+                         std::vector<std::string> headers) {
+  PDS_ENSURE(!headers.empty());
+  sections_.push_back({section, std::move(headers)});
+}
+
+void Report::begin_section(const std::string& section) {
+  sections_.push_back({section, {}});
+}
+
+Report::Point& Report::point() {
+  PDS_ENSURE(!sections_.empty());
+  points_.emplace_back();
+  points_.back().section = sections_.size() - 1;
+  return points_.back();
+}
+
+void Report::print_table() const {
+  PDS_ENSURE(!sections_.empty());
+  const Section& section = sections_.back();
+  PDS_ENSURE(!section.headers.empty());
+  util::Table table(section.headers);
+  const std::size_t index = sections_.size() - 1;
+  for (const Point& p : points_) {
+    if (p.section == index) table.add_row(p.cells);
+  }
+  table.print();
+}
+
+std::string Report::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kReportSchema);
+  w.key("experiment").value(options_.experiment);
+  w.key("title").value(options_.title);
+  w.key("paper").value(options_.paper);
+  w.key("run").begin_object();
+  w.key("runs").value(static_cast<std::int64_t>(options_.runs));
+  w.key("jobs").value(static_cast<std::int64_t>(options_.jobs));
+  w.end_object();
+  w.key("params").begin_object();
+  for (const auto& [name, rendered] : params_) {
+    // Values are pre-rendered JSON (quoted strings or bare numbers).
+    w.key(name).raw(rendered);
+  }
+  w.end_object();
+  w.key("provenance").begin_object();
+  w.key("git_sha").value(PDS_BUILD_GIT_SHA);
+  w.key("build_type").value(PDS_BUILD_TYPE);
+  w.key("sanitizers").value(PDS_BUILD_SANITIZERS);
+  w.end_object();
+  w.key("points").begin_array();
+  for (const Point& p : points_) {
+    w.begin_object();
+    w.key("section").value(sections_[p.section].id);
+    w.key("params").begin_object();
+    for (const Point::Param& param : p.params) {
+      if (param.literal) {
+        w.key(param.name).raw(param.text);
+      } else {
+        w.key(param.name).value(param.text);
+      }
+    }
+    w.end_object();
+    w.key("metrics").begin_object();
+    for (const Point::Metric& m : p.metrics) {
+      util::SampleSet set;
+      for (const double s : m.samples) set.add(s);
+      w.key(m.name).begin_object();
+      w.key("count").value(static_cast<std::uint64_t>(set.count()));
+      w.key("mean").value(set.mean());
+      w.key("stddev").value(set.stddev());
+      w.key("min").value(set.min());
+      w.key("max").value(set.max());
+      w.key("samples").begin_array();
+      for (const double s : m.samples) w.value(s);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string json = w.take();
+  json.push_back('\n');
+  return json;
+}
+
+std::string Report::json_path() const {
+  return "BENCH_" + options_.experiment + ".json";
+}
+
+bool Report::write_json() const {
+  const std::string path = json_path();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    std::fprintf(stderr, "report: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pds::obs

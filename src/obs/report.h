@@ -1,0 +1,156 @@
+// Experiment telemetry emitter (DESIGN.md §10).
+//
+// Every bench/ binary routes its results through a Report: the same points
+// that render the human-readable stdout table (via util::Table, so printed
+// bytes are identical to the pre-Report harnesses) are serialized as a
+// schema-versioned BENCH_<experiment>.json — experiment id, the paper's
+// expected series, per-point per-seed samples with mean/stddev/min/max, run
+// parameters (runs, jobs, radio profile, ...) and a provenance stamp (git
+// sha, build type, sanitizer flags). tools/pdsreport validates, renders,
+// diffs and gates these files; CI archives them so the bench trajectory is
+// an append-only, machine-diffable record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace pds::obs {
+
+// Schema identifier written into every report ("pds-bench-report/<version>").
+inline constexpr const char* kReportSchema = "pds-bench-report/1";
+
+// Minimal streaming JSON writer with deterministic output: doubles print in
+// shortest round-trip form (std::to_chars), keys keep insertion order, and
+// commas are managed by a nesting stack. Shared by Report and the `pdscli
+// trace --json` renderer.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  // Appends pre-rendered JSON (already quoted/escaped) as a value.
+  JsonWriter& raw(std::string_view json);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  // One flag per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+// Appends `v` to `out` in shortest round-trip decimal form.
+void append_json_double(std::string& out, double v);
+// Appends a quoted, escaped JSON string.
+void append_json_string(std::string& out, std::string_view s);
+
+class Report {
+ public:
+  struct Options {
+    std::string experiment;  // id; JSON lands in BENCH_<experiment>.json
+    std::string title;       // human title, e.g. "Fig. 4 — ..."
+    std::string paper;       // the paper's expected series, quoted verbatim
+    int runs = 0;            // seeds averaged per point
+    int jobs = 0;            // PDS_BENCH_JOBS worker threads
+  };
+
+  // One data point: display cells (stdout table) and structured values
+  // (JSON) are appended by the same call, so the two outputs cannot drift.
+  class Point {
+   public:
+    // Identifying parameters: cell text is the JSON value (or `cell`).
+    Point& param(const std::string& name, const std::string& value);
+    Point& param(const std::string& name, std::int64_t value);
+    // Real-valued sweep axis; the cell prints with the given precision, the
+    // JSON value keeps full precision.
+    Point& param(const std::string& name, double value, int precision);
+    Point& param(const std::string& name, bool value, const char* cell);
+    // JSON-only parameter (no table column).
+    Point& hidden_param(const std::string& name, std::int64_t value);
+    // Measured metric over per-seed samples; the cell prints the mean with
+    // the given precision, exactly as util::Table::num did pre-migration.
+    Point& metric(const std::string& name, const util::SampleSet& samples,
+                  int precision);
+    // Single-sample scalar metric (derived values, one-shot measurements).
+    Point& metric(const std::string& name, double value, int precision);
+    // Integer scalar metric; the cell prints without decimals.
+    Point& metric(const std::string& name, std::int64_t value);
+    // JSON-only metrics (no table column).
+    Point& hidden_metric(const std::string& name, double value);
+    Point& hidden_metric(const std::string& name,
+                         const util::SampleSet& samples);
+
+   private:
+    friend class Report;
+    struct Param {
+      std::string name;
+      std::string text;     // JSON string form (quoted) unless literal
+      bool literal = false;  // true: emit text raw (numbers, booleans)
+      bool hidden = false;
+    };
+    struct Metric {
+      std::string name;
+      std::vector<double> samples;
+      bool hidden = false;
+    };
+    std::size_t section = 0;
+    std::vector<Param> params;
+    std::vector<Metric> metrics;
+    std::vector<std::string> cells;
+  };
+
+  explicit Report(Options options);
+
+  // Run-level parameters recorded under "params" (radio profile, mode, ...).
+  void set_param(const std::string& name, const std::string& value);
+  void set_param(const std::string& name, std::int64_t value);
+
+  // Starts a printed table: subsequent point() calls belong to it and
+  // contribute one row each. `section` names the point group in JSON.
+  void begin_table(const std::string& section,
+                   std::vector<std::string> headers);
+  // Starts a JSON-only section (points carry no table cells).
+  void begin_section(const std::string& section);
+  Point& point();
+
+  // Prints the current section's table — byte-identical to building the
+  // same util::Table by hand.
+  void print_table() const;
+
+  [[nodiscard]] std::string to_json() const;
+  // Writes to_json() to json_path() in the working directory. Returns false
+  // (with a note on stderr) when the file cannot be written.
+  bool write_json() const;
+  [[nodiscard]] std::string json_path() const;
+
+ private:
+  Options options_;
+  std::vector<std::pair<std::string, std::string>> params_;  // pre-rendered
+  struct Section {
+    std::string id;
+    std::vector<std::string> headers;  // empty: JSON-only section
+  };
+  std::vector<Section> sections_;
+  std::vector<Point> points_;
+};
+
+}  // namespace pds::obs

@@ -34,6 +34,24 @@ double SampleSet::mean() const {
          static_cast<double>(samples_.size());
 }
 
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (const double x : samples_) m2 += (x - m) * (x - m);
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
 double SampleSet::percentile(double p) const {
   PDS_ENSURE(p >= 0.0 && p <= 100.0);
   if (samples_.empty()) return 0.0;

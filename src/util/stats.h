@@ -34,9 +34,16 @@ class SampleSet {
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] double mean() const;
+  // Sample (n-1) standard deviation; 0 for fewer than two samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
   // Linear-interpolated percentile, p in [0, 100].
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
+  // Per-seed samples in insertion order (the obs::Report emitter records
+  // them verbatim so aggregated JSON keeps the raw distribution).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
  private:
   std::vector<double> samples_;

@@ -28,10 +28,26 @@ TEST_F(ParallelRuns, JobsHonorsEnvironment) {
   EXPECT_EQ(jobs(), 3);
   ::setenv("PDS_BENCH_JOBS", "1", 1);
   EXPECT_EQ(jobs(), 1);
-  ::setenv("PDS_BENCH_JOBS", "garbage", 1);
-  EXPECT_GE(jobs(), 1);  // falls back to hardware concurrency
   ::unsetenv("PDS_BENCH_JOBS");
   EXPECT_GE(jobs(), 1);
+}
+
+TEST_F(ParallelRuns, JobsRejectsInvalidEnvironment) {
+  // A typo'd override must not silently fall back and skew a measurement:
+  // invalid or non-positive values are fatal (stderr note, exit 2).
+  for (const char* bad : {"garbage", "0", "-4", "3x", ""}) {
+    ::setenv("PDS_BENCH_JOBS", bad, 1);
+    EXPECT_EXIT(jobs(), ::testing::ExitedWithCode(2),
+                "PDS_BENCH_JOBS must be a positive integer")
+        << "value \"" << bad << "\"";
+  }
+}
+
+TEST_F(ParallelRuns, RunsRejectsInvalidEnvironment) {
+  ::setenv("PDS_BENCH_RUNS", "five", 1);
+  EXPECT_EXIT(runs(), ::testing::ExitedWithCode(2),
+              "PDS_BENCH_RUNS must be a positive integer");
+  ::unsetenv("PDS_BENCH_RUNS");
 }
 
 TEST_F(ParallelRuns, ResultsIndexedInCallOrder) {

@@ -18,6 +18,8 @@
 // event trace as NDJSON (--trace-format=chrome writes Chrome trace_event
 // JSON for chrome://tracing instead). `pdscli trace --file=FILE` renders a
 // captured trace: per-round recall table, top talkers, retransmit heatmap.
+// `pdscli trace --json` emits the same statistics as a single JSON document
+// (schema pds-trace-report/1) for scripting instead of the text tables.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "tools/trace_reader.h"
 #include "util/stats.h"
@@ -75,7 +78,7 @@ int usage() {
       stderr,
       "usage: pdscli --experiment=<pdd|pdr|mdr|pdd-mobility|pdr-mobility|"
       "singlehop> [options]\n"
-      "       pdscli trace --file=<trace.ndjson> [--entries=N]\n"
+      "       pdscli trace --file=<trace.ndjson> [--entries=N] [--json]\n"
       "  common:       --seed=N --runs=N --trace=FILE "
       "[--trace-format=chrome]\n"
       "  pdd:          --grid=N --entries=N --redundancy=N --consumers=N\n"
@@ -268,11 +271,202 @@ int run_singlehop(const Flags& flags) {
 
 // -- `pdscli trace` — render a captured NDJSON trace -------------------------
 
+// Statistics extracted from a captured trace, shared by the text and JSON
+// renderers so both views always agree.
+struct TraceRoundRow {
+  std::uint32_t node = 0;
+  double round = 0;
+  double end_s = 0;
+  double fresh = 0;  // "new" in the trace args
+  double total = 0;
+  double responses = 0;
+};
+
+struct TraceTalker {
+  std::uint32_t node = 0;
+  std::uint64_t frames = 0;
+  double bytes = 0;
+};
+
+struct TraceStats {
+  std::size_t events = 0;
+  std::vector<TraceRoundRow> rounds;
+  std::vector<TraceTalker> talkers;  // ranked by bytes desc, node asc
+  std::map<std::uint32_t, std::map<int, std::uint64_t>> retr;
+  std::map<std::uint32_t, std::uint64_t> give_ups;
+  int max_attempt = 0;
+};
+
+TraceStats compute_trace_stats(const std::vector<tools::ParsedEvent>& events) {
+  TraceStats stats;
+  stats.events = events.size();
+
+  // Per-round progress: every closed PDD round ("pdd"/"round" ph=E).
+  for (const tools::ParsedEvent& e : events) {
+    if (e.sub != "pdd" || e.ev != "round" || e.ph != 'E') continue;
+    stats.rounds.push_back({e.node, e.num("round"),
+                            static_cast<double>(e.t_us) / 1e6, e.num("new"),
+                            e.num("total"), e.num("responses")});
+  }
+
+  // Top talkers: radio transmissions per node.
+  std::map<std::uint32_t, TraceTalker> talkers;
+  for (const tools::ParsedEvent& e : events) {
+    if (e.sub != "radio" || e.ev != "tx") continue;
+    TraceTalker& t = talkers[e.node];
+    t.node = e.node;
+    ++t.frames;
+    t.bytes += e.num("bytes");
+  }
+  for (const auto& [node, t] : talkers) stats.talkers.push_back(t);
+  std::sort(stats.talkers.begin(), stats.talkers.end(),
+            [](const TraceTalker& a, const TraceTalker& b) {
+              return a.bytes != b.bytes ? a.bytes > b.bytes : a.node < b.node;
+            });
+
+  // Retransmissions per node by attempt number (transport "round" arg),
+  // plus give-ups.
+  for (const tools::ParsedEvent& e : events) {
+    if (e.sub != "transport") continue;
+    if (e.ev == "retransmit") {
+      const int attempt = static_cast<int>(e.num("round"));
+      ++stats.retr[e.node][attempt];
+      stats.max_attempt = std::max(stats.max_attempt, attempt);
+    } else if (e.ev == "give_up") {
+      ++stats.give_ups[e.node];
+    }
+  }
+  return stats;
+}
+
+// Default human-readable rendering: per-round recall table, top talkers,
+// retransmit heatmap. --entries converts cumulative counts into the paper's
+// recall fraction.
+void print_trace_text(const TraceStats& stats, double entries,
+                      std::size_t top) {
+  std::printf("per-round discovery progress:\n");
+  std::printf("  %-6s %-6s %10s %8s %8s %10s", "node", "round", "end_s",
+              "new", "total", "responses");
+  if (entries > 0) std::printf(" %8s", "recall");
+  std::printf("\n");
+  for (const TraceRoundRow& r : stats.rounds) {
+    std::printf("  %-6u %-6.0f %10.3f %8.0f %8.0f %10.0f", r.node, r.round,
+                r.end_s, r.fresh, r.total, r.responses);
+    if (entries > 0) std::printf(" %8.3f", r.total / entries);
+    std::printf("\n");
+  }
+  if (stats.rounds.empty()) std::printf("  (no closed pdd rounds in trace)\n");
+
+  std::printf("\ntop talkers (radio tx):\n");
+  std::printf("  %-6s %10s %12s\n", "node", "frames", "kbytes");
+  for (std::size_t i = 0; i < stats.talkers.size() && i < top; ++i) {
+    std::printf("  %-6u %10llu %12.1f\n", stats.talkers[i].node,
+                static_cast<unsigned long long>(stats.talkers[i].frames),
+                stats.talkers[i].bytes / 1e3);
+  }
+  if (stats.talkers.empty()) std::printf("  (no radio tx events in trace)\n");
+
+  std::printf("\nretransmit heatmap (node x attempt):\n");
+  if (stats.retr.empty() && stats.give_ups.empty()) {
+    std::printf("  (no retransmissions in trace)\n");
+    return;
+  }
+  std::printf("  %-6s", "node");
+  for (int a = 1; a <= stats.max_attempt; ++a) std::printf(" %7s%d", "try", a);
+  std::printf(" %8s\n", "give_up");
+  for (const auto& [node, by_attempt] : stats.retr) {
+    std::printf("  %-6u", node);
+    for (int a = 1; a <= stats.max_attempt; ++a) {
+      const auto it = by_attempt.find(a);
+      std::printf(" %8llu",
+                  static_cast<unsigned long long>(
+                      it == by_attempt.end() ? 0 : it->second));
+    }
+    const auto gu = stats.give_ups.find(node);
+    std::printf(" %8llu\n",
+                static_cast<unsigned long long>(
+                    gu == stats.give_ups.end() ? 0 : gu->second));
+  }
+  for (const auto& [node, count] : stats.give_ups) {
+    if (stats.retr.contains(node)) continue;
+    std::printf("  %-6u", node);
+    for (int a = 1; a <= stats.max_attempt; ++a) std::printf(" %8u", 0u);
+    std::printf(" %8llu\n", static_cast<unsigned long long>(count));
+  }
+}
+
+// --json rendering: the same statistics as one JSON document for scripting.
+// `top` is intentionally not applied — JSON consumers get every talker.
+void print_trace_json(const TraceStats& stats, double entries,
+                      const std::string& path) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pds-trace-report/1");
+  w.key("file").value(path);
+  w.key("events").value(static_cast<std::uint64_t>(stats.events));
+
+  w.key("rounds").begin_array();
+  for (const TraceRoundRow& r : stats.rounds) {
+    w.begin_object();
+    w.key("node").value(static_cast<std::int64_t>(r.node));
+    w.key("round").value(static_cast<std::int64_t>(r.round));
+    w.key("end_s").value(r.end_s);
+    w.key("new").value(static_cast<std::int64_t>(r.fresh));
+    w.key("total").value(static_cast<std::int64_t>(r.total));
+    w.key("responses").value(static_cast<std::int64_t>(r.responses));
+    if (entries > 0) w.key("recall").value(r.total / entries);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("top_talkers").begin_array();
+  for (const TraceTalker& t : stats.talkers) {
+    w.begin_object();
+    w.key("node").value(static_cast<std::int64_t>(t.node));
+    w.key("frames").value(static_cast<std::uint64_t>(t.frames));
+    w.key("bytes").value(t.bytes);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("retransmits").begin_array();
+  std::vector<std::uint32_t> nodes;
+  for (const auto& [node, by_attempt] : stats.retr) nodes.push_back(node);
+  for (const auto& [node, count] : stats.give_ups) {
+    if (!stats.retr.contains(node)) nodes.push_back(node);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  for (const std::uint32_t node : nodes) {
+    w.begin_object();
+    w.key("node").value(static_cast<std::int64_t>(node));
+    w.key("attempts").begin_array();
+    const auto by_attempt = stats.retr.find(node);
+    for (int a = 1; a <= stats.max_attempt; ++a) {
+      std::uint64_t count = 0;
+      if (by_attempt != stats.retr.end()) {
+        const auto it = by_attempt->second.find(a);
+        if (it != by_attempt->second.end()) count = it->second;
+      }
+      w.value(count);
+    }
+    w.end_array();
+    const auto gu = stats.give_ups.find(node);
+    w.key("give_ups")
+        .value(static_cast<std::uint64_t>(
+            gu == stats.give_ups.end() ? 0 : gu->second));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+}
+
 int run_trace_report(const Flags& flags) {
   const std::string path = flags.get("file", "");
   if (path.empty()) {
     std::fprintf(stderr, "usage: pdscli trace --file=<trace.ndjson> "
-                         "[--entries=N] [--top=N]\n");
+                         "[--entries=N] [--top=N] [--json]\n");
     return 2;
   }
   std::ifstream in(path, std::ios::binary);
@@ -289,95 +483,13 @@ int run_trace_report(const Flags& flags) {
     return 1;
   }
 
-  // Per-round recall table: every closed PDD round ("pdd"/"round" ph=E),
-  // grouped by consumer node. --entries converts cumulative counts into the
-  // paper's recall fraction.
+  const TraceStats stats = compute_trace_stats(events);
   const double entries = flags.real("entries", 0.0);
-  std::printf("per-round discovery progress:\n");
-  std::printf("  %-6s %-6s %10s %8s %8s %10s", "node", "round", "end_s",
-              "new", "total", "responses");
-  if (entries > 0) std::printf(" %8s", "recall");
-  std::printf("\n");
-  std::size_t round_rows = 0;
-  for (const tools::ParsedEvent& e : events) {
-    if (e.sub != "pdd" || e.ev != "round" || e.ph != 'E') continue;
-    ++round_rows;
-    std::printf("  %-6u %-6.0f %10.3f %8.0f %8.0f %10.0f", e.node,
-                e.num("round"), static_cast<double>(e.t_us) / 1e6,
-                e.num("new"), e.num("total"), e.num("responses"));
-    if (entries > 0) std::printf(" %8.3f", e.num("total") / entries);
-    std::printf("\n");
-  }
-  if (round_rows == 0) std::printf("  (no closed pdd rounds in trace)\n");
-
-  // Top talkers: radio transmissions per node.
-  struct Talker {
-    std::uint32_t node = 0;
-    std::uint64_t frames = 0;
-    double bytes = 0;
-  };
-  std::map<std::uint32_t, Talker> talkers;
-  for (const tools::ParsedEvent& e : events) {
-    if (e.sub != "radio" || e.ev != "tx") continue;
-    Talker& t = talkers[e.node];
-    t.node = e.node;
-    ++t.frames;
-    t.bytes += e.num("bytes");
-  }
-  std::vector<Talker> ranked;
-  for (const auto& [node, t] : talkers) ranked.push_back(t);
-  std::sort(ranked.begin(), ranked.end(), [](const Talker& a, const Talker& b) {
-    return a.bytes != b.bytes ? a.bytes > b.bytes : a.node < b.node;
-  });
-  const std::size_t top = static_cast<std::size_t>(flags.num("top", 10));
-  std::printf("\ntop talkers (radio tx):\n");
-  std::printf("  %-6s %10s %12s\n", "node", "frames", "kbytes");
-  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
-    std::printf("  %-6u %10llu %12.1f\n", ranked[i].node,
-                static_cast<unsigned long long>(ranked[i].frames),
-                ranked[i].bytes / 1e3);
-  }
-  if (ranked.empty()) std::printf("  (no radio tx events in trace)\n");
-
-  // Retransmit heatmap: per node, retransmission attempts by attempt number
-  // (transport "round" arg), plus give-ups.
-  std::map<std::uint32_t, std::map<int, std::uint64_t>> retr;
-  std::map<std::uint32_t, std::uint64_t> give_ups;
-  int max_attempt = 0;
-  for (const tools::ParsedEvent& e : events) {
-    if (e.sub != "transport") continue;
-    if (e.ev == "retransmit") {
-      const int attempt = static_cast<int>(e.num("round"));
-      ++retr[e.node][attempt];
-      max_attempt = std::max(max_attempt, attempt);
-    } else if (e.ev == "give_up") {
-      ++give_ups[e.node];
-    }
-  }
-  std::printf("\nretransmit heatmap (node x attempt):\n");
-  if (retr.empty() && give_ups.empty()) {
-    std::printf("  (no retransmissions in trace)\n");
-    return 0;
-  }
-  std::printf("  %-6s", "node");
-  for (int a = 1; a <= max_attempt; ++a) std::printf(" %7s%d", "try", a);
-  std::printf(" %8s\n", "give_up");
-  for (const auto& [node, by_attempt] : retr) {
-    std::printf("  %-6u", node);
-    for (int a = 1; a <= max_attempt; ++a) {
-      const auto it = by_attempt.find(a);
-      std::printf(" %8llu",
-                  static_cast<unsigned long long>(
-                      it == by_attempt.end() ? 0 : it->second));
-    }
-    std::printf(" %8llu\n",
-                static_cast<unsigned long long>(give_ups[node]));
-  }
-  for (const auto& [node, count] : give_ups) {
-    if (retr.contains(node)) continue;
-    std::printf("  %-6u", node);
-    for (int a = 1; a <= max_attempt; ++a) std::printf(" %8u", 0u);
-    std::printf(" %8llu\n", static_cast<unsigned long long>(count));
+  if (flags.get("json", "") == "1") {
+    print_trace_json(stats, entries, path);
+  } else {
+    print_trace_text(stats, entries,
+                     static_cast<std::size_t>(flags.num("top", 10)));
   }
   return 0;
 }
