@@ -1,0 +1,177 @@
+// Fault-tolerance table (DESIGN.md §11): recall / latency / overhead of
+// sequential PDD (the Fig. 7 workload) and sequential PDR (the Fig. 15
+// workload) under scripted fault classes — crash+restart, churn,
+// partition+heal, Gilbert–Elliott burst loss and send-buffer storms — next
+// to a clean baseline. The paper does not report faulted runs; the gates
+// assert the protocols' qualitative promise instead: every fault class
+// recovers to >= 0.9 recall with zero hung sessions, and the clean baseline
+// stays at full recall.
+#include <string>
+
+#include "bench_common.h"
+#include "workload/experiment.h"
+
+namespace pds {
+namespace {
+
+// Both legs run on a 7x7 grid, row-major ids. Consumers are the grid center
+// plus random picks from the center 5x5 subgrid (rows/cols 1..5), so every
+// fault targets border nodes only: producers and relays, never a consumer —
+// a departed consumer has no recall to recover.
+constexpr std::uint32_t kNx = 7;
+
+NodeId at(std::uint32_t row, std::uint32_t col) {
+  return NodeId(row * kNx + col);
+}
+
+sim::FaultSchedule make_schedule(const std::string& cls, double fault_s,
+                                 double recover_s) {
+  sim::FaultSchedule s;
+  const SimTime fault = SimTime::seconds(fault_s);
+  const SimTime recover = SimTime::seconds(recover_s);
+  if (cls == "crash") {
+    // Two producers lose their storage outright, one keeps it; all reboot.
+    s.crash(fault, at(0, 0), /*wipe=*/true)
+        .crash(fault + SimTime::seconds(0.5), at(0, 3), /*wipe=*/false)
+        .crash(fault + SimTime::seconds(1.0), at(6, 6), /*wipe=*/true)
+        .restart(recover, at(0, 0))
+        .restart(recover + SimTime::seconds(0.5), at(0, 3))
+        .restart(recover + SimTime::seconds(1.0), at(6, 6));
+  } else if (cls == "churn") {
+    // Devices walk away mid-protocol and come back, state intact.
+    s.churn(fault, recover, at(0, 1))
+        .churn(fault + SimTime::seconds(1.0), recover + SimTime::seconds(3.0),
+               at(6, 2))
+        .churn(fault + SimTime::seconds(2.0), recover + SimTime::seconds(6.0),
+               at(3, 0));
+  } else if (cls == "partition") {
+    // The left column is cut off from the rest of the grid, then healed.
+    std::vector<NodeId> left;
+    std::vector<NodeId> rest;
+    for (std::uint32_t row = 0; row < kNx; ++row) {
+      for (std::uint32_t col = 0; col < kNx; ++col) {
+        (col == 0 ? left : rest).push_back(at(row, col));
+      }
+    }
+    s.partition(fault, recover, left, rest);
+  } else if (cls == "burst") {
+    // Burst-loss channels on a diagonal band of relays for the first
+    // recover_s seconds.
+    for (std::uint32_t i = 0; i < kNx; ++i) {
+      s.burst(SimTime::zero(), recover, at(i, i));
+    }
+  } else if (cls == "storm") {
+    // Foreign traffic floods the OS send buffers of three relays just as
+    // the first consumer's query goes out.
+    s.buffer_storm(fault, at(0, 3))
+        .buffer_storm(fault, at(3, 0))
+        .buffer_storm(fault, at(3, 6));
+  }
+  return s;  // "baseline": empty
+}
+
+struct LegRow {
+  util::SampleSet recall;
+  util::SampleSet latency_s;
+  util::SampleSet overhead_mb;
+  util::SampleSet hung;
+};
+
+int run() {
+  obs::Report report = bench::make_report(
+      "faults",
+      "Fault tolerance — sequential PDD / PDR under scripted faults",
+      "n/a (beyond the paper): recall >= 0.9 after recovery, no hung "
+      "sessions");
+  report.set_param("grid", "7x7");
+  report.set_param("entries", 1500);
+  report.set_param("item_mb", 6);
+
+  const int n = bench::runs();
+  const std::vector<std::string> classes = {"baseline",  "crash", "churn",
+                                            "partition", "burst", "storm"};
+
+  // -- Sequential PDD (Fig. 7 workload) ------------------------------------
+  std::vector<LegRow> pdd(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const auto outs = bench::run_indexed(n, [&](int r) {
+      wl::PddGridParams p;
+      p.nx = kNx;
+      p.ny = kNx;
+      p.metadata_count = 1500;
+      p.redundancy = 2;
+      p.consumers = 3;
+      p.sequential = true;
+      p.seed = static_cast<std::uint64_t>(r + 1);
+      p.horizon = SimTime::seconds(240.0);
+      // The first consumer's discovery closes after ~1.9 s; t=1.0 s lands
+      // the fault mid-round.
+      p.faults = make_schedule(classes[c], 1.0, 30.0);
+      return wl::run_pdd_grid(p);
+    });
+    for (const wl::PddOutcome& out : outs) {
+      pdd[c].recall.add(out.recall);
+      pdd[c].latency_s.add(out.latency_s);
+      pdd[c].overhead_mb.add(out.overhead_mb);
+      pdd[c].hung.add(out.all_finished ? 0.0 : 1.0);
+    }
+  }
+  report.begin_table(
+      "pdd", {"fault class", "recall", "latency (s)", "overhead (MB)",
+              "hung"});
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    report.point()
+        .param("class", classes[c])
+        .metric("recall", pdd[c].recall, 3)
+        .metric("latency_s", pdd[c].latency_s, 2)
+        .metric("overhead_mb", pdd[c].overhead_mb, 2)
+        .metric("hung", pdd[c].hung, 2);
+  }
+  report.print_table();
+
+  // -- Sequential PDR (Fig. 15 workload) -----------------------------------
+  std::vector<LegRow> pdr(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const auto outs = bench::run_indexed(n, [&](int r) {
+      wl::RetrievalGridParams p;
+      p.nx = kNx;
+      p.ny = kNx;
+      p.item_size_bytes = 6u * 1024 * 1024;
+      p.redundancy = 2;
+      p.consumers = 2;
+      p.sequential = true;
+      p.seed = static_cast<std::uint64_t>(r + 1);
+      p.horizon = SimTime::seconds(360.0);
+      // Providers crash mid-phase-2: CDI converges within ~1-2 s, so by
+      // t=5 s chunk queries are in flight toward the crashed nodes.
+      p.faults = make_schedule(classes[c], 5.0, 45.0);
+      return wl::run_retrieval_grid(p);
+    });
+    for (const wl::RetrievalOutcome& out : outs) {
+      pdr[c].recall.add(out.recall);
+      pdr[c].latency_s.add(out.latency_s);
+      pdr[c].overhead_mb.add(out.overhead_mb);
+      pdr[c].hung.add(out.all_complete ? 0.0 : 1.0);
+    }
+  }
+  std::printf("\n");
+  report.begin_table(
+      "pdr", {"fault class", "recall", "latency (s)", "overhead (MB)",
+              "hung"});
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    report.point()
+        .param("class", classes[c])
+        .metric("recall", pdr[c].recall, 3)
+        .metric("latency_s", pdr[c].latency_s, 2)
+        .metric("overhead_mb", pdr[c].overhead_mb, 2)
+        .metric("hung", pdr[c].hung, 2);
+  }
+  report.print_table();
+
+  return bench::finish(report);
+}
+
+}  // namespace
+}  // namespace pds
+
+int main() { return pds::run(); }

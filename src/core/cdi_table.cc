@@ -43,6 +43,34 @@ std::vector<std::pair<ChunkIndex, CdiRecord>> CdiTable::lookup_item(
   return out;
 }
 
+std::size_t CdiTable::invalidate_neighbor(NodeId neighbor) {
+  std::size_t touched = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& neighbors = it->second.neighbors;
+    const auto pos = std::find(neighbors.begin(), neighbors.end(), neighbor);
+    if (pos == neighbors.end()) {
+      ++it;
+      continue;
+    }
+    neighbors.erase(pos);
+    ++touched;
+    it = neighbors.empty() ? table_.erase(it) : std::next(it);
+  }
+  return touched;
+}
+
+std::size_t CdiTable::routes_via(NodeId neighbor, SimTime now) const {
+  std::size_t count = 0;
+  for (const auto& [key, rec] : table_) {
+    if (rec.expired(now)) continue;
+    if (std::find(rec.neighbors.begin(), rec.neighbors.end(), neighbor) !=
+        rec.neighbors.end()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 void CdiTable::sweep(SimTime now) {
   for (auto it = table_.begin(); it != table_.end();) {
     it = it->second.expired(now) ? table_.erase(it) : std::next(it);

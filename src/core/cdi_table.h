@@ -43,6 +43,20 @@ class CdiTable {
   void sweep(SimTime now);
   [[nodiscard]] std::size_t size() const { return table_.size(); }
 
+  // Staleness invalidation on peer failure (DESIGN.md §11): removes
+  // `neighbor` from every record's next-hop set and drops records left with
+  // no next hop at all. Returns the number of records touched. Without this
+  // a crashed provider keeps attracting directed chunk queries until its
+  // records' TTL runs out.
+  std::size_t invalidate_neighbor(NodeId neighbor);
+
+  // Unexpired records whose next-hop set still contains `neighbor`
+  // (fault-invariant checks: never route to a node known crashed).
+  [[nodiscard]] std::size_t routes_via(NodeId neighbor, SimTime now) const;
+
+  // Crash-with-wipe fault semantics.
+  void clear() { table_.clear(); }
+
  private:
   std::map<std::pair<ItemId, ChunkIndex>, CdiRecord> table_;
 };

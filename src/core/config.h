@@ -116,6 +116,12 @@ struct PdsConfig {
   // When false, phase-2 chunk assignment uses naive nearest-neighbor
   // assignment instead of the min–max GAP heuristic.
   bool enable_gap_balancing = true;
+  // Treat transport retransmission-budget exhaustion as a peer-failure
+  // signal: invalidate CDI routes through the silent peer, purge lingering
+  // queries it originated, and re-dispatch in-flight retrievals
+  // (DESIGN.md §11). When false, recovery falls back to TTL expiry and the
+  // stall timer alone.
+  bool enable_peer_failure_detection = true;
 };
 
 }  // namespace pds::core

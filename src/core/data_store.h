@@ -89,6 +89,15 @@ class DataStore {
   // Drops expired cached-only metadata entries.
   void sweep(SimTime now);
 
+  // Crash-with-wipe fault semantics: the process's entire store is gone.
+  // Cache limits and eviction policy survive (they are configuration).
+  void clear() {
+    metadata_.clear();
+    chunks_.clear();
+    items_.clear();
+    cached_chunk_bytes_ = 0;
+  }
+
  private:
   struct MetaRecord {
     DataDescriptor descriptor;

@@ -34,6 +34,20 @@ std::vector<LingeringQuery*> LingeringQueryTable::live_queries(
   return out;
 }
 
+std::size_t LingeringQueryTable::purge_upstream(NodeId upstream,
+                                                net::ContentKind kind) {
+  std::size_t dropped = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.upstream == upstream && it->second.query->kind == kind) {
+      it = table_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 std::size_t LingeringQueryTable::sweep(SimTime now) {
   std::size_t expired = 0;
   for (auto it = table_.begin(); it != table_.end();) {

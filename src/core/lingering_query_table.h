@@ -71,6 +71,17 @@ class LingeringQueryTable {
   // Erases expired entries; returns how many were dropped (lq.expired trace).
   std::size_t sweep(SimTime now);
 
+  // Peer-failure cleanup (DESIGN.md §11): erases every `kind` entry whose
+  // upstream is the departed `upstream` — the query, its Bloom filter and
+  // per-chunk bookkeeping all go; responses relayed toward a dead upstream
+  // are wasted airtime. Entries whose upstream is this node (locally
+  // originated queries) are never passed here. Returns how many entries
+  // were dropped.
+  std::size_t purge_upstream(NodeId upstream, net::ContentKind kind);
+
+  // Crash-with-wipe fault semantics.
+  void clear() { table_.clear(); }
+
   [[nodiscard]] std::size_t size() const { return table_.size(); }
 
  private:

@@ -45,7 +45,26 @@ PdsNode::PdsNode(sim::Simulator& sim, sim::RadioMedium& medium, NodeId id,
   }
   transport_.set_handler(
       [this](const net::MessagePtr& msg) { on_message(msg); });
+  if (config_.enable_peer_failure_detection) {
+    transport_.set_unreachable_callback(
+        [this](NodeId peer) { on_peer_unreachable(peer); });
+  }
 }
+
+void PdsNode::crash(bool wipe_state) {
+  if (crashed_) return;
+  crashed_ = true;
+  transport_.reset();
+  if (wipe_state) {
+    store_.clear();
+    cdi_.clear();
+    lqt_.clear();
+    recent_responses_.clear();
+    local_handlers_.clear();
+  }
+}
+
+void PdsNode::restart() { crashed_ = false; }
 
 void PdsNode::publish_metadata(const DataDescriptor& descriptor) {
   store_.insert_metadata(descriptor, /*has_payload=*/true, sim_.now(),
@@ -123,6 +142,9 @@ SubscriptionSession& PdsNode::subscribe_items(
 
 void PdsNode::on_message(const net::MessagePtr& msg) {
   PDS_ENSURE(!msg->is_ack());
+  // Crash semantics: the medium is normally detached too, but a message can
+  // race the crash event through the transport's delivery queue.
+  if (crashed_) return;
   // Attribute any PDS_LOG line emitted while handling to this node.
   const ScopedLogNode log_node(id_);
   ++messages_handled_;
@@ -150,6 +172,17 @@ void PdsNode::on_message(const net::MessagePtr& msg) {
         pdr_.handle_chunk_response(msg);
       }
       break;
+  }
+}
+
+void PdsNode::on_peer_unreachable(NodeId peer) {
+  if (crashed_) return;
+  PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), id_, "fault",
+                    "peer_unreachable", {"peer", peer});
+  pdd_.on_peer_unreachable(peer);
+  pdr_.on_peer_unreachable(peer);
+  for (auto& session : pdr_sessions_) {
+    if (!session->finished()) session->on_peer_unreachable(peer);
   }
 }
 

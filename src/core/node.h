@@ -77,6 +77,18 @@ class PdsNode {
       Filter filter, SimTime duration,
       SubscriptionSession::EntryCallback on_entry);
 
+  // -- Fault semantics (DESIGN.md §11) --------------------------------------
+  // Crash: the node stops processing messages and its transport drops all
+  // in-flight state (pending retransmissions, queued sends, partial
+  // reassemblies). With `wipe_state` the persistent tables go too — Data
+  // Store, CDI, lingering queries, response dedup — modeling a device whose
+  // storage does not survive the failure. The caller (fault injector) is
+  // responsible for detaching the node from the radio medium.
+  void crash(bool wipe_state);
+  // Clears the crashed flag; protocol state is whatever crash() left.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
   // -- Introspection ----------------------------------------------------------
   [[nodiscard]] DataStore& store() { return store_; }
   [[nodiscard]] const DataStore& store() const { return store_; }
@@ -88,6 +100,10 @@ class PdsNode {
 
  private:
   void on_message(const net::MessagePtr& msg);
+  // Transport retransmission budget exhausted toward `peer`: fan the signal
+  // out to the engines (LQT/CDI cleanup) and to unfinished retrieval
+  // sessions (immediate re-dispatch).
+  void on_peer_unreachable(NodeId peer);
   void maybe_sweep();
 
   sim::Simulator& sim_;
@@ -110,6 +126,7 @@ class PdsNode {
   std::vector<std::unique_ptr<MdrSession>> mdr_sessions_;
   std::vector<std::unique_ptr<SubscriptionSession>> subscriptions_;
   std::uint64_t messages_handled_ = 0;
+  bool crashed_ = false;
 };
 
 }  // namespace pds::core

@@ -345,4 +345,13 @@ void PddEngine::handle_response(const net::MessagePtr& response) {
   }
 }
 
+void PddEngine::on_peer_unreachable(NodeId peer) {
+  const std::size_t purged =
+      ctx_.lqt.purge_upstream(peer, net::ContentKind::kMetadata) +
+      ctx_.lqt.purge_upstream(peer, net::ContentKind::kItem);
+  if (purged == 0) return;
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "fault",
+                    "pdd_purge", {"upstream", peer}, {"queries", purged});
+}
+
 }  // namespace pds::core

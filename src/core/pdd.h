@@ -39,6 +39,13 @@ class PddEngine {
   void serve_new_publication(const DataDescriptor& entry);
   void serve_new_publication(const net::ItemPayload& item);
 
+  // Peer-failure degradation (DESIGN.md §11): a consumer/relay that
+  // departed mid-protocol stops acking, the transport gives up, and this
+  // purges every metadata/item lingering query it installed here — the
+  // query entry, its rewritten Bloom filter and served-key bookkeeping.
+  // Responses already queued toward it die at the transport layer.
+  void on_peer_unreachable(NodeId peer);
+
  private:
   // Serves matching local entries to a just-inserted lingering query;
   // updates the query's Bloom filter / served sets.

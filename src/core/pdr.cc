@@ -7,6 +7,7 @@
 
 #include "common/assert.h"
 #include "core/flood.h"
+#include "obs/trace.h"
 
 namespace pds::core {
 
@@ -398,6 +399,17 @@ void PdrEngine::handle_chunk_response(const net::MessagePtr& response) {
     relay->receivers = std::move(relay_receivers);
     ctx_.transport.send(std::move(relay));
   }
+}
+
+void PdrEngine::on_peer_unreachable(NodeId peer) {
+  const std::size_t cdi_records = ctx_.cdi.invalidate_neighbor(peer);
+  const std::size_t purged =
+      ctx_.lqt.purge_upstream(peer, net::ContentKind::kCdi) +
+      ctx_.lqt.purge_upstream(peer, net::ContentKind::kChunk);
+  if (cdi_records == 0 && purged == 0) return;
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "fault",
+                    "pdr_purge", {"upstream", peer}, {"queries", purged},
+                    {"cdi", cdi_records});
 }
 
 }  // namespace pds::core

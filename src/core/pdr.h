@@ -59,6 +59,12 @@ class PdrEngine {
   void handle_chunk_query(const net::MessagePtr& query);
   void handle_chunk_response(const net::MessagePtr& response);
 
+  // Peer-failure degradation (DESIGN.md §11): drops CDI routes through the
+  // silent peer (stale distance-vector state would keep directing chunk
+  // queries at a crashed provider until TTL expiry) and purges the CDI and
+  // chunk lingering queries it installed here.
+  void on_peer_unreachable(NodeId peer);
+
  private:
   // Best local view of ChunkId→HopCount for an item: hop 0 for chunks in the
   // Data Store, CDI-table distance otherwise.

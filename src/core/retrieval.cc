@@ -174,6 +174,24 @@ void PdrSession::issue_requests() {
   }
 }
 
+void PdrSession::on_peer_unreachable(NodeId peer) {
+  if (phase_ != Phase::kFetch) return;
+  if (request_rounds_ >= ctx_.config.max_retrieval_rounds) return;
+  // A crash makes every in-flight message toward the peer give up in quick
+  // succession; one re-plan covers them all.
+  const SimTime cooldown = ctx_.config.retrieval_stall_timeout * 0.25;
+  if (ctx_.now() - last_redispatch_ < cooldown &&
+      last_redispatch_ != SimTime::zero()) {
+    return;
+  }
+  last_redispatch_ = ctx_.now();
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "fault",
+                    "redispatch", {"peer", peer},
+                    {"missing", missing_chunks().size()});
+  last_progress_ = ctx_.now();
+  issue_requests();
+}
+
 void PdrSession::check_stall() {
   if (phase_ != Phase::kFetch) return;
   sync_from_store();

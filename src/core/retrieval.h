@@ -41,6 +41,13 @@ class PdrSession {
 
   void start();
 
+  // Peer-failure re-dispatch (DESIGN.md §11): the transport exhausted its
+  // retransmission budget toward `peer` and the engine already invalidated
+  // CDI routes through it. Re-plans the missing chunks right away instead
+  // of waiting out the stall timer; a short cooldown coalesces the burst of
+  // give-ups a single crash produces.
+  void on_peer_unreachable(NodeId peer);
+
   [[nodiscard]] bool finished() const { return phase_ == Phase::kDone; }
   [[nodiscard]] const RetrievalResult& result() const { return result_; }
   [[nodiscard]] const std::map<ChunkIndex, net::ChunkPayload>& chunks() const {
@@ -79,6 +86,7 @@ class PdrSession {
   SimTime last_new_chunk_ = SimTime::zero();
   SimTime last_cdi_activity_ = SimTime::zero();
   SimTime last_progress_ = SimTime::zero();
+  SimTime last_redispatch_ = SimTime::zero();
 
   std::map<ChunkIndex, net::ChunkPayload> chunks_;
   std::map<ChunkIndex, SimTime> arrivals_;

@@ -178,7 +178,8 @@ void Transport::transmit(const Packet& packet, bool track_reliably) {
   if (packet.count > 1) ++stats_.fragments_sent;
   sim_.schedule_at(release, [this, payload = std::move(payload),
                              size = packet.wire_bytes, track_reliably, token,
-                             round] {
+                             round, epoch = epoch_] {
+    if (epoch != epoch_) return;  // transport reset while queued: stale send
     if (!face_.send(sim::Frame{.sender = self_,
                                .size_bytes = size,
                                .payload = payload})) {
@@ -217,7 +218,16 @@ void Transport::check_pending(std::uint64_t token, int expected_round) {
                   "node " << self_ << " gave up on packet after "
                           << p.retransmissions << " retransmissions ("
                           << p.awaiting.size() << " receiver(s) silent)");
+    // Degrade instead of hanging: surface every still-silent receiver so the
+    // protocol layer can drop routes/queries through it. The set is sorted
+    // before the callbacks fire — unordered_set iteration order must never
+    // leak into protocol behaviour.
+    std::vector<NodeId> silent(p.awaiting.begin(), p.awaiting.end());
+    std::sort(silent.begin(), silent.end());
     complete_pending(token);
+    if (unreachable_cb_) {
+      for (NodeId peer : silent) unreachable_cb_(peer);
+    }
     return;
   }
   // Retransmit with the receiver list rewritten to the unacked subset.
@@ -414,9 +424,28 @@ void Transport::on_frame(const sim::Frame& frame) {
     return;
   }
   auto frag = std::dynamic_pointer_cast<const FragmentPayload>(frame.payload);
-  PDS_ENSURE(frag != nullptr);
+  // Unknown payloads (e.g. fault-injected junk traffic) are ignored, like a
+  // real radio overhearing foreign frames; their cost is airtime and OS
+  // buffer space, not an abort.
+  if (frag == nullptr) return;
   on_data_packet(frag->whole, frag->token, frag->index, frag->count,
                  packet_ack_token(frag->token, frag->index), frag->receivers);
+}
+
+void Transport::reset() {
+  ++epoch_;
+  pending_.clear();
+  send_queue_.clear();
+  inflight_ = 0;
+  reassembly_.clear();
+  sent_fragmented_.clear();
+  sent_fragmented_order_.clear();
+  ack_batch_.clear();
+  ack_flush_scheduled_ = false;
+  completed_messages_.clear();
+  bucket_ = cfg_.pacing_enabled ? util::LeakyBucket(cfg_.bucket_capacity_bytes,
+                                                    cfg_.leak_rate_bps)
+                                : util::LeakyBucket();
 }
 
 void Transport::register_metrics(obs::MetricsRegistry& registry,

@@ -97,6 +97,22 @@ class Transport final {
   using MessageHandler = std::function<void(const MessagePtr&)>;
   void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
 
+  // Called once per receiver still unacknowledged when a reliable packet
+  // exhausts its retransmission budget — the transport's peer-failure
+  // signal. The protocol layer uses it to invalidate routing/query state
+  // pointing at the silent peer (DESIGN.md §11) instead of hanging on it.
+  using UnreachableCallback = std::function<void(NodeId)>;
+  void set_unreachable_callback(UnreachableCallback cb) {
+    unreachable_cb_ = std::move(cb);
+  }
+
+  // Crash semantics (fault injection): drop every pending reliable packet,
+  // queued send, partial reassembly and batched ack, and reset pacing — the
+  // state a process loses when it dies. Cumulative stats survive (they
+  // belong to the observer, not the process). Timers already scheduled
+  // against the old state become no-ops.
+  void reset();
+
   // Queues `msg` for transmission. Reliability is implied by the message:
   // non-ack messages with explicit receivers are acked/retransmitted.
   void send(MessagePtr msg);
@@ -178,6 +194,10 @@ class Transport final {
   Codec codec_;
   util::LeakyBucket bucket_;
   MessageHandler handler_;
+  UnreachableCallback unreachable_cb_;
+  // Bumped by reset(); scheduled transmissions from a previous life check it
+  // and abort, so a crashed-then-restarted node does not send zombie frames.
+  std::uint64_t epoch_ = 0;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::deque<Packet> send_queue_;  // reliable packets awaiting a slot
   std::size_t inflight_ = 0;

@@ -184,6 +184,28 @@ std::vector<NodeId> RadioMedium::neighbors(NodeId id) const {
   return out;
 }
 
+void RadioMedium::set_pair_loss(NodeId a, NodeId b, double loss) {
+  PDS_ENSURE(a != b);
+  pair_loss_[pair_key(a, b)] = loss;
+}
+
+void RadioMedium::clear_pair_loss(NodeId a, NodeId b) {
+  pair_loss_.erase(pair_key(a, b));
+}
+
+void RadioMedium::set_burst_channel(NodeId id, GilbertElliottParams params) {
+  NodeState& st = state_of(id);
+  st.burst_enabled = true;
+  st.burst_bad = false;  // a fresh channel starts in the good state
+  st.burst = params;
+}
+
+void RadioMedium::clear_burst_channel(NodeId id) {
+  NodeState& st = state_of(id);
+  st.burst_enabled = false;
+  st.burst_bad = false;
+}
+
 std::size_t RadioMedium::os_backlog_bytes(NodeId id) const {
   return state_of(id).os_bytes;
 }
@@ -392,6 +414,39 @@ void RadioMedium::finish_reception(Index ridx, std::uint64_t tx_seq,
                       {"bytes", frame.size_bytes});
     return;
   }
+  // Scripted per-pair override (partition / degraded link) replaces the
+  // noise/burst draw for this sender–receiver pair. A hard partition edge
+  // (loss >= 1) drops without consuming randomness so the RNG stream stays
+  // aligned across schedules that only differ in partitioned pairs.
+  if (!pair_loss_.empty()) {
+    if (auto it = pair_loss_.find(pair_key(frame.sender, rx.id));
+        it != pair_loss_.end()) {
+      if (it->second >= 1.0 || rng_.bernoulli(it->second)) {
+        ++stats_.losses_fault;
+        return;
+      }
+      ++stats_.deliveries;
+      rx.sink->on_frame(frame);
+      return;
+    }
+  }
+  if (rx.burst_enabled) {
+    // Gilbert–Elliott channel: advance the two-state chain once per
+    // decodable frame, then draw from the current state's loss rate.
+    if (rx.burst_bad) {
+      if (rng_.bernoulli(rx.burst.p_bad_to_good)) rx.burst_bad = false;
+    } else {
+      if (rng_.bernoulli(rx.burst.p_good_to_bad)) rx.burst_bad = true;
+    }
+    const double p = rx.burst_bad ? rx.burst.loss_bad : rx.burst.loss_good;
+    if (rng_.bernoulli(p)) {
+      ++stats_.losses_burst;
+      return;
+    }
+    ++stats_.deliveries;
+    rx.sink->on_frame(frame);
+    return;
+  }
   if (rng_.bernoulli(cfg_.loss_probability)) {
     ++stats_.losses_noise;
     return;
@@ -414,6 +469,8 @@ void RadioMedium::register_metrics(obs::MetricsRegistry& registry,
   registry.expose_counter(prefix + "losses_noise", &stats_.losses_noise);
   registry.expose_counter(prefix + "losses_half_duplex",
                           &stats_.losses_half_duplex);
+  registry.expose_counter(prefix + "losses_fault", &stats_.losses_fault);
+  registry.expose_counter(prefix + "losses_burst", &stats_.losses_burst);
 }
 
 }  // namespace pds::sim

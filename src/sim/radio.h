@@ -20,6 +20,7 @@
 // study.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -137,6 +138,16 @@ struct RadioConfig {
 [[nodiscard]] RadioConfig contended_radio_profile();
 [[nodiscard]] RadioConfig clean_radio_profile();
 
+// Two-state Gilbert–Elliott burst-loss channel (per receiver, on top of the
+// i.i.d. noise model): the chain advances once per decodable frame; the
+// "bad" state models a deep fade where most frames are lost in a burst.
+struct GilbertElliottParams {
+  double p_good_to_bad = 0.05;
+  double p_bad_to_good = 0.25;
+  double loss_good = 0.02;
+  double loss_bad = 0.85;
+};
+
 struct MediumStats {
   std::uint64_t frames_offered = 0;
   std::uint64_t os_buffer_drops = 0;
@@ -146,6 +157,10 @@ struct MediumStats {
   std::uint64_t losses_collision = 0;
   std::uint64_t losses_noise = 0;
   std::uint64_t losses_half_duplex = 0;
+  // Drops from scripted per-pair loss overrides (partitions, degraded links).
+  std::uint64_t losses_fault = 0;
+  // Drops from Gilbert–Elliott burst channels.
+  std::uint64_t losses_burst = 0;
 
   friend bool operator==(const MediumStats&, const MediumStats&) = default;
 
@@ -177,6 +192,25 @@ class RadioMedium {
 
   // Enabled nodes currently within range of `id`.
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId id) const;
+
+  // -- Scripted channel faults (src/sim/faults.h drives these) --------------
+  // Symmetric per-pair loss override: frames between `a` and `b` are dropped
+  // with probability `loss` instead of the i.i.d. noise draw. loss >= 1 is a
+  // hard partition edge and drops deterministically (no randomness consumed,
+  // so schedules differing only in partitioned pairs stay comparable).
+  // Overrides compose identically with the spatial grid and the brute-force
+  // path: both decide losses in finish_reception, in registration order.
+  void set_pair_loss(NodeId a, NodeId b, double loss);
+  void clear_pair_loss(NodeId a, NodeId b);
+  [[nodiscard]] std::size_t pair_loss_count() const {
+    return pair_loss_.size();
+  }
+
+  // Attaches / detaches a Gilbert–Elliott burst channel to a receiver. The
+  // chain starts in the good state and replaces the i.i.d. noise draw while
+  // attached.
+  void set_burst_channel(NodeId id, GilbertElliottParams params);
+  void clear_burst_channel(NodeId id);
 
   [[nodiscard]] MediumStats& stats() { return stats_; }
   [[nodiscard]] const MediumStats& stats() const { return stats_; }
@@ -237,7 +271,18 @@ class RadioMedium {
     bool attempt_scheduled = false;
     std::vector<Reception> receptions;
     RadioActivity activity;
+    // Gilbert–Elliott burst channel state (faults.h).
+    bool burst_enabled = false;
+    bool burst_bad = false;
+    GilbertElliottParams burst;
   };
+
+  // Symmetric pair key for the per-pair loss overrides.
+  [[nodiscard]] static std::uint64_t pair_key(NodeId a, NodeId b) {
+    const std::uint32_t lo = std::min(a.value(), b.value());
+    const std::uint32_t hi = std::max(a.value(), b.value());
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
 
   [[nodiscard]] Index index_of(NodeId id) const;
   NodeState& state_of(NodeId id) { return states_[index_of(id)]; }
@@ -287,6 +332,8 @@ class RadioMedium {
   // about these, so scanning this list replaces the O(N) busy scans.
   std::vector<Index> transmitting_;
   mutable std::vector<Index> scratch_;  // candidate buffer, reused per query
+  // Scripted per-pair loss overrides, keyed by pair_key (symmetric).
+  std::unordered_map<std::uint64_t, double> pair_loss_;
   MediumStats stats_;
   TxObserver tx_observer_;
   std::uint64_t next_tx_seq_ = 1;

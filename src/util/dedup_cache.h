@@ -34,6 +34,12 @@ class DedupCache {
   [[nodiscard]] std::size_t size() const { return order_.size(); }
   [[nodiscard]] std::size_t capacity() const { return max_entries_; }
 
+  // Forget everything (crash-with-wipe fault semantics).
+  void clear() {
+    seen_.clear();
+    order_.clear();
+  }
+
  private:
   std::size_t max_entries_;
   std::unordered_set<Id> seen_;

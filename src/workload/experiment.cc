@@ -82,6 +82,7 @@ PddOutcome run_pdd_grid(const PddGridParams& params) {
   distribute_metadata(nodes, entries, params.redundancy, rng, consumers);
 
   sc.reset_overhead();
+  if (!params.faults.empty()) sc.install_faults(params.faults);
 
   std::vector<const core::DiscoverySession*> sessions(consumers.size(),
                                                       nullptr);
@@ -148,6 +149,7 @@ PddOutcome run_pdd_mobility(const PddMobilityParams& params) {
                       world.consumers);
 
   sc.reset_overhead();
+  if (!params.faults.empty()) sc.install_faults(params.faults);
   const core::DiscoverySession* session = nullptr;
   session = &sc.node(world.consumers.front())
                  .discover(core::Filter{},
@@ -233,6 +235,7 @@ RetrievalOutcome run_retrieval_grid(const RetrievalGridParams& params) {
                     consumers);
 
   sc.reset_overhead();
+  if (!params.faults.empty()) sc.install_faults(params.faults);
 
   std::vector<core::RetrievalResult> results(consumers.size());
   std::vector<bool> finished(consumers.size(), false);
@@ -289,6 +292,7 @@ RetrievalOutcome run_retrieval_mobility(
                     world.consumers);
 
   sc.reset_overhead();
+  if (!params.faults.empty()) sc.install_faults(params.faults);
 
   std::vector<core::RetrievalResult> results(1);
   std::vector<bool> finished(1, false);

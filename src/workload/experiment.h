@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "sim/faults.h"
 #include "sim/mobility.h"
 #include "workload/scenario.h"
 
@@ -41,6 +42,10 @@ struct PddGridParams {
   // Optional structured-event tracer attached to the run's simulator (owned
   // by the caller; see src/obs/trace.h). Tracing never perturbs outcomes.
   obs::Tracer* tracer = nullptr;
+  // Deterministic fault schedule (crash/churn/partition/burst/storm)
+  // installed against the scenario before any session starts; empty = clean
+  // run (see sim/faults.h and DESIGN.md §11).
+  sim::FaultSchedule faults;
 };
 
 // One closed discovery round at one consumer (DiscoverySession::RoundRecord
@@ -80,6 +85,7 @@ struct PddMobilityParams {
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(180.0);
   obs::Tracer* tracer = nullptr;
+  sim::FaultSchedule faults;
 };
 
 [[nodiscard]] PddOutcome run_pdd_mobility(const PddMobilityParams& params);
@@ -103,6 +109,7 @@ struct RetrievalGridParams {
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(900.0);
   obs::Tracer* tracer = nullptr;
+  sim::FaultSchedule faults;
 };
 
 struct RetrievalOutcome {
@@ -134,6 +141,7 @@ struct RetrievalMobilityParams {
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(900.0);
   obs::Tracer* tracer = nullptr;
+  sim::FaultSchedule faults;
 };
 
 [[nodiscard]] RetrievalOutcome run_retrieval_mobility(

@@ -40,6 +40,17 @@ void Scenario::register_metrics(obs::MetricsRegistry& registry) {
   }
 }
 
+void Scenario::install_faults(const sim::FaultSchedule& schedule) {
+  if (!faults_) {
+    faults_ = std::make_unique<sim::FaultInjector>(
+        sim_, medium_,
+        sim::FaultInjector::Hooks{
+            .crash = [this](NodeId id, bool wipe) { node(id).crash(wipe); },
+            .restart = [this](NodeId id) { node(id).restart(); }});
+  }
+  faults_->install(schedule);
+}
+
 Grid make_grid(const GridSetup& setup, std::uint64_t seed) {
   sim::RadioConfig radio = setup.radio;
   const bool pinned_interference =

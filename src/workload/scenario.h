@@ -9,6 +9,7 @@
 
 #include "core/config.h"
 #include "core/node.h"
+#include "sim/faults.h"
 #include "sim/mobility.h"
 #include "sim/radio.h"
 #include "sim/simulator.h"
@@ -58,11 +59,20 @@ class Scenario {
   // added; the registry must not outlive this scenario.
   void register_metrics(obs::MetricsRegistry& registry);
 
+  // Installs a fault schedule against this scenario's nodes: crash/restart
+  // hooks route to PdsNode::crash/restart, radio effects go straight to the
+  // medium. Callable repeatedly; schedules accumulate. All referenced nodes
+  // must already exist.
+  void install_faults(const sim::FaultSchedule& schedule);
+  // Null until install_faults() has been called.
+  [[nodiscard]] sim::FaultInjector* fault_injector() { return faults_.get(); }
+
  private:
   sim::Simulator sim_;
   sim::RadioMedium medium_;
   std::unordered_map<NodeId, std::unique_ptr<core::PdsNode>> by_id_;
   std::vector<NodeId> order_;
+  std::unique_ptr<sim::FaultInjector> faults_;
 };
 
 // A Scenario with nodes laid out as an nx × ny grid such that every node

@@ -1,11 +1,20 @@
 // Parameterized property sweeps over whole-system runs: metric sanity,
-// determinism, and the dominance relations the design promises (multi-round
-// ≥ single round; ack ≥ no-ack; mixedcast/Bloom reduce overhead).
+// determinism, the dominance relations the design promises (multi-round
+// ≥ single round; ack ≥ no-ack; mixedcast/Bloom reduce overhead), and the
+// protocol invariants that must survive arbitrary fault schedules.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+#include <string>
 #include <tuple>
+#include <vector>
 
+#include "common/rng.h"
+#include "obs/trace.h"
 #include "workload/experiment.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
 
 namespace pds::wl {
 namespace {
@@ -176,6 +185,249 @@ TEST(Ablations, LingeringQueriesReduceOverheadUnderMultipleRounds) {
   // One-shot needs at least as many rounds to reach its recall.
   EXPECT_GE(oneshot.rounds + 0.001, lingering.rounds);
 }
+
+// -- Invariants under random fault schedules (DESIGN.md §11) ----------------
+//
+// A seeded generator scripts crashes, churn, partitions, burst channels,
+// lossy links and buffer storms against a 5×5 grid while one consumer runs a
+// full discover-then-retrieve workload. Whatever the schedule does, the
+// protocol must keep its books straight:
+//  * a node never serves/relays an entry the query's original Bloom filter
+//    covers (redundancy detection, §III-B.2/§V.3);
+//  * the consumer application never sees the same chunk delivered twice;
+//  * once the permanently crashed provider's give-up signals and CDI TTLs
+//    have run out, no live node still routes chunk queries through it;
+//  * every session terminates and no lingering query outlives its expiry.
+
+constexpr std::size_t kFaultCaseEntries = 120;
+constexpr std::size_t kFaultCaseChunks = 8;
+constexpr std::size_t kFaultCaseChunkBytes = 64 * 1024;
+
+struct FaultCaseOutcome {
+  bool discovery_done = false;
+  bool retrieval_done = false;
+  std::size_t distinct_received = 0;
+  core::RetrievalResult retrieval;
+  std::size_t session_chunks = 0;
+  std::size_t session_arrivals = 0;
+  std::size_t bloom_violations = 0;
+  std::size_t routes_via_crashed = 0;
+  std::size_t stuck_queries = 0;
+  std::vector<std::int64_t> chunk_arrival_trace;  // chunk ids at the consumer
+  std::string ndjson;
+};
+
+std::int64_t arg_value(const obs::TraceEvent& e, const char* key) {
+  for (std::uint8_t i = 0; i < e.arg_count; ++i) {
+    const obs::Arg& a = e.args[i];
+    if (a.key == nullptr || std::strcmp(a.key, key) != 0) continue;
+    if (a.kind == obs::Arg::Kind::kInt) return a.i;
+    if (a.kind == obs::Arg::Kind::kUint) return static_cast<std::int64_t>(a.u);
+    return 0;
+  }
+  return -1;
+}
+
+// Everything — topology, placement, victims and fault times — derives from
+// `seed`, so a rerun with the same seed replays the identical schedule.
+FaultCaseOutcome run_random_fault_case(std::uint64_t seed) {
+  FaultCaseOutcome out;
+  obs::Tracer tracer(0);  // unbounded: keep the full stream
+
+  GridSetup setup;
+  setup.nx = setup.ny = 5;
+  setup.pds.chunk_size_bytes = kFaultCaseChunkBytes;
+  Grid grid = make_grid(setup, seed);
+  Scenario& sc = *grid.scenario;
+  sc.set_tracer(&tracer);
+
+  Rng rng(seed * 0x9e3779b9u + 17);
+  std::vector<NodeId> others;  // everyone but the consumer
+  for (NodeId id : grid.ids) {
+    if (id != grid.center) others.push_back(id);
+  }
+  const auto pick_other = [&](std::vector<NodeId>& exclude) {
+    for (;;) {
+      const NodeId id = others[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(others.size()) - 1))];
+      if (std::find(exclude.begin(), exclude.end(), id) == exclude.end()) {
+        exclude.push_back(id);
+        return id;
+      }
+    }
+  };
+
+  // Redundancy-2 metadata plus one chunked item on two holders; holder h1
+  // crashes permanently mid-retrieval, h2 survives untouched.
+  std::vector<NodeId> reserved;
+  const NodeId h1 = pick_other(reserved);
+  const NodeId h2 = pick_other(reserved);
+  const auto item = make_chunked_item(
+      "clip", kFaultCaseChunks * kFaultCaseChunkBytes, kFaultCaseChunkBytes);
+  for (ChunkIndex c = 0; c < kFaultCaseChunks; ++c) {
+    const auto chunk = make_chunk(item, c,
+                                  kFaultCaseChunks * kFaultCaseChunkBytes,
+                                  kFaultCaseChunkBytes);
+    sc.node(h1).publish_chunk(item, chunk);
+    sc.node(h2).publish_chunk(item, chunk);
+  }
+  for (std::size_t i = 0; i < kFaultCaseEntries; ++i) {
+    core::DataDescriptor d;
+    d.set("seq", static_cast<std::int64_t>(i));
+    std::vector<NodeId> placed;
+    sc.node(pick_other(placed)).publish_metadata(d);
+    sc.node(pick_other(placed)).publish_metadata(d);
+  }
+
+  // The schedule: one permanent provider crash plus four random faults on
+  // nodes that are neither the consumer nor the surviving holder.
+  sim::FaultSchedule faults;
+  faults.crash(SimTime::seconds(rng.uniform(6.0, 12.0)), h1,
+               /*wipe=*/rng.bernoulli(0.5));
+  std::vector<NodeId> faulted = reserved;  // h1, h2 are off limits
+  for (int f = 0; f < 4; ++f) {
+    const NodeId v = pick_other(faulted);
+    const SimTime at = SimTime::seconds(rng.uniform(0.3, 10.0));
+    const SimTime until = at + SimTime::seconds(rng.uniform(5.0, 15.0));
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        faults.churn(at, until, v);
+        break;
+      case 1:
+        faults.crash(at, v, rng.bernoulli(0.5)).restart(until, v);
+        break;
+      case 2:
+        faults.burst(at, until, v);
+        break;
+      case 3:
+        faults.buffer_storm(at, v);
+        break;
+      case 4: {
+        std::vector<NodeId> peer_pick{v};
+        const NodeId peer = pick_other(peer_pick);
+        faults.link_loss(at, v, peer, rng.uniform(0.3, 0.8))
+            .link_restore(until, v, peer);
+        break;
+      }
+      default: {
+        std::vector<NodeId> rest;
+        for (NodeId id : grid.ids) {
+          if (id != v) rest.push_back(id);
+        }
+        faults.partition(at, until, {v}, rest);
+        break;
+      }
+    }
+  }
+  sc.install_faults(faults);
+
+  // Bloom invariant probe, sampled while traffic is live: a served key must
+  // never be one the query's *original* (immutable) Bloom filter covered —
+  // the mutable rewritten copy only grows, so a violation here means some
+  // node transmitted an entry its upstream had already declared held.
+  for (int p = 1; p <= 90; ++p) {
+    sc.sim().schedule_at(SimTime::millis(500 * p), [&sc, &out] {
+      const SimTime now = sc.sim().now();
+      for (core::PdsNode* n : sc.nodes()) {
+        if (n->crashed()) continue;
+        for (const net::ContentKind kind :
+             {net::ContentKind::kMetadata, net::ContentKind::kItem}) {
+          for (core::LingeringQuery* lq : n->lqt().live_queries(kind, now)) {
+            for (const std::uint64_t key : lq->served_keys) {
+              if (lq->query->exclude.maybe_contains(key)) {
+                ++out.bloom_violations;
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+
+  core::PdsNode& consumer = grid.center_node();
+  core::PdrSession* session = nullptr;
+  consumer.discover(
+      core::Filter{}, [&](const core::DiscoverySession::Result& r) {
+        out.discovery_done = true;
+        out.distinct_received = r.distinct_received;
+        session = &consumer.retrieve(item, [&](const core::RetrievalResult& rr) {
+          out.retrieval_done = true;
+          out.retrieval = rr;
+        });
+      });
+  sc.run_until(SimTime::seconds(300));
+
+  if (session != nullptr) {
+    out.session_chunks = session->chunks().size();
+    out.session_arrivals = session->arrivals().size();
+  }
+  const SimTime now = sc.sim().now();
+  for (core::PdsNode* n : sc.nodes()) {
+    if (n->id() == h1 || n->crashed()) continue;
+    out.routes_via_crashed += n->cdi_table().routes_via(h1, now);
+    n->lqt().sweep(now);
+    out.stuck_queries += n->lqt().size();
+  }
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.node == grid.center.value() &&
+        std::strcmp(e.subsystem, "pdr") == 0 &&
+        std::strcmp(e.name, "chunk_arrival") == 0) {
+      out.chunk_arrival_trace.push_back(arg_value(e, "chunk"));
+    }
+  }
+  out.ndjson = tracer.ndjson();
+  return out;
+}
+
+class RandomFaultSchedule : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFaultSchedule, InvariantsHold) {
+  const FaultCaseOutcome out = run_random_fault_case(GetParam());
+
+  // Sessions terminate under a generous horizon.
+  EXPECT_TRUE(out.discovery_done);
+  EXPECT_TRUE(out.retrieval_done);
+  EXPECT_GT(out.distinct_received, 0u);
+  // 120 entries plus the chunked item's own metadata: one item-level entry
+  // and one per published chunk.
+  EXPECT_LE(out.distinct_received,
+            kFaultCaseEntries + kFaultCaseChunks + 1);
+
+  // No entry transmitted to a node whose Bloom filter covers it.
+  EXPECT_EQ(out.bloom_violations, 0u);
+
+  // No duplicate chunk deliveries: every arrival traced at the consumer is a
+  // distinct chunk, and the session's books agree with the result.
+  std::vector<std::int64_t> chunks = out.chunk_arrival_trace;
+  std::sort(chunks.begin(), chunks.end());
+  EXPECT_EQ(std::adjacent_find(chunks.begin(), chunks.end()), chunks.end())
+      << "a chunk was delivered to the consumer application twice";
+  EXPECT_EQ(chunks.size(), out.retrieval.chunks_received);
+  EXPECT_EQ(out.session_chunks, out.retrieval.chunks_received);
+  EXPECT_EQ(out.session_arrivals, out.retrieval.chunks_received);
+  EXPECT_LE(out.retrieval.chunks_received, kFaultCaseChunks);
+  // The surviving holder has every chunk, so retrieval must complete.
+  EXPECT_TRUE(out.retrieval.complete);
+  EXPECT_EQ(out.retrieval.chunks_received, kFaultCaseChunks);
+
+  // The CDI tables never keep routing through the permanently crashed
+  // provider once give-up signals and TTL expiry have done their work.
+  EXPECT_EQ(out.routes_via_crashed, 0u);
+  EXPECT_EQ(out.stuck_queries, 0u);
+}
+
+TEST_P(RandomFaultSchedule, SameSeedSameScheduleIsByteIdentical) {
+  const FaultCaseOutcome a = run_random_fault_case(GetParam());
+  const FaultCaseOutcome b = run_random_fault_case(GetParam());
+  EXPECT_EQ(a.distinct_received, b.distinct_received);
+  EXPECT_EQ(a.retrieval.chunks_received, b.retrieval.chunks_received);
+  EXPECT_EQ(a.retrieval.complete, b.retrieval.complete);
+  EXPECT_FALSE(a.ndjson.empty());
+  EXPECT_EQ(a.ndjson, b.ndjson);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFaultSchedule,
+                         ::testing::Values(601, 602, 603));
 
 }  // namespace
 }  // namespace pds::wl

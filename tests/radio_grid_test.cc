@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/faults.h"
 #include "sim/radio.h"
 #include "sim/simulator.h"
 
@@ -103,6 +104,77 @@ TEST(RadioGrid, GridPathBitIdenticalToBruteForce) {
     EXPECT_GT(grid_stats.deliveries, 0u);
     EXPECT_GT(grid_stats.losses_collision, 0u)
         << "scenario should actually be contended";
+  }
+}
+
+// Same contended workload, now with a fault schedule on top: a partition
+// that heals mid-run, a lossy link override, burst channels and a buffer
+// storm. Fault channels draw from the medium's RNG (sub-unity losses and
+// burst chains) — the grid and brute-force paths must consume those draws
+// in exactly the same order.
+std::pair<MediumStats, Trace> run_faulted(bool use_grid, std::uint64_t seed) {
+  Simulator sim(seed);
+  RadioConfig cfg = contended_radio_profile();
+  cfg.use_spatial_grid = use_grid;
+  RadioMedium medium(sim, cfg);
+
+  constexpr std::size_t kSide = 6;
+  constexpr std::size_t kNodes = kSide * kSide;
+  const double spacing = 12.0;
+
+  Trace trace;
+  std::vector<TraceSink> sinks(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    sinks[i].sim = &sim;
+    sinks[i].self = NodeId(static_cast<std::uint32_t>(i));
+    sinks[i].trace = &trace;
+    medium.add_node(sinks[i].self,
+                    sinks[i],
+                    Vec2{static_cast<double>(i % kSide) * spacing,
+                         static_cast<double>(i / kSide) * spacing});
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    const NodeId id(static_cast<std::uint32_t>(i));
+    for (int k = 0; k < 12; ++k) {
+      sim.schedule_at(SimTime::millis(3 * k) +
+                          SimTime::micros(static_cast<std::int64_t>(i) * 11),
+                      [&medium, id] {
+                        medium.send(id,
+                                    Frame{.sender = id, .size_bytes = 900});
+                      });
+    }
+  }
+
+  FaultInjector injector(sim, medium);
+  FaultSchedule schedule;
+  std::vector<NodeId> left;
+  std::vector<NodeId> right;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    (i % kSide < kSide / 2 ? left : right)
+        .push_back(NodeId(static_cast<std::uint32_t>(i)));
+  }
+  schedule.partition(SimTime::millis(4), SimTime::millis(22), left, right)
+      .link_loss(SimTime::millis(2), NodeId(0), NodeId(1), 0.4)
+      .burst(SimTime::millis(1), SimTime::millis(30), NodeId(8))
+      .burst(SimTime::millis(1), SimTime::millis(30), NodeId(27))
+      .churn(SimTime::millis(9), SimTime::millis(25), NodeId(14))
+      .buffer_storm(SimTime::millis(6), NodeId(21), 60'000, 1200);
+  injector.install(schedule);
+
+  sim.run(SimTime::seconds(10.0));
+  return {medium.stats(), trace};
+}
+
+TEST(RadioGrid, FaultScheduleBitIdenticalAcrossGridAndBruteForce) {
+  for (const std::uint64_t seed : {1u, 5u, 11u}) {
+    const auto [grid_stats, grid_trace] = run_faulted(true, seed);
+    const auto [brute_stats, brute_trace] = run_faulted(false, seed);
+    EXPECT_EQ(grid_stats, brute_stats) << "seed " << seed;
+    EXPECT_EQ(grid_trace, brute_trace) << "seed " << seed;
+    EXPECT_GT(grid_stats.losses_fault, 0u)
+        << "partition/link overrides should actually drop frames";
+    EXPECT_GT(grid_stats.losses_burst, 0u)
+        << "burst channels should actually drop frames";
   }
 }
 

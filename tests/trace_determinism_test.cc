@@ -107,5 +107,103 @@ TEST(TraceDeterminism, NdjsonBytesIdenticalUnderParallelJobs) {
   }
 }
 
+// -- Fault schedules ---------------------------------------------------------
+// A faulted run is exactly as deterministic as a clean one: same seed +
+// same schedule must give byte-identical trace streams and report JSON,
+// serially or across PDS_BENCH_JOBS worker threads.
+
+sim::FaultSchedule probe_schedule() {
+  sim::FaultSchedule s;
+  s.crash(SimTime::millis(500), NodeId(0), /*wipe=*/true)
+      .restart(SimTime::seconds(4), NodeId(0))
+      .churn(SimTime::millis(700), SimTime::seconds(5), NodeId(4))
+      .partition(SimTime::seconds(1), SimTime::seconds(3),
+                 {NodeId(20), NodeId(21)}, {NodeId(23), NodeId(24)})
+      .burst(SimTime::zero(), SimTime::seconds(6), NodeId(2))
+      .buffer_storm(SimTime::millis(300), NodeId(10));
+  return s;
+}
+
+PddGridParams faulted_pdd(std::uint64_t seed, obs::Tracer* tracer) {
+  PddGridParams p = small_pdd(seed, tracer);
+  p.redundancy = 2;
+  p.faults = probe_schedule();
+  return p;
+}
+
+TEST(TraceDeterminism, FaultedRunSameSeedSameScheduleByteIdentical) {
+  obs::Tracer a(0);
+  const PddOutcome out_a = run_pdd_grid(faulted_pdd(5, &a));
+  obs::Tracer b(0);
+  const PddOutcome out_b = run_pdd_grid(faulted_pdd(5, &b));
+  EXPECT_TRUE(same_outcome(out_a, out_b));
+  EXPECT_FALSE(a.events().empty());
+  EXPECT_EQ(a.ndjson(), b.ndjson());
+  // The schedule's fault events must actually appear in the stream.
+  EXPECT_NE(a.ndjson().find("\"fault\""), std::string::npos);
+}
+
+TEST(TraceDeterminism, FaultedNdjsonBytesIdenticalUnderParallelJobs) {
+  ::setenv("PDS_BENCH_JOBS", "1", 1);
+  std::vector<obs::Tracer> serial_tracers(4);
+  const auto serial = bench::run_indexed(4, [&](int i) {
+    run_pdd_grid(faulted_pdd(static_cast<std::uint64_t>(i + 1),
+                             &serial_tracers[static_cast<std::size_t>(i)]));
+    return serial_tracers[static_cast<std::size_t>(i)].ndjson();
+  });
+
+  ::setenv("PDS_BENCH_JOBS", "4", 1);
+  std::vector<obs::Tracer> parallel_tracers(4);
+  const auto parallel = bench::run_indexed(4, [&](int i) {
+    run_pdd_grid(faulted_pdd(static_cast<std::uint64_t>(i + 1),
+                             &parallel_tracers[static_cast<std::size_t>(i)]));
+    return parallel_tracers[static_cast<std::size_t>(i)].ndjson();
+  });
+  ::unsetenv("PDS_BENCH_JOBS");
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty());
+    EXPECT_EQ(serial[i], parallel[i]) << "seed " << i + 1;
+  }
+}
+
+// Miniature BENCH_faults-style report over faulted runs: the JSON bytes
+// must not depend on the worker-thread count (modulo the recorded jobs
+// field, which differs by design).
+std::string faulted_report_json() {
+  obs::Report::Options options;
+  options.experiment = "faults_determinism_probe";
+  options.runs = 4;
+  options.jobs = bench::jobs();
+  obs::Report report(std::move(options));
+  report.begin_section("pdd");
+  const bench::Series series = bench::average(4, [](std::uint64_t seed) {
+    const PddOutcome out = run_pdd_grid(faulted_pdd(seed, nullptr));
+    return std::tuple{out.recall, out.latency_s, out.overhead_mb};
+  });
+  report.point()
+      .metric("recall", series.recall, 3)
+      .metric("latency_s", series.latency_s, 2)
+      .metric("overhead_mb", series.overhead_mb, 2);
+  return report.to_json();
+}
+
+TEST(TraceDeterminism, FaultedReportJsonBytesIdenticalUnderParallelJobs) {
+  ::setenv("PDS_BENCH_JOBS", "1", 1);
+  const std::string serial = faulted_report_json();
+  ::setenv("PDS_BENCH_JOBS", "4", 1);
+  const std::string parallel = faulted_report_json();
+  ::unsetenv("PDS_BENCH_JOBS");
+  EXPECT_FALSE(serial.empty());
+  const auto strip_jobs = [](std::string s) {
+    const std::size_t at = s.find("\"jobs\":");
+    EXPECT_NE(at, std::string::npos);
+    const std::size_t end = s.find_first_of(",}", at);
+    return s.erase(at, end - at);
+  };
+  EXPECT_EQ(strip_jobs(serial), strip_jobs(parallel));
+}
+
 }  // namespace
 }  // namespace pds::wl

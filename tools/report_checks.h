@@ -563,6 +563,32 @@ inline std::vector<GateFailure> run_gates(const ParsedReport& rep) {
                         "pdr-progress-monotone");
   } else if (e == "tab_cache_policies") {
     gate.floor(rep.section("main"), "recall", 0.99, "recall-stays-full");
+  } else if (e == "faults") {
+    // DESIGN.md §11: every fault class must recover — recall >= 0.9 after
+    // restart/heal, and no session may hang past the horizon. The clean
+    // baseline row additionally proves the fault plumbing itself costs
+    // nothing: it must stay at the unfaulted experiments' full recall.
+    for (const char* section : {"pdd", "pdr"}) {
+      const auto pts = rep.section(section);
+      if (pts.empty()) {
+        gate.fail("fault-sections-present",
+                  std::string("no points in section ") + section);
+        continue;
+      }
+      gate.floor(pts, "recall", 0.9, "recall-recovers");
+      for (const ReportPoint* p : pts) {
+        if (p->mean("hung") > 0.0) {
+          gate.fail("no-hung-sessions",
+                    "hung sessions under class " + p->str_param("class") +
+                        " in " + section);
+        }
+        if (p->str_param("class") == "baseline" && p->mean("recall") < 0.99) {
+          gate.fail("baseline-full-recall",
+                    std::string(section) + " baseline recall " +
+                        std::to_string(p->mean("recall")) + " below 0.99");
+        }
+      }
+    }
   } else if (e == "sim_perf") {
     for (const ReportPoint* p : rep.section("scenarios")) {
       const JsonValue* identical = p->param("stats_identical");

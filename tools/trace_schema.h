@@ -29,7 +29,7 @@ inline constexpr std::array<const char*, 4> keys(const char* a = nullptr,
   return {a, b, c, d};
 }
 
-inline constexpr std::array<EventSchema, 27> kEventCatalog = {{
+inline constexpr std::array<EventSchema, 40> kEventCatalog = {{
     // -- PDD discovery round lifecycle (§IV-B) -------------------------------
     {"pdd", "round", "BE", keys("round", "arrivals"),
      keys("round", "new", "total", "responses")},
@@ -65,6 +65,20 @@ inline constexpr std::array<EventSchema, 27> kEventCatalog = {{
     {"radio", "defer", "i", keys("wait_us"), keys()},
     {"radio", "collision", "i", keys("bytes"), keys()},
     {"radio", "os_drop", "i", keys("bytes"), keys()},
+    // -- Fault injection & graceful degradation (DESIGN.md §11) --------------
+    {"fault", "crash", "i", keys("wipe"), keys()},
+    {"fault", "restart", "i", keys(), keys()},
+    {"fault", "link_degrade", "i", keys("peer", "loss_pct"), keys()},
+    {"fault", "link_restore", "i", keys("peer"), keys()},
+    {"fault", "partition", "i", keys("pairs"), keys()},
+    {"fault", "heal", "i", keys("pairs"), keys()},
+    {"fault", "burst_on", "i", keys("loss_bad_pct"), keys()},
+    {"fault", "burst_off", "i", keys(), keys()},
+    {"fault", "storm", "i", keys("frames", "bytes"), keys()},
+    {"fault", "peer_unreachable", "i", keys("peer"), keys()},
+    {"fault", "pdd_purge", "i", keys("upstream", "queries"), keys()},
+    {"fault", "pdr_purge", "i", keys("upstream", "queries", "cdi"), keys()},
+    {"fault", "redispatch", "i", keys("peer", "missing"), keys()},
 }};
 
 }  // namespace pds::tools
