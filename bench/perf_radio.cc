@@ -80,7 +80,10 @@ RunResult run_scenario(std::size_t nodes, int frames_per_node, bool use_grid,
                          SimTime::micros(static_cast<std::int64_t>(i) * 7);
       simulator.schedule_at(at, [&medium, id, frame_bytes, count] {
         for (int f = 0; f < count; ++f) {
-          medium.send(id, sim::Frame{.sender = id, .size_bytes = frame_bytes});
+          medium.send(id, sim::Frame{.sender = id,
+                                     .size_bytes = frame_bytes,
+                                     .control = false,
+                                     .payload = {}});
         }
       });
     }

@@ -202,6 +202,8 @@ void PdsNode::maybe_sweep() {
   // Local response handlers live exactly as long as their lingering query;
   // long-running nodes (subscriptions refresh every few seconds) would
   // otherwise accumulate dead handlers.
+  // Pure filter: which handlers survive depends only on lqt_ membership,
+  // never on visit order, and nothing is emitted. pdslint:allow(unordered-iter)
   for (auto it = local_handlers_.begin(); it != local_handlers_.end();) {
     it = lqt_.contains(it->first) ? std::next(it) : local_handlers_.erase(it);
   }

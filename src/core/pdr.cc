@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -33,7 +34,9 @@ std::vector<net::CdiEntry> PdrEngine::local_cdi_view(
     ItemId item, const DataDescriptor& item_descriptor) const {
   (void)item_descriptor;
   const SimTime now = ctx_.now();
-  std::unordered_map<ChunkIndex, std::uint32_t> best;
+  // Ordered map: the CDI view goes straight onto the wire, so it is built in
+  // chunk order instead of hash order.
+  std::map<ChunkIndex, std::uint32_t> best;
   for (ChunkIndex c : ctx_.store.chunks_of(item)) best[c] = 0;
   for (const auto& [chunk, rec] : ctx_.cdi.lookup_item(item, now)) {
     auto it = best.find(chunk);
@@ -46,10 +49,6 @@ std::vector<net::CdiEntry> PdrEngine::local_cdi_view(
   for (const auto& [chunk, hop] : best) {
     view.push_back(net::CdiEntry{.chunk = chunk, .hop_count = hop});
   }
-  std::sort(view.begin(), view.end(),
-            [](const net::CdiEntry& a, const net::CdiEntry& b) {
-              return a.chunk < b.chunk;
-            });
   return view;
 }
 

@@ -222,7 +222,8 @@ void Transport::check_pending(std::uint64_t token, int expected_round) {
     // protocol layer can drop routes/queries through it. The set is sorted
     // before the callbacks fire — unordered_set iteration order must never
     // leak into protocol behaviour.
-    std::vector<NodeId> silent(p.awaiting.begin(), p.awaiting.end());
+    std::vector<NodeId> silent(  // pdslint:allow(unordered-iter)
+        p.awaiting.begin(), p.awaiting.end());
     std::sort(silent.begin(), silent.end());
     complete_pending(token);
     if (unreachable_cb_) {
@@ -230,8 +231,10 @@ void Transport::check_pending(std::uint64_t token, int expected_round) {
     }
     return;
   }
-  // Retransmit with the receiver list rewritten to the unacked subset.
-  p.packet.receivers.assign(p.awaiting.begin(), p.awaiting.end());
+  // Retransmit with the receiver list rewritten to the unacked subset; the
+  // hash-order copy is sorted on the next line before anything observes it.
+  p.packet.receivers.assign(  // pdslint:allow(unordered-iter)
+      p.awaiting.begin(), p.awaiting.end());
   std::sort(p.packet.receivers.begin(), p.packet.receivers.end());
   ++p.retransmissions;
   ++stats_.retransmissions;
@@ -332,7 +335,9 @@ void Transport::on_data_packet(const MessagePtr& whole,
     }
   }
   if (reassembly_.size() > 256) {
-    // Drop the stalest partial assembly to bound memory.
+    // Drop the stalest partial assembly to bound memory. reassembly_ is an
+    // ordered map, so the strict `<` tie-breaks equally-old assemblies by
+    // lowest token — deterministically, unlike the former hash-order walk.
     auto oldest = reassembly_.begin();
     for (auto it = reassembly_.begin(); it != reassembly_.end(); ++it) {
       if (it->second.last_update < oldest->second.last_update) oldest = it;

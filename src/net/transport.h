@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -201,7 +202,10 @@ class Transport final {
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::deque<Packet> send_queue_;  // reliable packets awaiting a slot
   std::size_t inflight_ = 0;
-  std::unordered_map<std::uint64_t, Reassembly> reassembly_;
+  // Ordered by message token: the stale-assembly eviction scan walks this
+  // map, and with hash order the tie-break between equally-old assemblies
+  // would differ across runs and standard libraries.
+  std::map<std::uint64_t, Reassembly> reassembly_;
   util::DedupCache<std::uint64_t> completed_messages_{4096};
   // Recently sent fragmented messages, kept for selective repair.
   std::unordered_map<std::uint64_t, MessagePtr> sent_fragmented_;

@@ -6,15 +6,30 @@
 
 namespace pds::sim {
 
+namespace {
+
+// Every FaultEvent field has a default member initializer, so builders fill
+// in only what each event kind needs, starting from this base. (Plain
+// designated initializers would trip -Wmissing-field-initializers.)
+FaultEvent make_event(SimTime at, FaultKind kind, std::vector<NodeId> nodes) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.nodes = std::move(nodes);
+  return ev;
+}
+
+}  // namespace
+
 FaultSchedule& FaultSchedule::crash(SimTime at, NodeId node, bool wipe) {
-  events.push_back(FaultEvent{
-      .at = at, .kind = FaultKind::kCrash, .nodes = {node}, .wipe_state = wipe});
+  FaultEvent ev = make_event(at, FaultKind::kCrash, {node});
+  ev.wipe_state = wipe;
+  events.push_back(std::move(ev));
   return *this;
 }
 
 FaultSchedule& FaultSchedule::restart(SimTime at, NodeId node) {
-  events.push_back(
-      FaultEvent{.at = at, .kind = FaultKind::kRestart, .nodes = {node}});
+  events.push_back(make_event(at, FaultKind::kRestart, {node}));
   return *this;
 }
 
@@ -27,29 +42,25 @@ FaultSchedule& FaultSchedule::churn(SimTime leave, SimTime rejoin,
 
 FaultSchedule& FaultSchedule::link_loss(SimTime at, NodeId a, NodeId b,
                                         double loss) {
-  events.push_back(FaultEvent{.at = at,
-                              .kind = FaultKind::kLinkLoss,
-                              .nodes = {a},
-                              .peers = {b},
-                              .loss = loss});
+  FaultEvent ev = make_event(at, FaultKind::kLinkLoss, {a});
+  ev.peers = {b};
+  ev.loss = loss;
+  events.push_back(std::move(ev));
   return *this;
 }
 
 FaultSchedule& FaultSchedule::link_restore(SimTime at, NodeId a, NodeId b) {
-  events.push_back(FaultEvent{.at = at,
-                              .kind = FaultKind::kLinkRestore,
-                              .nodes = {a},
-                              .peers = {b}});
+  FaultEvent ev = make_event(at, FaultKind::kLinkRestore, {a});
+  ev.peers = {b};
+  events.push_back(std::move(ev));
   return *this;
 }
 
 FaultSchedule& FaultSchedule::partition(SimTime at, SimTime heal_at,
                                         std::vector<NodeId> side_a,
                                         std::vector<NodeId> side_b) {
-  FaultEvent cut{.at = at,
-                 .kind = FaultKind::kPartition,
-                 .nodes = side_a,
-                 .peers = side_b};
+  FaultEvent cut = make_event(at, FaultKind::kPartition, std::move(side_a));
+  cut.peers = std::move(side_b);
   events.push_back(cut);
   if (heal_at > at) {
     cut.at = heal_at;
@@ -61,13 +72,11 @@ FaultSchedule& FaultSchedule::partition(SimTime at, SimTime heal_at,
 
 FaultSchedule& FaultSchedule::burst(SimTime at, SimTime until, NodeId node,
                                     GilbertElliottParams params) {
-  events.push_back(FaultEvent{.at = at,
-                              .kind = FaultKind::kBurstOn,
-                              .nodes = {node},
-                              .burst = params});
+  FaultEvent on = make_event(at, FaultKind::kBurstOn, {node});
+  on.burst = params;
+  events.push_back(std::move(on));
   if (until > at) {
-    events.push_back(
-        FaultEvent{.at = until, .kind = FaultKind::kBurstOff, .nodes = {node}});
+    events.push_back(make_event(until, FaultKind::kBurstOff, {node}));
   }
   return *this;
 }
@@ -76,11 +85,10 @@ FaultSchedule& FaultSchedule::buffer_storm(SimTime at, NodeId node,
                                            std::size_t bytes,
                                            std::size_t frame_bytes) {
   PDS_ENSURE(frame_bytes > 0);
-  events.push_back(FaultEvent{.at = at,
-                              .kind = FaultKind::kBufferStorm,
-                              .nodes = {node},
-                              .storm_bytes = bytes,
-                              .storm_frame_bytes = frame_bytes});
+  FaultEvent ev = make_event(at, FaultKind::kBufferStorm, {node});
+  ev.storm_bytes = bytes;
+  ev.storm_frame_bytes = frame_bytes;
+  events.push_back(std::move(ev));
   return *this;
 }
 

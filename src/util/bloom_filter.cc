@@ -89,6 +89,13 @@ BloomFilter BloomFilter::decode(std::span<const std::byte> in) {
   const std::uint32_t bits = r.get_u32();
   const std::uint8_t hashes = r.get_u8();
   const std::uint64_t seed = r.get_u64();
+  // Validate before constructing: the constructor's PDS_ENSUREs guard
+  // against programmer error and abort, but malformed *wire* input must
+  // surface as a catchable DecodeError. The size cap (32 MiB of bits)
+  // keeps a hostile header from forcing a huge allocation.
+  if (bits == 0 || hashes == 0 || bits > (1u << 28)) {
+    throw DecodeError("malformed Bloom filter header");
+  }
   BloomFilter f(bits, hashes, seed);
   for (auto& word : f.bits_) word = r.get_u64();
   return f;

@@ -1,0 +1,323 @@
+// pdslint engine tests: every rule fires on a seeded fixture violation,
+// suppression comments work at line and file granularity, whitelisted files
+// are exempt, and the JSON findings report round-trips through the same
+// parser the bench-report toolchain uses.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint_rules.h"
+#include "tools/report_reader.h"
+
+namespace pds::lint {
+namespace {
+
+// Findings for `content` linted under a src/-like path (determinism rules
+// apply there and nothing is whitelisted).
+std::vector<Finding> run(const std::string& content,
+                         const std::string& path = "src/core/fixture.cc",
+                         const std::vector<std::string>& header_names = {}) {
+  return lint_source(path, content, header_names);
+}
+
+int count_rule(const std::vector<Finding>& fs, const std::string& rule,
+               bool suppressed = false) {
+  return static_cast<int>(
+      std::count_if(fs.begin(), fs.end(), [&](const Finding& f) {
+        return f.rule == rule && f.suppressed == suppressed;
+      }));
+}
+
+TEST(PdslintLexer, StringsCommentsAndRawStringsAreNotCode) {
+  const LexedFile lexed = lex(
+      "// rand() in a comment\n"
+      "const char* s = \"std::random_device\";\n"
+      "const char* r = R\"(system_clock)\";\n"
+      "int x = 0; /* steady_clock */\n");
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokKind::kIdent) {
+      EXPECT_NE(t.text, "rand");
+      EXPECT_NE(t.text, "random_device");
+      EXPECT_NE(t.text, "system_clock");
+      EXPECT_NE(t.text, "steady_clock");
+    }
+  }
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_EQ(lexed.comments[1].line, 4);
+}
+
+TEST(PdslintLexer, TracksLinesAcrossBlockComments) {
+  const LexedFile lexed = lex("/* a\nb\nc */\nint x;\n");
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_EQ(lexed.tokens[0].text, "int");
+  EXPECT_EQ(lexed.tokens[0].line, 4);
+}
+
+TEST(PdslintRules, CleanSourceHasNoFindings) {
+  const auto fs = run(
+      "#include <map>\n"
+      "#include \"common/rng.h\"\n"
+      "double draw(pds::Rng& rng) { return rng.uniform(); }\n"
+      "void emit(const std::map<int, int>& m) {\n"
+      "  for (const auto& [k, v] : m) printf(\"%d %d\\n\", k, v);\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(PdslintRules, DetectsAmbientRng) {
+  const auto fs = run(
+      "#include <random>\n"
+      "int noisy() {\n"
+      "  std::random_device rd;\n"
+      "  srand(42);\n"
+      "  return rand() + static_cast<int>(rd());\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "ambient-rng"), 3);
+}
+
+TEST(PdslintRules, DetectsWallClock) {
+  const auto fs = run(
+      "#include <chrono>\n"
+      "#include <ctime>\n"
+      "long stamp() {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "  (void)t;\n"
+      "  return time(nullptr);\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 2);
+}
+
+TEST(PdslintRules, WallClockWhitelistedForTimingBenches) {
+  const std::string src =
+      "#include <chrono>\n"
+      "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(count_rule(run(src, "bench/micro_primitives.cc"), "wall-clock"),
+            0);
+  EXPECT_EQ(count_rule(run(src, "bench/perf_radio.cc"), "wall-clock"), 0);
+  EXPECT_EQ(count_rule(run(src, "bench/fig03_singlehop.cc"), "wall-clock"), 1);
+}
+
+TEST(PdslintRules, MemberTimeCallsAreNotTheCLibrary) {
+  const auto fs = run(
+      "double at(const Event& e) { return e.time(); }\n"
+      "double via(const Event* e) { return e->time(); }\n");
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 0);
+}
+
+TEST(PdslintRules, DetectsUnorderedIterationInSensitiveFile) {
+  const auto fs = run(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> stats_;\n"
+      "void dump() {\n"
+      "  for (const auto& [k, v] : stats_) printf(\"%d %d\\n\", k, v);\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "unordered-iter"), 1);
+}
+
+TEST(PdslintRules, UnorderedIterationIgnoredInInsensitiveFile) {
+  // No output tokens, no Rng: hash order cannot leak anywhere observable.
+  const auto fs = run(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m_;\n"
+      "int sum() {\n"
+      "  int s = 0;\n"
+      "  for (const auto& [k, v] : m_) s += v;\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "unordered-iter"), 0);
+}
+
+TEST(PdslintRules, DetectsIteratorWalkAndHeaderDeclaredMembers) {
+  // The member is declared in the paired header; the .cc only iterates it.
+  const auto fs = run(
+      "void Engine::flush() {\n"
+      "  for (auto it = pending_.begin(); it != pending_.end(); ++it)\n"
+      "    std::cout << it->first;\n"
+      "}\n",
+      "src/core/engine.cc", collect_unordered_names(lex(
+          "#include <unordered_map>\n"
+          "class Engine { std::unordered_map<int, int> pending_; };\n")));
+  EXPECT_EQ(count_rule(fs, "unordered-iter"), 1);
+}
+
+TEST(PdslintRules, DetectsAccessorReturningUnorderedRef) {
+  const auto fs = run(
+      "#include <unordered_map>\n"
+      "struct S {\n"
+      "  const std::unordered_map<int, int>& arrivals() const;\n"
+      "};\n"
+      "void dump(const S& s) {\n"
+      "  for (const auto& [k, v] : s.arrivals()) printf(\"%d\\n\", k);\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "unordered-iter"), 1);
+}
+
+TEST(PdslintRules, DetectsPointerKeyedContainers) {
+  const auto fs = run(
+      "#include <map>\n"
+      "#include <set>\n"
+      "struct Node;\n"
+      "std::map<Node*, int> order_;\n"
+      "std::set<const Node*> members_;\n"
+      "std::map<int, Node*> fine_;\n");
+  EXPECT_EQ(count_rule(fs, "pointer-order"), 2);
+}
+
+TEST(PdslintRules, DetectsPointerHash) {
+  const auto fs = run(
+      "#include <functional>\n"
+      "struct Node;\n"
+      "std::size_t h(Node* n) { return std::hash<Node*>{}(n); }\n");
+  EXPECT_EQ(count_rule(fs, "pointer-order"), 1);
+}
+
+TEST(PdslintRules, DetectsUninitScalarFieldInCodecHeader) {
+  const std::string src =
+      "struct Header {\n"
+      "  std::uint32_t size_bytes;\n"       // violation
+      "  std::uint32_t count = 0;\n"        // initialized
+      "  bool flag{false};\n"               // initialized
+      "  std::vector<int> items;\n"         // class type, self-initializing
+      "  std::uint64_t hash() const { return 0; }\n"  // function
+      "};\n";
+  EXPECT_EQ(count_rule(lint_source("src/net/message.h", src), "uninit-field"),
+            1);
+  // The same text outside codec/message headers is out of scope.
+  EXPECT_EQ(count_rule(lint_source("src/sim/radio.h", src), "uninit-field"),
+            0);
+}
+
+TEST(PdslintRules, DetectsUnvalidatedDecode) {
+  const auto fs = run(
+      "Message decode(ByteReader& r) {\n"
+      "  Message m;\n"
+      "  m.ttl = r.get_u8();\n"
+      "  return m;\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "decode-assert"), 1);
+}
+
+TEST(PdslintRules, ValidatedDecodePasses) {
+  for (const char* guard :
+       {"PDS_ENSURE(m.ttl < 64);", "if (m.ttl > 64) throw 1;",
+        "if (bad) { throw DecodeError(\"x\"); }"}) {
+    const auto fs = run(std::string("Message decode(ByteReader& r) {\n"
+                                    "  Message m;\n  ") +
+                        guard + "\n  return m;\n}\n");
+    EXPECT_EQ(count_rule(fs, "decode-assert"), 0) << guard;
+  }
+  // Declarations and method calls are not definitions.
+  const auto fs = run(
+      "Message decode(ByteReader& r);\n"
+      "void f(Codec& c) { auto m = c.decode(bytes); }\n");
+  EXPECT_EQ(count_rule(fs, "decode-assert"), 0);
+}
+
+TEST(PdslintSuppression, SameLineAndPreviousLine) {
+  const auto same = run(
+      "int x = rand();  // pdslint:allow(ambient-rng)\n");
+  EXPECT_EQ(count_rule(same, "ambient-rng"), 0);
+  EXPECT_EQ(count_rule(same, "ambient-rng", /*suppressed=*/true), 1);
+
+  const auto prev = run(
+      "// justified here: pdslint:allow(ambient-rng)\n"
+      "int x = rand();\n");
+  EXPECT_EQ(count_rule(prev, "ambient-rng"), 0);
+  EXPECT_EQ(count_rule(prev, "ambient-rng", /*suppressed=*/true), 1);
+
+  // Two lines above is out of reach — the suppression must sit on or
+  // directly above the finding.
+  const auto far = run(
+      "// pdslint:allow(ambient-rng)\n"
+      "\n"
+      "int x = rand();\n");
+  EXPECT_EQ(count_rule(far, "ambient-rng"), 1);
+}
+
+TEST(PdslintSuppression, FileWideAndMultiRule) {
+  const auto fs = run(
+      "// pdslint:allow-file(ambient-rng, wall-clock)\n"
+      "int x = rand();\n"
+      "long t = time(nullptr);\n"
+      "std::random_device rd;\n");
+  EXPECT_EQ(count_rule(fs, "ambient-rng"), 0);
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 0);
+  EXPECT_EQ(count_rule(fs, "ambient-rng", /*suppressed=*/true), 2);
+  EXPECT_EQ(count_rule(fs, "wall-clock", /*suppressed=*/true), 1);
+}
+
+TEST(PdslintSuppression, UnknownRuleIsItselfAFinding) {
+  const auto fs = run("int x = 0;  // pdslint:allow(no-such-rule)\n");
+  EXPECT_EQ(count_rule(fs, "bad-suppression"), 1);
+}
+
+TEST(PdslintSuppression, WrongRuleDoesNotSuppress) {
+  const auto fs = run("int x = rand();  // pdslint:allow(wall-clock)\n");
+  EXPECT_EQ(count_rule(fs, "ambient-rng"), 1);
+}
+
+TEST(PdslintReport, SummaryCountsBySeverityAndSuppression) {
+  const auto fs = run(
+      "int a = rand();\n"                                  // error
+      "int b = rand();  // pdslint:allow(ambient-rng)\n"   // suppressed
+      "Message decode(ByteReader& r) { return {}; }\n");   // warning
+  const LintSummary s = summarize(fs, 1);
+  EXPECT_EQ(s.errors, 1);
+  EXPECT_EQ(s.warnings, 1);
+  EXPECT_EQ(s.suppressed, 1);
+  EXPECT_EQ(s.unsuppressed(), 2);
+  EXPECT_EQ(s.files_scanned, 1);
+}
+
+TEST(PdslintReport, JsonRoundTripsThroughReportReader) {
+  const auto fs = run(
+      "int a = rand();\n"
+      "long t = time(nullptr);  // pdslint:allow(wall-clock)\n");
+  const LintSummary summary = summarize(fs, 1);
+  const std::string json = render_json(fs, summary);
+
+  std::string error;
+  const auto root = tools::parse_json(json, &error);
+  ASSERT_TRUE(root.has_value()) << error;
+  ASSERT_TRUE(root->is_object());
+
+  const tools::JsonValue* schema = root->find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->text, kLintReportSchema);
+
+  const tools::JsonValue* rules = root->find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->items.size(), std::size(kRules));
+
+  const tools::JsonValue* findings = root->find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->items.size(), fs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const tools::JsonValue& f = findings->items[i];
+    EXPECT_EQ(f.find("rule")->text, fs[i].rule);
+    EXPECT_EQ(f.find("file")->text, fs[i].file);
+    EXPECT_EQ(static_cast<int>(f.find("line")->number), fs[i].line);
+    EXPECT_EQ(f.find("suppressed")->boolean, fs[i].suppressed);
+  }
+
+  const tools::JsonValue* sum = root->find("summary");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_EQ(static_cast<int>(sum->find("errors")->number), summary.errors);
+  EXPECT_EQ(static_cast<int>(sum->find("suppressed")->number),
+            summary.suppressed);
+
+  // Byte determinism: rendering the same findings twice is identical.
+  EXPECT_EQ(json, render_json(fs, summary));
+}
+
+TEST(PdslintReport, FindingsAreSortedByFileLineRule) {
+  const auto a = run("int x = rand();\nstd::random_device rd;\n");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_LT(a[0].line, a[1].line);
+}
+
+}  // namespace
+}  // namespace pds::lint

@@ -68,7 +68,8 @@ std::pair<MediumStats, Trace> run_contended(bool use_grid,
                           SimTime::micros(static_cast<std::int64_t>(i) * 11),
                       [&medium, id] {
                         medium.send(id,
-                                    Frame{.sender = id, .size_bytes = 900});
+                                    Frame{.sender = id, .size_bytes = 900,
+                                          .control = false, .payload = {}});
                       });
     }
   }
@@ -140,7 +141,8 @@ std::pair<MediumStats, Trace> run_faulted(bool use_grid, std::uint64_t seed) {
                           SimTime::micros(static_cast<std::int64_t>(i) * 11),
                       [&medium, id] {
                         medium.send(id,
-                                    Frame{.sender = id, .size_bytes = 900});
+                                    Frame{.sender = id, .size_bytes = 900,
+                                          .control = false, .payload = {}});
                       });
     }
   }

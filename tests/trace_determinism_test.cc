@@ -73,9 +73,9 @@ TEST(TraceDeterminism, TracedPdrOutcomeBitIdenticalToUntraced) {
 
 TEST(TraceDeterminism, NdjsonBytesIdenticalWithGridOnAndOff) {
   obs::Tracer with_grid(0);
-  run_pdd_grid(small_pdd(11, &with_grid, /*spatial_grid=*/true));
+  (void)run_pdd_grid(small_pdd(11, &with_grid, /*spatial_grid=*/true));
   obs::Tracer without_grid(0);
-  run_pdd_grid(small_pdd(11, &without_grid, /*spatial_grid=*/false));
+  (void)run_pdd_grid(small_pdd(11, &without_grid, /*spatial_grid=*/false));
   EXPECT_FALSE(with_grid.events().empty());
   EXPECT_EQ(with_grid.ndjson(), without_grid.ndjson());
 }
@@ -85,7 +85,7 @@ TEST(TraceDeterminism, NdjsonBytesIdenticalUnderParallelJobs) {
   ::setenv("PDS_BENCH_JOBS", "1", 1);
   std::vector<obs::Tracer> serial_tracers(4);
   const auto serial = bench::run_indexed(4, [&](int i) {
-    run_pdd_grid(small_pdd(static_cast<std::uint64_t>(i + 1),
+    (void)run_pdd_grid(small_pdd(static_cast<std::uint64_t>(i + 1),
                            &serial_tracers[static_cast<std::size_t>(i)]));
     return serial_tracers[static_cast<std::size_t>(i)].ndjson();
   });
@@ -94,7 +94,7 @@ TEST(TraceDeterminism, NdjsonBytesIdenticalUnderParallelJobs) {
   ::setenv("PDS_BENCH_JOBS", "4", 1);
   std::vector<obs::Tracer> parallel_tracers(4);
   const auto parallel = bench::run_indexed(4, [&](int i) {
-    run_pdd_grid(small_pdd(static_cast<std::uint64_t>(i + 1),
+    (void)run_pdd_grid(small_pdd(static_cast<std::uint64_t>(i + 1),
                            &parallel_tracers[static_cast<std::size_t>(i)]));
     return parallel_tracers[static_cast<std::size_t>(i)].ndjson();
   });
@@ -147,7 +147,7 @@ TEST(TraceDeterminism, FaultedNdjsonBytesIdenticalUnderParallelJobs) {
   ::setenv("PDS_BENCH_JOBS", "1", 1);
   std::vector<obs::Tracer> serial_tracers(4);
   const auto serial = bench::run_indexed(4, [&](int i) {
-    run_pdd_grid(faulted_pdd(static_cast<std::uint64_t>(i + 1),
+    (void)run_pdd_grid(faulted_pdd(static_cast<std::uint64_t>(i + 1),
                              &serial_tracers[static_cast<std::size_t>(i)]));
     return serial_tracers[static_cast<std::size_t>(i)].ndjson();
   });
@@ -155,7 +155,7 @@ TEST(TraceDeterminism, FaultedNdjsonBytesIdenticalUnderParallelJobs) {
   ::setenv("PDS_BENCH_JOBS", "4", 1);
   std::vector<obs::Tracer> parallel_tracers(4);
   const auto parallel = bench::run_indexed(4, [&](int i) {
-    run_pdd_grid(faulted_pdd(static_cast<std::uint64_t>(i + 1),
+    (void)run_pdd_grid(faulted_pdd(static_cast<std::uint64_t>(i + 1),
                              &parallel_tracers[static_cast<std::size_t>(i)]));
     return parallel_tracers[static_cast<std::size_t>(i)].ndjson();
   });

@@ -1,0 +1,187 @@
+// Minimal C++ lexer for pdslint (tools/lint_rules.h).
+//
+// pdslint's rules operate on token streams, not ASTs: every invariant it
+// guards (no wall-clock, no ambient RNG, no unordered iteration on output
+// paths, ...) is detectable from identifier/punctuation sequences, so a
+// self-contained lexer keeps the checker dependency-free (no libclang).
+// The lexer understands exactly enough C++ to never misclassify source
+// text: line/block comments (kept separately, they carry suppression
+// directives), string/char literals with escapes, raw strings, and
+// multi-char punctuators that matter to the rules (`::`, `->`).
+// Everything else is a single-character punctuator.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pds::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (pp-numbers, good enough for matching)
+  kString,  // "..." and R"(...)" — contents excluded from rule matching
+  kChar,    // '...'
+  kPunct,   // operators and punctuation
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+};
+
+// A comment with its line span; block comments may cover several lines.
+struct Comment {
+  int line = 1;      // first line
+  int end_line = 1;  // last line (== line for `//` comments)
+  std::string text;  // contents without the comment markers
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int line_count = 1;
+};
+
+namespace lexer_detail {
+
+inline bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace lexer_detail
+
+// Tokenizes `src`. Never fails: unterminated literals/comments simply end at
+// EOF — pdslint lints code that already compiles, so recovery is moot.
+inline LexedFile lex(std::string_view src) {
+  using lexer_detail::ident_char;
+  using lexer_detail::ident_start;
+
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      i += 2;
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      out.comments.push_back(
+          {line, line, std::string(src.substr(start, i - start))});
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      const int first = line;
+      const std::size_t start = i;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      const std::size_t len = (i + 1 < n) ? i - start : n - start;
+      out.comments.push_back({first, line, std::string(src.substr(start, len))});
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n' && delim.size() < 16) {
+        delim.push_back(src[j++]);
+      }
+      if (j < n && src[j] == '(') {
+        const std::string close = ")" + delim + "\"";
+        const std::size_t end = src.find(close, j + 1);
+        const int first = line;
+        const std::size_t stop = (end == std::string_view::npos)
+                                     ? n
+                                     : end + close.size();
+        for (std::size_t k = i; k < stop; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        out.tokens.push_back(
+            {TokKind::kString, std::string(src.substr(i, stop - i)), first});
+        i = stop;
+        continue;
+      }
+      // Not actually a raw string ("R" identifier followed by a plain
+      // string); fall through to identifier handling.
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = i;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;  // unterminated; keep counts right
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back(
+          {TokKind::kIdent, std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Number (pp-number: digits, dots, exponent signs, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const std::size_t start = i;
+      while (i < n && (ident_char(src[i]) || src[i] == '.' || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back(
+          {TokKind::kNumber, std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Multi-char punctuators the rules care about; `::` must stay one token
+    // so a lone `:` reliably marks a range-for.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  out.line_count = line;
+  return out;
+}
+
+}  // namespace pds::lint

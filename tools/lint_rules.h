@@ -1,0 +1,751 @@
+// pdslint rule engine (DESIGN.md §12).
+//
+// A table-driven, token-level static-analysis pass over src/, bench/ and
+// tools/ that guards the repo's determinism and protocol invariants:
+//
+//   wall-clock      — no ambient time sources; the simulator owns time
+//                     (SimClock), and bench reports must be byte-identical
+//                     run-to-run. Timing benches are whitelisted by table.
+//   ambient-rng     — no std::random_device / rand() / srand(); every
+//                     stochastic draw must come from a seeded pds::Rng so a
+//                     whole simulation is a function of one seed.
+//   unordered-iter  — no iteration over std::unordered_{map,set} in files
+//                     that emit trace/report/stats output or consume Rng;
+//                     hash-order iteration feeding either breaks trace byte
+//                     determinism or reorders RNG draws across platforms.
+//   pointer-order   — no ordered containers keyed by pointers and no
+//                     std::hash over pointers: pointer values differ between
+//                     runs (ASLR), so any order derived from them is
+//                     nondeterministic.
+//   uninit-field    — scalar struct fields in codec/message headers must
+//                     have default member initializers; a garbage field that
+//                     survives an encode/decode round trip corrupts traffic
+//                     silently.
+//   decode-assert   — every decode() definition must validate its input
+//                     (PDS_ENSURE, DecodeError or another throw); decoders
+//                     that trust the wire turn fuzzed bytes into UB.
+//
+// Findings can be suppressed per line with a `pdslint:allow` comment naming
+// rule ids in parentheses (same line or the line above) or per file with the
+// `pdslint:allow-file` form; suppressed findings still land in the
+// JSON report with `"suppressed": true` so the suppression surface is
+// auditable. Unknown rule names in a suppression are themselves findings
+// (`bad-suppression`) — a typo must not silently disable a gate.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/report.h"
+#include "tools/lint_lexer.h"
+
+namespace pds::lint {
+
+// Schema identifier of the machine-readable findings report.
+inline constexpr const char* kLintReportSchema = "pds-lint-report/1";
+
+enum class Severity { kWarning, kError };
+
+inline const char* severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+// ---------------------------------------------------------------------------
+// Rule tables. Adding a rule = adding rows here plus a check routine below.
+
+struct RuleSpec {
+  const char* id;
+  Severity severity;
+  // The runtime invariant the rule protects, verbatim in `pdslint
+  // --list-rules` and the JSON report.
+  const char* invariant;
+};
+
+inline constexpr RuleSpec kRules[] = {
+    {"wall-clock", Severity::kError,
+     "sim-time determinism: traces and bench reports are byte-identical "
+     "run-to-run; ambient clocks would leak real time into results"},
+    {"ambient-rng", Severity::kError,
+     "seed reproducibility: every random draw derives from one explicit "
+     "seed via pds::Rng; ambient RNGs differ across runs and platforms"},
+    {"unordered-iter", Severity::kError,
+     "output/RNG-order determinism: hash-order iteration feeding trace, "
+     "report, stats or Rng-consuming paths varies across libstdc++ versions "
+     "and seeds of the hash function"},
+    {"pointer-order", Severity::kError,
+     "cross-run determinism: pointer values change with ASLR, so ordering "
+     "or hashing by pointer yields a different order every run"},
+    {"uninit-field", Severity::kWarning,
+     "wire correctness: codec/message scalar fields need default member "
+     "initializers so partially-filled messages encode deterministically"},
+    {"decode-assert", Severity::kWarning,
+     "decode robustness: decoders must validate input (PDS_ENSURE / "
+     "DecodeError / throw) instead of trusting wire bytes"},
+    {"bad-suppression", Severity::kError,
+     "suppression hygiene: a misspelled pdslint:allow(...) must fail loudly "
+     "rather than silently disabling a gate"},
+};
+
+inline const RuleSpec* find_rule(std::string_view id) {
+  for (const RuleSpec& r : kRules) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+// Identifier-level bans. `call_only` rows fire only when the identifier is
+// followed by `(` — `time` and `clock` are too common as substrings of
+// member names to ban as bare tokens.
+struct TokenRule {
+  const char* rule;
+  const char* token;
+  bool call_only;
+  const char* message;
+};
+
+inline constexpr TokenRule kBannedTokens[] = {
+    {"ambient-rng", "random_device", false,
+     "std::random_device is nondeterministic; seed a pds::Rng instead"},
+    {"ambient-rng", "rand", true,
+     "rand() draws from hidden global state; use pds::Rng"},
+    {"ambient-rng", "srand", true,
+     "srand() reseeds hidden global state; use pds::Rng"},
+    {"ambient-rng", "drand48", true,
+     "drand48() draws from hidden global state; use pds::Rng"},
+    {"ambient-rng", "lrand48", true,
+     "lrand48() draws from hidden global state; use pds::Rng"},
+    {"wall-clock", "system_clock", false,
+     "std::chrono::system_clock reads wall time; use sim::SimClock"},
+    {"wall-clock", "steady_clock", false,
+     "std::chrono::steady_clock reads host time; use sim::SimClock"},
+    {"wall-clock", "high_resolution_clock", false,
+     "std::chrono::high_resolution_clock reads host time; use sim::SimClock"},
+    {"wall-clock", "gettimeofday", true,
+     "gettimeofday() reads wall time; use sim::SimClock"},
+    {"wall-clock", "clock_gettime", true,
+     "clock_gettime() reads host time; use sim::SimClock"},
+    {"wall-clock", "timespec_get", true,
+     "timespec_get() reads wall time; use sim::SimClock"},
+    {"wall-clock", "time", true,
+     "time() reads wall time; use sim::SimClock"},
+    {"wall-clock", "clock", true,
+     "clock() reads CPU time; use sim::SimClock"},
+};
+
+// Per-rule file whitelist (path-suffix match on the repo-relative path).
+// Timing benches measure host time on purpose: wall-clock durations are
+// their *output*, they never feed simulation state.
+struct FileAllowEntry {
+  const char* rule;
+  const char* path_suffix;
+};
+
+inline constexpr FileAllowEntry kFileAllowlist[] = {
+    {"wall-clock", "bench/micro_primitives.cc"},
+    {"wall-clock", "bench/perf_radio.cc"},
+};
+
+// unordered-iter fires only in determinism-sensitive files: ones that emit
+// trace/report/stats/log output or consume Rng. Sensitivity is detected
+// from the file's own tokens.
+inline constexpr const char* kOutputTokens[] = {
+    "Tracer",         "PDS_TRACE_EMIT", "PDS_TRACE_INSTANT",
+    "PDS_TRACE_BEGIN", "PDS_TRACE_END", "PDS_LOG_DEBUG",
+    "PDS_LOG_INFO",   "PDS_LOG_WARN",  "Report",
+    "JsonWriter",     "Table",         "printf",
+    "fprintf",        "snprintf",      "cout",
+    "cerr",           "Rng",           "Stats",
+};
+
+// uninit-field scans only codec/message-type headers (path-suffix match):
+// the types that cross the wire or describe what does.
+inline constexpr const char* kCodecTypeFiles[] = {
+    "src/net/message.h",    "src/net/codec.h",     "src/net/transport.h",
+    "src/net/face.h",       "src/core/descriptor.h", "src/core/attribute.h",
+    "src/core/predicate.h",
+};
+
+// Scalar type heads: a member whose type starts with one of these and that
+// lacks an initializer is flagged by uninit-field. Class types (StrongId,
+// SimTime, vectors, ...) value-initialize themselves and are exempt.
+inline constexpr const char* kScalarTypeTokens[] = {
+    "bool",     "char",     "short",    "int",      "long",     "unsigned",
+    "signed",   "float",    "double",   "int8_t",   "int16_t",  "int32_t",
+    "int64_t",  "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "size_t",
+    "intptr_t", "uintptr_t", "byte",    "ChunkIndex",
+};
+
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string file;  // repo-relative, forward slashes
+  int line = 1;
+  std::string message;
+  bool suppressed = false;
+};
+
+struct LintSummary {
+  int files_scanned = 0;
+  int errors = 0;       // unsuppressed errors
+  int warnings = 0;     // unsuppressed warnings
+  int suppressed = 0;
+
+  [[nodiscard]] int unsuppressed() const { return errors + warnings; }
+};
+
+namespace rules_detail {
+
+inline bool has_suffix(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+inline bool file_allowlisted(std::string_view rule, std::string_view path) {
+  for (const FileAllowEntry& e : kFileAllowlist) {
+    if (rule == e.rule && has_suffix(path, e.path_suffix)) return true;
+  }
+  return false;
+}
+
+// Parsed suppression state for one file.
+struct Suppressions {
+  // line -> rules allowed on that line (and the one below it).
+  std::map<int, std::set<std::string>> by_line;
+  std::set<std::string> file_wide;
+  std::vector<Finding> bad;  // unknown rule names inside allow(...)
+};
+
+inline void parse_allow_list(const std::string& args, const std::string& file,
+                             int line, std::set<std::string>& out,
+                             std::vector<Finding>& bad) {
+  std::size_t pos = 0;
+  while (pos <= args.size()) {
+    std::size_t comma = args.find(',', pos);
+    if (comma == std::string::npos) comma = args.size();
+    std::string name = args.substr(pos, comma - pos);
+    // trim
+    const auto b = name.find_first_not_of(" \t");
+    const auto e = name.find_last_not_of(" \t");
+    name = (b == std::string::npos) ? "" : name.substr(b, e - b + 1);
+    if (!name.empty()) {
+      if (find_rule(name) == nullptr || name == "bad-suppression") {
+        bad.push_back({"bad-suppression", Severity::kError, file, line,
+                       "unknown rule '" + name + "' in pdslint suppression",
+                       false});
+      } else {
+        out.insert(name);
+      }
+    }
+    if (comma == args.size()) break;
+    pos = comma + 1;
+  }
+}
+
+inline Suppressions collect_suppressions(const LexedFile& lexed,
+                                         const std::string& file) {
+  Suppressions sup;
+  for (const Comment& c : lexed.comments) {
+    for (const char* marker : {"pdslint:allow-file(", "pdslint:allow("}) {
+      std::size_t at = 0;
+      while ((at = c.text.find(marker, at)) != std::string::npos) {
+        const std::size_t open = at + std::string_view(marker).size();
+        const std::size_t close = c.text.find(')', open);
+        if (close == std::string::npos) break;
+        const std::string args = c.text.substr(open, close - open);
+        const bool file_wide =
+            std::string_view(marker) == "pdslint:allow-file(";
+        if (file_wide) {
+          parse_allow_list(args, file, c.line, sup.file_wide, sup.bad);
+        } else {
+          parse_allow_list(args, file, c.line, sup.by_line[c.end_line],
+                           sup.bad);
+        }
+        at = close;
+      }
+    }
+  }
+  return sup;
+}
+
+inline bool suppressed_at(const Suppressions& sup, const std::string& rule,
+                          int line) {
+  if (sup.file_wide.count(rule) != 0) return true;
+  for (int l : {line, line - 1}) {
+    const auto it = sup.by_line.find(l);
+    if (it != sup.by_line.end() && it->second.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+// Skips a balanced template argument list: `tokens[i]` must be `<`; returns
+// the index one past the matching `>`, or `tokens.size()` when unbalanced.
+inline std::size_t skip_template_args(const std::vector<Token>& tokens,
+                                      std::size_t i) {
+  if (i >= tokens.size() || tokens[i].text != "<") return tokens.size();
+  int depth = 0;
+  for (; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    if (tokens[i].text == "<") ++depth;
+    if (tokens[i].text == ">") {
+      if (--depth == 0) return i + 1;
+    }
+    // `;` inside template args means we mis-lexed an operator< expression;
+    // bail instead of swallowing the rest of the file.
+    if (tokens[i].text == ";") return tokens.size();
+  }
+  return tokens.size();
+}
+
+inline bool is_unordered_container(std::string_view ident) {
+  return ident == "unordered_map" || ident == "unordered_set" ||
+         ident == "unordered_multimap" || ident == "unordered_multiset";
+}
+
+inline bool is_ordered_container(std::string_view ident) {
+  return ident == "map" || ident == "set" || ident == "multimap" ||
+         ident == "multiset";
+}
+
+}  // namespace rules_detail
+
+// Names (variables, members, accessor functions) declared in `lexed` whose
+// type is an unordered container. A .cc file is linted with the names
+// collected from its paired header merged in, so member iteration in the
+// implementation file is attributed correctly.
+inline std::vector<std::string> collect_unordered_names(
+    const LexedFile& lexed) {
+  using rules_detail::is_unordered_container;
+  using rules_detail::skip_template_args;
+  std::vector<std::string> names;
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        !is_unordered_container(toks[i].text)) {
+      continue;
+    }
+    std::size_t j = skip_template_args(toks, i + 1);
+    // Skip cv/ref/ptr decorations between the type and the declared name.
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      names.push_back(toks[j].text);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+// Whether the file emits output or consumes Rng (see kOutputTokens).
+inline bool is_determinism_sensitive(const LexedFile& lexed) {
+  for (const Token& t : lexed.tokens) {
+    if (t.kind != TokKind::kIdent) continue;
+    for (const char* s : kOutputTokens) {
+      if (t.text == s) return true;
+    }
+  }
+  return false;
+}
+
+namespace rules_detail {
+
+inline void add_finding(std::vector<Finding>& out, const Suppressions& sup,
+                        const std::string& file, const char* rule, int line,
+                        std::string message) {
+  const RuleSpec* spec = find_rule(rule);
+  Finding f;
+  f.rule = rule;
+  f.severity = spec != nullptr ? spec->severity : Severity::kError;
+  f.file = file;
+  f.line = line;
+  f.message = std::move(message);
+  f.suppressed = suppressed_at(sup, f.rule, line);
+  out.push_back(std::move(f));
+}
+
+// wall-clock + ambient-rng: banned identifier scan.
+inline void check_banned_tokens(const LexedFile& lexed,
+                                const std::string& file,
+                                const Suppressions& sup,
+                                std::vector<Finding>& out) {
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    for (const TokenRule& b : kBannedTokens) {
+      if (toks[i].text != b.token) continue;
+      if (b.call_only &&
+          (i + 1 >= toks.size() || toks[i + 1].text != "(")) {
+        continue;
+      }
+      // Member calls (`x.time()`, `obj->clock()`) are the object's own API,
+      // not the C library; only flag free/qualified calls.
+      if (b.call_only && i > 0 &&
+          (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+        continue;
+      }
+      if (file_allowlisted(b.rule, file)) continue;
+      add_finding(out, sup, file, b.rule, toks[i].line, b.message);
+      break;
+    }
+  }
+}
+
+// unordered-iter: range-for over an unordered name, or iterator loops via
+// name.begin()/name.cbegin(), in determinism-sensitive files.
+inline void check_unordered_iteration(const LexedFile& lexed,
+                                      const std::string& file,
+                                      const std::vector<std::string>& names,
+                                      const Suppressions& sup,
+                                      std::vector<Finding>& out) {
+  if (names.empty()) return;
+  if (!is_determinism_sensitive(lexed)) return;
+  const auto known = [&](const std::string& n) {
+    return std::binary_search(names.begin(), names.end(), n);
+  };
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // for ( ... : range-expr )
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == "for" &&
+        i + 1 < toks.size() && toks[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0, close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].kind != TokKind::kPunct) continue;
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (toks[j].text == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (colon != 0 && close != 0) {
+        // Last identifier of the range expression names the container
+        // (handles `m_`, `obj.m_`, `node.arrivals()`).
+        for (std::size_t j = close; j > colon; --j) {
+          if (toks[j - 1].kind == TokKind::kIdent) {
+            if (known(toks[j - 1].text)) {
+              add_finding(out, sup, file, "unordered-iter", toks[j - 1].line,
+                          "range-for over unordered container '" +
+                              toks[j - 1].text +
+                              "' in a determinism-sensitive file; iterate a "
+                              "sorted copy or use std::map");
+            }
+            break;
+          }
+        }
+      }
+    }
+    // name.begin() / name.cbegin()
+    if (toks[i].kind == TokKind::kIdent && known(toks[i].text) &&
+        i + 2 < toks.size() && toks[i + 1].text == "." &&
+        (toks[i + 2].text == "begin" || toks[i + 2].text == "cbegin")) {
+      add_finding(out, sup, file, "unordered-iter", toks[i].line,
+                  "iterator walk over unordered container '" + toks[i].text +
+                      "' in a determinism-sensitive file; iterate a sorted "
+                      "copy or use std::map");
+    }
+  }
+}
+
+// pointer-order: ordered/unordered containers keyed by a pointer type, and
+// std::hash<T*> specializations/uses.
+inline void check_pointer_ordering(const LexedFile& lexed,
+                                   const std::string& file,
+                                   const Suppressions& sup,
+                                   std::vector<Finding>& out) {
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const bool container = is_ordered_container(toks[i].text) ||
+                           is_unordered_container(toks[i].text);
+    const bool hash = toks[i].text == "hash";
+    if (!container && !hash) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "<") continue;
+    // Examine the first top-level template argument for a trailing `*`.
+    int depth = 0;
+    bool pointer_key = false;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (toks[j].kind == TokKind::kPunct) {
+        if (t == "<") ++depth;
+        else if (t == ">") {
+          if (--depth == 0) break;
+        } else if (t == "," && depth == 1) {
+          break;  // end of first argument
+        } else if (t == "*" && depth == 1) {
+          pointer_key = true;
+        } else if (t == ";") {
+          break;  // operator< mis-parse; bail
+        }
+      }
+    }
+    if (pointer_key) {
+      add_finding(out, sup, file, "pointer-order", toks[i].line,
+                  container
+                      ? "container keyed by pointer value; pointer order "
+                        "varies with ASLR — key by a stable id instead"
+                      : "std::hash over a pointer; hash order varies with "
+                        "ASLR — hash a stable id instead");
+    }
+  }
+}
+
+// uninit-field: scalar struct members without default initializers in
+// codec/message headers.
+inline void check_uninit_fields(const LexedFile& lexed,
+                                const std::string& file,
+                                const Suppressions& sup,
+                                std::vector<Finding>& out) {
+  bool in_scope = false;
+  for (const char* f : kCodecTypeFiles) {
+    if (has_suffix(file, f)) in_scope = true;
+  }
+  if (!in_scope) return;
+  const auto is_scalar_head = [](const std::string& t) {
+    for (const char* s : kScalarTypeTokens) {
+      if (t == s) return true;
+    }
+    return false;
+  };
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "struct") continue;
+    // struct NAME [final] [: bases] {
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    ++j;
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j >= toks.size() || toks[j].text != "{") continue;  // fwd decl
+    // Walk the struct body at depth 1, statement by statement.
+    int depth = 1;
+    std::size_t k = j + 1;
+    std::size_t stmt = k;  // first token of the current member declaration
+    while (k < toks.size() && depth > 0) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{") {
+          // Function body / nested type / init list: skip it wholesale.
+          int d = 1;
+          ++k;
+          while (k < toks.size() && d > 0) {
+            if (toks[k].text == "{") ++d;
+            if (toks[k].text == "}") --d;
+            ++k;
+          }
+          stmt = k;
+          continue;
+        }
+        if (t.text == "}") {
+          --depth;
+          ++k;
+          continue;
+        }
+        if (t.text == ";") {
+          // Statement [stmt, k) is a member declaration candidate.
+          const std::size_t b = stmt, e = k;
+          stmt = k + 1;
+          ++k;
+          if (b >= e) continue;
+          // Reject non-field statements.
+          bool skip = false;
+          for (std::size_t m = b; m < e; ++m) {
+            const std::string& w = toks[m].text;
+            if (w == "(" || w == "=" || w == "using" || w == "friend" ||
+                w == "static" || w == "typedef" || w == "enum" ||
+                w == "operator" || w == "~") {
+              skip = true;
+              break;
+            }
+          }
+          if (skip) continue;
+          // Strip leading qualifiers; the first remaining identifier is the
+          // type head, possibly std::-qualified.
+          std::size_t m = b;
+          while (m < e && (toks[m].text == "const" ||
+                           toks[m].text == "mutable" ||
+                           toks[m].text == "volatile")) {
+            ++m;
+          }
+          if (m < e && toks[m].text == "std" && m + 1 < e &&
+              toks[m + 1].text == "::") {
+            m += 2;
+          }
+          if (m >= e || toks[m].kind != TokKind::kIdent ||
+              !is_scalar_head(toks[m].text)) {
+            continue;
+          }
+          // Multi-token scalar heads (`unsigned long long`, `long double`).
+          std::size_t name_at = m + 1;
+          while (name_at < e && toks[name_at].kind == TokKind::kIdent &&
+                 is_scalar_head(toks[name_at].text)) {
+            ++name_at;
+          }
+          if (name_at >= e || toks[name_at].kind != TokKind::kIdent) continue;
+          if (name_at + 1 != e) continue;  // arrays, bitfields — not fields
+          add_finding(out, sup, file, "uninit-field", toks[name_at].line,
+                      "scalar field '" + toks[name_at].text +
+                          "' has no default initializer in a codec/message "
+                          "type");
+          continue;
+        }
+      }
+      // `public:` / `private:` reset the statement start.
+      if (t.kind == TokKind::kPunct && t.text == ":") stmt = k + 1;
+      ++k;
+    }
+  }
+}
+
+// decode-assert: decode() definitions whose body never validates.
+inline void check_decode_assert(const LexedFile& lexed,
+                                const std::string& file,
+                                const Suppressions& sup,
+                                std::vector<Finding>& out) {
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "decode") continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // Method calls (`r.decode(...)`) are uses, not definitions.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    // Find the parameter list's closing paren.
+    int depth = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == 0) continue;
+    std::size_t j = close + 1;
+    while (j < toks.size() &&
+           (toks[j].text == "const" || toks[j].text == "noexcept")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].text != "{") continue;  // declaration
+    // Scan the body for validation tokens.
+    int d = 1;
+    bool validated = false;
+    std::size_t k = j + 1;
+    while (k < toks.size() && d > 0) {
+      const std::string& t = toks[k].text;
+      if (t == "{") ++d;
+      if (t == "}") --d;
+      if (t == "PDS_ENSURE" || t == "DecodeError" || t == "throw") {
+        validated = true;
+      }
+      ++k;
+    }
+    if (!validated) {
+      add_finding(out, sup, file, "decode-assert", toks[i].line,
+                  "decode() body performs no input validation (expected "
+                  "PDS_ENSURE, DecodeError or throw)");
+    }
+  }
+}
+
+}  // namespace rules_detail
+
+// Lints one file's contents. `path` is the repo-relative display path;
+// `header_names` carries unordered-container names collected from the paired
+// header when linting a .cc file.
+inline std::vector<Finding> lint_source(
+    const std::string& path, std::string_view content,
+    const std::vector<std::string>& header_names = {}) {
+  using namespace rules_detail;
+  const LexedFile lexed = lex(content);
+  const Suppressions sup = collect_suppressions(lexed, path);
+
+  std::vector<Finding> findings = sup.bad;
+  check_banned_tokens(lexed, path, sup, findings);
+
+  std::vector<std::string> names = collect_unordered_names(lexed);
+  names.insert(names.end(), header_names.begin(), header_names.end());
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  check_unordered_iteration(lexed, path, names, sup, findings);
+
+  check_pointer_ordering(lexed, path, sup, findings);
+  check_uninit_fields(lexed, path, sup, findings);
+  check_decode_assert(lexed, path, sup, findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+inline LintSummary summarize(const std::vector<Finding>& findings,
+                             int files_scanned) {
+  LintSummary s;
+  s.files_scanned = files_scanned;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++s.suppressed;
+    } else if (f.severity == Severity::kError) {
+      ++s.errors;
+    } else {
+      ++s.warnings;
+    }
+  }
+  return s;
+}
+
+// Machine-readable findings report (schema pds-lint-report/1), rendered with
+// the same JsonWriter the bench telemetry uses so output is deterministic.
+inline std::string render_json(const std::vector<Finding>& findings,
+                               const LintSummary& summary) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kLintReportSchema);
+  w.key("rules").begin_array();
+  for (const RuleSpec& r : kRules) {
+    w.begin_object();
+    w.key("id").value(r.id);
+    w.key("severity").value(severity_name(r.severity));
+    w.key("invariant").value(r.invariant);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("findings").begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.key("rule").value(f.rule);
+    w.key("severity").value(severity_name(f.severity));
+    w.key("file").value(f.file);
+    w.key("line").value(static_cast<std::int64_t>(f.line));
+    w.key("message").value(f.message);
+    w.key("suppressed").value(f.suppressed);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("summary").begin_object();
+  w.key("files_scanned")
+      .value(static_cast<std::int64_t>(summary.files_scanned));
+  w.key("errors").value(static_cast<std::int64_t>(summary.errors));
+  w.key("warnings").value(static_cast<std::int64_t>(summary.warnings));
+  w.key("suppressed").value(static_cast<std::int64_t>(summary.suppressed));
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace pds::lint

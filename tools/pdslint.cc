@@ -1,0 +1,180 @@
+// pdslint — project-invariant static analysis gate (DESIGN.md §12).
+//
+// Scans src/, bench/ and tools/ (or explicit paths) for violations of the
+// determinism and protocol invariants encoded in tools/lint_rules.h, prints
+// compiler-style diagnostics, and optionally writes a machine-readable JSON
+// report (schema pds-lint-report/1) for CI artifacts.
+//
+// Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pdslint [--root=DIR] [--json=PATH] [--list-rules] [PATH...]\n"
+    "\n"
+    "Lints C++ sources for determinism/invariant violations. With no PATH\n"
+    "arguments, scans src/, bench/ and tools/ under --root (default: the\n"
+    "current directory). Suppress a finding with // pdslint:allow(<rule>)\n"
+    "on the offending or preceding line, or file-wide with\n"
+    "// pdslint:allow-file(<rule>).\n";
+
+bool has_ext(const fs::path& p, const char* a, const char* b, const char* c) {
+  const std::string e = p.extension().string();
+  return e == a || e == b || e == c;
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// Repo-relative display path with forward slashes.
+std::string display_path(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  return rel.generic_string();
+}
+
+// Collects unordered-container names from the paired header of a .cc file,
+// so member iteration in the implementation file is attributed.
+std::vector<std::string> paired_header_names(const fs::path& cc) {
+  for (const char* ext : {".h", ".hpp"}) {
+    fs::path header = cc;
+    header.replace_extension(ext);
+    std::string content;
+    if (fs::exists(header) && read_file(header, content)) {
+      return pds::lint::collect_unordered_names(pds::lint::lex(content));
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string json_path;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--list-rules") {
+      for (const pds::lint::RuleSpec& r : pds::lint::kRules) {
+        std::printf("%-16s %-8s %s\n", r.id,
+                    pds::lint::severity_name(r.severity), r.invariant);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "pdslint: unknown option %s\n%s", arg.c_str(),
+                   kUsage);
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  if (inputs.empty()) {
+    for (const char* dir : {"src", "bench", "tools"}) {
+      const fs::path p = root / dir;
+      if (fs::exists(p)) inputs.push_back(p);
+    }
+    if (inputs.empty()) {
+      std::fprintf(stderr, "pdslint: no src/, bench/ or tools/ under %s\n",
+                   root.string().c_str());
+      return 2;
+    }
+  }
+
+  // Gather files; sorted so findings and the JSON report are deterministic
+  // regardless of directory enumeration order.
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (auto it = fs::recursive_directory_iterator(input, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() &&
+            has_ext(it->path(), ".h", ".cc", ".cpp")) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::fprintf(stderr, "pdslint: cannot read %s\n",
+                   input.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<pds::lint::Finding> findings;
+  int scanned = 0;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!read_file(file, content)) {
+      std::fprintf(stderr, "pdslint: cannot read %s\n",
+                   file.string().c_str());
+      return 2;
+    }
+    ++scanned;
+    std::vector<std::string> header_names;
+    if (file.extension() != ".h" && file.extension() != ".hpp") {
+      header_names = paired_header_names(file);
+    }
+    const std::string shown = display_path(file, root);
+    std::vector<pds::lint::Finding> fs_ =
+        pds::lint::lint_source(shown, content, header_names);
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+
+  const pds::lint::LintSummary summary =
+      pds::lint::summarize(findings, scanned);
+
+  for (const pds::lint::Finding& f : findings) {
+    if (f.suppressed) continue;
+    std::fprintf(stderr, "%s:%d: %s: [%s] %s\n", f.file.c_str(), f.line,
+                 pds::lint::severity_name(f.severity), f.rule.c_str(),
+                 f.message.c_str());
+  }
+  std::fprintf(stderr,
+               "pdslint: %d file(s), %d error(s), %d warning(s), "
+               "%d suppressed\n",
+               summary.files_scanned, summary.errors, summary.warnings,
+               summary.suppressed);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "pdslint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << pds::lint::render_json(findings, summary) << "\n";
+  }
+
+  return summary.unsuppressed() > 0 ? 1 : 0;
+}
