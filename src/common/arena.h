@@ -1,0 +1,149 @@
+// Object-recycling pools for the simulator's steady-state hot paths.
+//
+// A warm simulation allocates in three places: scheduled-event closures
+// (fixed by InlineFunction's inline storage), per-transmission receiver
+// lists, and per-frame payload objects in the net layer. The pools here
+// retire the last two: freed storage parks in a free list and is handed back
+// on the next acquire, so steady-state simulation does zero per-event heap
+// traffic once the pools are warm.
+//
+// Determinism: recycling changes *which addresses* come back, never any
+// simulated outcome — no code orders or hashes by pointer (pdslint's
+// pointer-order rule guards that), so reuse is invisible to traces, stats
+// and RNG draws.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pds {
+
+// Recycles std::vector buffers: acquire() returns an empty vector that keeps
+// the capacity it had when released, so a stable working set stops touching
+// the allocator entirely.
+template <typename T>
+class VectorPool {
+ public:
+  explicit VectorPool(std::size_t max_parked = 64) : max_parked_(max_parked) {}
+
+  [[nodiscard]] std::vector<T> acquire() {
+    if (parked_.empty()) return {};
+    std::vector<T> v = std::move(parked_.back());
+    parked_.pop_back();
+    return v;
+  }
+
+  void release(std::vector<T>&& v) {
+    v.clear();
+    if (parked_.size() < max_parked_ && v.capacity() > 0) {
+      parked_.push_back(std::move(v));
+    }
+  }
+
+  [[nodiscard]] std::size_t parked() const { return parked_.size(); }
+
+ private:
+  std::vector<std::vector<T>> parked_;
+  std::size_t max_parked_;
+};
+
+// Size-class keyed free lists of raw blocks, one pool per thread. Backs
+// PoolAllocator: allocate_shared'd payload objects (control block + object
+// in one cell) come from here, so frame payload churn stops hitting
+// malloc/free once each size class is warm. Thread-local by design: worker
+// threads in bench::run_indexed each own an independent pool, so no locks
+// and no cross-thread traffic (TSan-clean).
+class BlockPool {
+ public:
+  static BlockPool& local() {
+    thread_local BlockPool pool;
+    return pool;
+  }
+
+  void* allocate(std::size_t bytes) {
+    auto it = free_.find(bytes);
+    if (it != free_.end() && !it->second.empty()) {
+      void* p = it->second.back();
+      it->second.pop_back();
+      return p;
+    }
+    return ::operator new(bytes);
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    if (bytes > kMaxBlockBytes) {
+      ::operator delete(p);
+      return;
+    }
+    std::vector<void*>& list = free_[bytes];
+    if (list.size() >= kMaxPerClass) {
+      ::operator delete(p);
+      return;
+    }
+    list.push_back(p);
+  }
+
+  ~BlockPool() {
+    // Lookup-only map: never iterated for output (the parked blocks hold no
+    // simulation state), so hash order is immaterial.
+    for (auto& [bytes, list] : free_) {
+      for (void* p : list) ::operator delete(p);
+    }
+  }
+
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+ private:
+  BlockPool() = default;
+
+  static constexpr std::size_t kMaxBlockBytes = 1 << 16;
+  static constexpr std::size_t kMaxPerClass = 4096;
+
+  std::unordered_map<std::size_t, std::vector<void*>> free_;
+};
+
+// Standard allocator over BlockPool::local(); drop-in for allocate_shared.
+// Only single-object, normally-aligned allocations are pooled — array or
+// over-aligned requests fall through to global new.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 1 && alignof(T) <= alignof(std::max_align_t)) {
+      return static_cast<T*>(BlockPool::local().allocate(sizeof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (n == 1 && alignof(T) <= alignof(std::max_align_t)) {
+      BlockPool::local().deallocate(p, sizeof(T));
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+};
+
+// allocate_shared through the thread-local block pool: one pooled cell holds
+// control block + object, exactly like make_shared but recycled.
+template <typename T, typename... Args>
+[[nodiscard]] std::shared_ptr<T> make_pooled(Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>{},
+                                 std::forward<Args>(args)...);
+}
+
+}  // namespace pds

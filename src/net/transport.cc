@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/arena.h"
 #include "common/assert.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -161,11 +162,11 @@ void Transport::transmit(const Packet& packet, bool track_reliably) {
   if (packet.count == 1 && packet.receivers == packet.whole->receivers) {
     payload = packet.whole;
   } else if (packet.count == 1) {
-    auto copy = std::make_shared<Message>(*packet.whole);
+    auto copy = make_pooled<Message>(*packet.whole);
     copy->receivers = packet.receivers;
     payload = std::move(copy);
   } else {
-    auto frag = std::make_shared<FragmentPayload>();
+    auto frag = make_pooled<FragmentPayload>();
     frag->whole = packet.whole;
     frag->token = message_token(*packet.whole);
     frag->index = packet.index;
@@ -256,7 +257,7 @@ void Transport::flush_acks() {
   ack_flush_scheduled_ = false;
   std::size_t i = 0;
   while (i < ack_batch_.size()) {
-    auto ack = std::make_shared<Message>();
+    auto ack = make_pooled<Message>();
     ack->type = MessageType::kAck;
     ack->acker = self_;
     ack->sender = self_;
@@ -368,7 +369,7 @@ void Transport::check_repair(std::uint64_t msg_token) {
   }
   ++r.repair_attempts;
   ++stats_.repair_requests_sent;
-  auto request = std::make_shared<Message>();
+  auto request = make_pooled<Message>();
   request->type = MessageType::kRepair;
   request->sender = self_;
   request->acker = self_;

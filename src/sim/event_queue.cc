@@ -8,57 +8,342 @@ namespace pds::sim {
 
 namespace {
 // Simulations schedule thousands of events before draining; pre-sizing the
-// heap and the live-id set keeps the hottest structure in the simulator out
-// of the allocator during warm-up.
+// hottest structures keeps the scheduler out of the allocator during
+// warm-up.
 constexpr std::size_t kInitialCapacity = 1024;
 }  // namespace
 
-EventQueue::EventQueue() {
-  heap_.reserve(kInitialCapacity);
-  live_.reserve(kInitialCapacity);
+EventQueue::EventQueue(SchedulerKind kind) : kind_(kind) {
+  if (kind_ == SchedulerKind::kHeap) {
+    heap_.heap.reserve(kInitialCapacity);
+    heap_.live.reserve(kInitialCapacity);
+  } else {
+    cal_.slots.reserve(kInitialCapacity);
+    cal_.buckets.resize(CalendarImpl::kBuckets);
+  }
 }
 
+// -- Heap oracle -------------------------------------------------------------
+
+void EventQueue::HeapImpl::skip_dead() {
+  while (!heap.empty() && !live.contains(heap.front().id)) {
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    heap.pop_back();
+  }
+}
+
+// -- Calendar queue ----------------------------------------------------------
+
+std::uint32_t EventQueue::CalendarImpl::alloc_slot() {
+  if (!free_slots.empty()) {
+    const std::uint32_t idx = free_slots.back();
+    free_slots.pop_back();
+    return idx;
+  }
+  slots.emplace_back();
+  return static_cast<std::uint32_t>(slots.size() - 1);
+}
+
+void EventQueue::CalendarImpl::retire_slot(std::uint32_t idx) {
+  Slot& s = slots[idx];
+  s.action.reset();
+  ++s.gen;  // stale EventIds can never touch the slot's next tenant
+  free_slots.push_back(idx);
+}
+
+void EventQueue::CalendarImpl::bucket_insert(std::vector<Ref>& bucket,
+                                             Ref r) {
+  // Descending (at, seq): the bucket minimum lives at the back, so popping
+  // it is pop_back. Buckets are a few entries deep by construction (width is
+  // tuned below the typical event gap), so a backward linear scan beats a
+  // branchy binary search and the insert's memmove is small.
+  auto it = bucket.end();
+  while (it != bucket.begin() && later(r, *std::prev(it))) --it;
+  bucket.insert(it, r);
+}
+
+void EventQueue::CalendarImpl::overflow_push(Ref r) {
+  overflow.push_back(r);
+  std::push_heap(overflow.begin(), overflow.end(), later);
+}
+
+EventQueue::CalendarImpl::Ref EventQueue::CalendarImpl::overflow_pop_top() {
+  std::pop_heap(overflow.begin(), overflow.end(), later);
+  const Ref r = overflow.back();
+  overflow.pop_back();
+  return r;
+}
+
+void EventQueue::CalendarImpl::prune_overflow_top() {
+  while (!overflow.empty() && !slots[overflow.front().idx].live) {
+    retire_slot(overflow_pop_top().idx);
+  }
+}
+
+void EventQueue::CalendarImpl::advance_window_to(SimTime at) {
+  window_start_abs = abs_bucket(at);
+  window_set = true;
+  cur = 0;
+  cached.valid = false;
+  // Entries already in the ring need no touch-up: a bucket's position is
+  // abs & mask, which is lap-independent — relocating the window simply
+  // reinterprets which laps are current. Only the overflow heap must hand
+  // over the entries the new window now covers.
+  prune_overflow_top();
+  while (!overflow.empty() && in_window(abs_bucket(overflow.front().at))) {
+    const Ref r = overflow_pop_top();
+    slots[r.idx].in_ring = true;
+    ++ring_live;
+    bucket_insert(ring_at(abs_bucket(r.at)), r);
+    prune_overflow_top();
+  }
+}
+
+void EventQueue::CalendarImpl::slide_window_to_cursor() {
+  // Drop the consumed buckets behind the cursor: advancing the window start
+  // to the cursor's bucket restores push headroom ahead of `cur` without
+  // touching ring entries (positions are lap-independent, exactly as in
+  // advance_window_to). Without this, pushes targeting the last fraction of
+  // the lap detour through the overflow heap only to be drained right back
+  // into the ring when the window finally relocates.
+  window_start_abs += static_cast<std::int64_t>(cur);
+  cur = 0;
+  prune_overflow_top();
+  while (!overflow.empty() && in_window(abs_bucket(overflow.front().at))) {
+    const Ref r = overflow_pop_top();
+    slots[r.idx].in_ring = true;
+    ++ring_live;
+    bucket_insert(ring_at(abs_bucket(r.at)), r);
+    prune_overflow_top();
+  }
+}
+
+const EventQueue::CalendarImpl::Min& EventQueue::CalendarImpl::find_min() {
+  if (cached.valid) return cached;
+  if (cur >= kBuckets / 2) slide_window_to_cursor();
+
+  // In-window ring candidate: first bucket at or after the cursor whose live
+  // minimum belongs to the current window lap.
+  bool have_ring = false;
+  if (ring_live > 0) {
+    for (std::size_t off = cur; off < kBuckets; ++off) {
+      auto& bucket = ring_at(window_start_abs + static_cast<std::int64_t>(off));
+      while (!bucket.empty() && !slots[bucket.back().idx].live) {
+        retire_slot(bucket.back().idx);
+        bucket.pop_back();
+      }
+      if (bucket.empty()) continue;
+      const Ref& r = bucket.back();
+      // The bucket minimum may belong to a future lap (ring positions alias
+      // every kBuckets * width of simulated time); such a bucket holds no
+      // current-window entries at all — later laps sort later in the
+      // descending order, i.e. the whole bucket is future — skip it.
+      if (!in_window(abs_bucket(r.at))) continue;
+      cur = off;
+      cached = Min{.valid = true,
+                   .far = false,
+                   .offset = off,
+                   .at = r.at,
+                   .seq = r.seq};
+      have_ring = true;
+      break;
+    }
+  }
+
+  // No in-window candidate but live ring entries remain: they all sit on
+  // future laps (a later push or pop re-anchored the window below entries
+  // already in the ring). Full sweep for the earliest bucket minimum;
+  // pop() relocates the window there. An in-window candidate, when one
+  // exists, always precedes every future-lap entry (their times lie beyond
+  // the window's end), so the sweep is only needed on this path.
+  if (!have_ring && ring_live > 0) {
+    bool found = false;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      auto& bucket = buckets[b];
+      while (!bucket.empty() && !slots[bucket.back().idx].live) {
+        retire_slot(bucket.back().idx);
+        bucket.pop_back();
+      }
+      if (bucket.empty()) continue;
+      const Ref& r = bucket.back();
+      if (!found || r.at < cached.at ||
+          (r.at == cached.at && r.seq < cached.seq)) {
+        cached = Min{.valid = true,
+                     .far = true,
+                     .offset = 0,
+                     .at = r.at,
+                     .seq = r.seq};
+        found = true;
+      }
+    }
+    have_ring = found;
+  }
+
+  // Overflow candidate (always outside the window by construction); may
+  // precede or follow a future-lap ring candidate, so compare explicitly.
+  prune_overflow_top();
+  if (!overflow.empty()) {
+    const Ref& top = overflow.front();
+    if (!have_ring || top.at < cached.at ||
+        (top.at == cached.at && top.seq < cached.seq)) {
+      cached = Min{.valid = true,
+                   .far = true,
+                   .offset = 0,
+                   .at = top.at,
+                   .seq = top.seq};
+    }
+    return cached;
+  }
+  PDS_ENSURE(have_ring);
+  return cached;
+}
+
+// -- Public API --------------------------------------------------------------
+
 EventQueue::EventId EventQueue::push(SimTime at, Action action) {
-  const EventId id = next_seq_;
-  heap_.push_back(
-      Entry{.at = at, .seq = next_seq_, .id = id, .action = std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++next_seq_;
-  live_.insert(id);
+  if (kind_ == SchedulerKind::kHeap) {
+    const EventId id = next_seq_;
+    heap_.heap.push_back(HeapImpl::Entry{
+        .at = at, .seq = next_seq_, .id = id, .action = std::move(action)});
+    std::push_heap(heap_.heap.begin(), heap_.heap.end(), HeapImpl::Later{});
+    ++next_seq_;
+    heap_.live.insert(id);
+    ++live_count_;
+    return id;
+  }
+
+  const std::uint32_t idx = cal_.alloc_slot();
+  CalendarImpl::Slot& s = cal_.slots[idx];
+  s.at = at;
+  s.seq = next_seq_++;
+  s.live = true;
+  s.action = std::move(action);
+  const EventId id = (static_cast<std::uint64_t>(s.gen) << 32) | idx;
+  const CalendarImpl::Ref ref{.at = at, .seq = s.seq, .idx = idx};
+
+  const std::int64_t abs = CalendarImpl::abs_bucket(at);
+  if (live_count_ == 0 || !cal_.window_set) {
+    // (Re-)anchor an empty queue's window at the incoming event so dense
+    // near-future activity lands in the ring from the first push.
+    cal_.window_start_abs = abs;
+    cal_.window_set = true;
+    cal_.cur = 0;
+  }
+  if (cal_.in_window(abs)) {
+    s.in_ring = true;
+    ++cal_.ring_live;
+    cal_.bucket_insert(cal_.ring_at(abs), ref);
+    const auto off = static_cast<std::size_t>(abs - cal_.window_start_abs);
+    if (off < cal_.cur) cal_.cur = off;
+  } else {
+    s.in_ring = false;
+    cal_.overflow_push(ref);
+  }
+  // Inserting an entry at or after the cached minimum cannot change the
+  // minimum (equal times lose the seq tie-break to the incumbent), so the
+  // cache — and with it the next pop's scan — survives most pushes.
+  if (cal_.cached.valid && at < cal_.cached.at) cal_.cached.valid = false;
   ++live_count_;
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (live_.erase(id) > 0) --live_count_;
-}
-
-void EventQueue::skip_dead() {
-  while (!heap_.empty() && !live_.contains(heap_.front().id)) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+  if (kind_ == SchedulerKind::kHeap) {
+    if (heap_.live.erase(id) > 0) --live_count_;
+    return;
   }
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= cal_.slots.size()) return;
+  CalendarImpl::Slot& s = cal_.slots[idx];
+  if (!s.live || s.gen != gen) return;  // already fired/cancelled/recycled
+  s.live = false;
+  if (s.in_ring) {
+    // Eager removal — the structural edge over the heap's lazy deletion.
+    // The entry's bucket is position-stable (abs & mask is lap-independent)
+    // and a few entries deep, so erasing it is a small memmove; the slot
+    // recycles immediately and no dead entry is left for find_min to probe.
+    auto& bucket = cal_.ring_at(CalendarImpl::abs_bucket(s.at));
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (it->idx == idx) {
+        bucket.erase(it);
+        break;
+      }
+    }
+    --cal_.ring_live;
+    cal_.retire_slot(idx);
+  } else {
+    // Overflow entries prune lazily (heap middle-erase is O(n)); cancels of
+    // far-future events are rare.
+    s.action.reset();
+  }
+  --live_count_;
+  // Removing anything but the minimum leaves the minimum in place; seq is
+  // unique, so it identifies the cached entry exactly.
+  if (cal_.cached.valid && s.seq == cal_.cached.seq) cal_.cached.valid = false;
 }
 
 SimTime EventQueue::next_time() const {
-  auto* self = const_cast<EventQueue*>(this);
-  self->skip_dead();
-  PDS_ENSURE(!heap_.empty());
-  return heap_.front().at;
+  if (kind_ == SchedulerKind::kHeap) {
+    heap_.skip_dead();
+    PDS_ENSURE(!heap_.heap.empty());
+    return heap_.heap.front().at;
+  }
+  PDS_ENSURE(live_count_ > 0);
+  return cal_.find_min().at;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  // One hash probe per entry: the erase() below both detects cancelled
-  // entries (skipping them) and retires live ones.
-  while (true) {
-    PDS_ENSURE(!heap_.empty());
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry top = std::move(heap_.back());
-    heap_.pop_back();
-    if (live_.erase(top.id) == 0) continue;  // cancelled
-    --live_count_;
-    return Popped{.at = top.at, .action = std::move(top.action)};
+  if (kind_ == SchedulerKind::kHeap) {
+    // One hash probe per entry: the erase() below both detects cancelled
+    // entries (skipping them) and retires live ones.
+    while (true) {
+      PDS_ENSURE(!heap_.heap.empty());
+      std::pop_heap(heap_.heap.begin(), heap_.heap.end(), HeapImpl::Later{});
+      HeapImpl::Entry top = std::move(heap_.heap.back());
+      heap_.heap.pop_back();
+      if (heap_.live.erase(top.id) == 0) continue;  // cancelled
+      --live_count_;
+      return Popped{.at = top.at, .action = std::move(top.action)};
+    }
   }
+
+  PDS_ENSURE(live_count_ > 0);
+  const CalendarImpl::Min* m = &cal_.find_min();
+  if (m->far) {
+    // The minimum lives outside the current window (overflow, or a future
+    // ring lap): relocate the window to its bucket and look again.
+    cal_.advance_window_to(m->at);
+    m = &cal_.find_min();
+    PDS_ENSURE(!m->far);
+  }
+  const std::size_t off = m->offset;
+  auto& bucket =
+      cal_.ring_at(cal_.window_start_abs + static_cast<std::int64_t>(off));
+  const std::uint32_t idx = bucket.back().idx;
+  bucket.pop_back();
+  CalendarImpl::Slot& s = cal_.slots[idx];
+  Popped out{.at = s.at, .action = std::move(s.action)};
+  s.live = false;
+  --cal_.ring_live;
+  cal_.retire_slot(idx);
+  // If the popped bucket still holds an in-window entry, its back is the
+  // next global minimum: buckets below the cursor are exhausted, later
+  // in-window buckets hold strictly later times, and overflow/future-lap
+  // entries lie beyond the window's end. Refill the cache in place and the
+  // next pop skips its scan.
+  if (!bucket.empty() &&
+      cal_.in_window(CalendarImpl::abs_bucket(bucket.back().at))) {
+    cal_.cached = CalendarImpl::Min{.valid = true,
+                                    .far = false,
+                                    .offset = off,
+                                    .at = bucket.back().at,
+                                    .seq = bucket.back().seq};
+  } else {
+    cal_.cached.valid = false;
+  }
+  --live_count_;
+  return out;
 }
 
 }  // namespace pds::sim

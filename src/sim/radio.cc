@@ -27,11 +27,16 @@ RadioMedium::RadioMedium(Simulator& sim, RadioConfig cfg)
       cfg_.interference_range_m < cfg_.range_m) {
     cfg_.interference_range_m = cfg_.range_m;
   }
-  // Cell size = interference range: delivery fan-out (the most frequent
-  // radius query) always resolves to a 3×3 cell scan; the wider
+  // Fine cell size = interference range: delivery fan-out (the most frequent
+  // radius query) always resolves to a 3×3 fine-cell scan; the wider
   // carrier-sense radius never touches the grid (see transmitting_).
   cell_size_m_ = interference_range();
   PDS_ENSURE(cell_size_m_ > 0.0);
+
+  const int threads = std::max(1, cfg_.shard_threads);
+  if (threads > 1) shards_ = std::make_unique<ShardExecutor>(threads);
+  shard_receivers_.resize(static_cast<std::size_t>(threads));
+  shard_half_duplex_.resize(static_cast<std::size_t>(threads), 0);
 }
 
 RadioMedium::Index RadioMedium::index_of(NodeId id) const {
@@ -40,27 +45,56 @@ RadioMedium::Index RadioMedium::index_of(NodeId id) const {
   return it->second;
 }
 
-std::uint64_t RadioMedium::cell_key(Vec2 pos) const {
-  const auto cx = static_cast<std::int32_t>(std::floor(pos.x / cell_size_m_));
-  const auto cy = static_cast<std::int32_t>(std::floor(pos.y / cell_size_m_));
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
-         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+std::int32_t RadioMedium::fine_coord(double v) const {
+  return static_cast<std::int32_t>(std::floor(v / cell_size_m_));
 }
 
-void RadioMedium::grid_insert(Index idx, std::uint64_t key) {
-  grid_[key].push_back(idx);
+void RadioMedium::grid_insert(Index idx) {
+  const std::int32_t fx = cell_fx_[idx];
+  const std::int32_t fy = cell_fy_[idx];
+  auto [it, inserted] = coarse_map_.try_emplace(
+      coarse_key(fx >> kCoarseShift, fy >> kCoarseShift), 0);
+  if (inserted) {
+    if (!coarse_free_.empty()) {
+      it->second = coarse_free_.back();
+      coarse_free_.pop_back();
+    } else {
+      it->second = static_cast<std::uint32_t>(coarse_cells_.size());
+      coarse_cells_.emplace_back();
+    }
+  }
+  CoarseCell& cell = coarse_cells_[it->second];
+  std::int32_t& head = cell.heads[sub_cell(fx, fy)];
+  const auto node = static_cast<std::int32_t>(idx);
+  grid_prev_[idx] = -1;
+  grid_next_[idx] = head;
+  if (head >= 0) grid_prev_[static_cast<Index>(head)] = node;
+  head = node;
+  ++cell.count;
 }
 
-void RadioMedium::grid_remove(Index idx, std::uint64_t key) {
-  auto it = grid_.find(key);
-  PDS_ENSURE(it != grid_.end());
-  auto& cell = it->second;
-  auto pos = std::find(cell.begin(), cell.end(), idx);
-  PDS_ENSURE(pos != cell.end());
-  // Swap-erase: within-cell order is irrelevant, candidates_near re-sorts.
-  *pos = cell.back();
-  cell.pop_back();
-  if (cell.empty()) grid_.erase(it);
+void RadioMedium::grid_remove(Index idx) {
+  const std::int32_t fx = cell_fx_[idx];
+  const std::int32_t fy = cell_fy_[idx];
+  auto it =
+      coarse_map_.find(coarse_key(fx >> kCoarseShift, fy >> kCoarseShift));
+  PDS_ENSURE(it != coarse_map_.end());
+  CoarseCell& cell = coarse_cells_[it->second];
+  const std::int32_t nxt = grid_next_[idx];
+  const std::int32_t prv = grid_prev_[idx];
+  if (prv >= 0) {
+    grid_next_[static_cast<Index>(prv)] = nxt;
+  } else {
+    cell.heads[sub_cell(fx, fy)] = nxt;
+  }
+  if (nxt >= 0) grid_prev_[static_cast<Index>(nxt)] = prv;
+  PDS_ENSURE(cell.count > 0);
+  if (--cell.count == 0) {
+    // Empty sub-lists leave every head at -1 again, so the pooled cell is
+    // ready for its next tenant without a reset pass.
+    coarse_free_.push_back(it->second);
+    coarse_map_.erase(it);
+  }
 }
 
 const std::vector<RadioMedium::Index>& RadioMedium::candidates_near(
@@ -78,20 +112,36 @@ const std::vector<RadioMedium::Index>& RadioMedium::candidates_near(
     }
     return scratch_;  // ascending == registration order already
   }
-  const auto cx = static_cast<std::int32_t>(std::floor(pos.x / cell_size_m_));
-  const auto cy = static_cast<std::int32_t>(std::floor(pos.y / cell_size_m_));
+  const std::int32_t cfx = fine_coord(pos.x);
+  const std::int32_t cfy = fine_coord(pos.y);
   const auto reach =
       static_cast<std::int32_t>(std::ceil(radius / cell_size_m_));
-  for (std::int32_t dx = -reach; dx <= reach; ++dx) {
-    for (std::int32_t dy = -reach; dy <= reach; ++dy) {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx + dx))
-           << 32) |
-          static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy + dy));
-      auto it = grid_.find(key);
-      if (it == grid_.end()) continue;
-      for (Index i : it->second) {
-        if (i != self) scratch_.push_back(i);
+  const std::int32_t fx0 = cfx - reach;
+  const std::int32_t fx1 = cfx + reach;
+  const std::int32_t fy0 = cfy - reach;
+  const std::int32_t fy1 = cfy + reach;
+  // One coarse lookup covers an 8×8 block of fine cells, so the usual 3×3
+  // fine query costs at most four hash probes.
+  for (std::int32_t cx = fx0 >> kCoarseShift; cx <= (fx1 >> kCoarseShift);
+       ++cx) {
+    for (std::int32_t cy = fy0 >> kCoarseShift; cy <= (fy1 >> kCoarseShift);
+         ++cy) {
+      auto it = coarse_map_.find(coarse_key(cx, cy));
+      if (it == coarse_map_.end()) continue;
+      const CoarseCell& cell = coarse_cells_[it->second];
+      const std::int32_t gx0 = std::max(fx0, cx * kCoarseSpan);
+      const std::int32_t gx1 = std::min(fx1, cx * kCoarseSpan + kCoarseSpan - 1);
+      const std::int32_t gy0 = std::max(fy0, cy * kCoarseSpan);
+      const std::int32_t gy1 = std::min(fy1, cy * kCoarseSpan + kCoarseSpan - 1);
+      for (std::int32_t fy = gy0; fy <= gy1; ++fy) {
+        for (std::int32_t fx = gx0; fx <= gx1; ++fx) {
+          for (std::int32_t n = cell.heads[sub_cell(fx, fy)]; n >= 0;
+               n = grid_next_[static_cast<Index>(n)]) {
+            if (static_cast<Index>(n) != self) {
+              scratch_.push_back(static_cast<Index>(n));
+            }
+          }
+        }
       }
     }
   }
@@ -109,30 +159,36 @@ void RadioMedium::add_node(NodeId id, FrameSink& sink, Vec2 pos,
   NodeState state;
   state.id = id;
   state.sink = &sink;
-  state.pos = pos;
-  state.cell = cell_key(pos);
-  state.enabled = enabled;
   states_.push_back(std::move(state));
-  grid_insert(idx, states_.back().cell);
+  pos_.push_back(pos);
+  enabled_.push_back(enabled ? 1 : 0);
+  tx_active_.push_back(0);
+  tx_end_.push_back(SimTime::zero());
+  cell_fx_.push_back(fine_coord(pos.x));
+  cell_fy_.push_back(fine_coord(pos.y));
+  grid_next_.push_back(-1);
+  grid_prev_.push_back(-1);
+  grid_insert(idx);
 }
 
 void RadioMedium::set_position(NodeId id, Vec2 pos) {
   const Index idx = index_of(id);
-  NodeState& st = states_[idx];
-  st.pos = pos;
-  const std::uint64_t key = cell_key(pos);
-  if (key != st.cell) {
-    grid_remove(idx, st.cell);
-    grid_insert(idx, key);
-    st.cell = key;
+  pos_[idx] = pos;
+  const std::int32_t fx = fine_coord(pos.x);
+  const std::int32_t fy = fine_coord(pos.y);
+  if (fx != cell_fx_[idx] || fy != cell_fy_[idx]) {
+    grid_remove(idx);
+    cell_fx_[idx] = fx;
+    cell_fy_[idx] = fy;
+    grid_insert(idx);
   }
 }
 
 void RadioMedium::set_enabled(NodeId id, bool enabled) {
   const Index idx = index_of(id);
+  if ((enabled_[idx] != 0) == enabled) return;
+  enabled_[idx] = enabled ? 1 : 0;
   NodeState& st = states_[idx];
-  if (st.enabled == enabled) return;
-  st.enabled = enabled;
   if (!enabled) {
     // Radio off: pending sends and in-flight receptions are gone. An ongoing
     // transmission is allowed to finish (the tail of the frame is already on
@@ -145,15 +201,17 @@ void RadioMedium::set_enabled(NodeId id, bool enabled) {
   }
 }
 
-bool RadioMedium::is_enabled(NodeId id) const { return state_of(id).enabled; }
+bool RadioMedium::is_enabled(NodeId id) const {
+  return enabled_[index_of(id)] != 0;
+}
 
-Vec2 RadioMedium::position(NodeId id) const { return state_of(id).pos; }
+Vec2 RadioMedium::position(NodeId id) const { return pos_[index_of(id)]; }
 
 bool RadioMedium::send(NodeId sender, Frame frame) {
   ++stats_.frames_offered;
   const Index idx = index_of(sender);
+  if (enabled_[idx] == 0) return false;
   NodeState& st = states_[idx];
-  if (!st.enabled) return false;
   if (st.os_bytes + frame.size_bytes > cfg_.os_buffer_bytes) {
     ++stats_.os_buffer_drops;
     PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), sender, "radio", "os_drop",
@@ -173,12 +231,11 @@ bool RadioMedium::send(NodeId sender, Frame frame) {
 std::vector<NodeId> RadioMedium::neighbors(NodeId id) const {
   std::vector<NodeId> out;
   const Index idx = index_of(id);
-  const NodeState& self = states_[idx];
-  if (!self.enabled) return out;
-  for (Index i : candidates_near(idx, self.pos, cfg_.range_m)) {
-    const NodeState& st = states_[i];
-    if (st.enabled && distance(self.pos, st.pos) <= cfg_.range_m) {
-      out.push_back(st.id);
+  if (enabled_[idx] == 0) return out;
+  const Vec2 self_pos = pos_[idx];
+  for (Index i : candidates_near(idx, self_pos, cfg_.range_m)) {
+    if (enabled_[i] != 0 && distance(self_pos, pos_[i]) <= cfg_.range_m) {
+      out.push_back(states_[i].id);
     }
   }
   return out;
@@ -228,12 +285,12 @@ double RadioMedium::total_energy_joules(SimTime elapsed) const {
 }
 
 bool RadioMedium::medium_busy_around(Index idx) const {
-  const NodeState& self = states_[idx];
+  const Vec2 self_pos = pos_[idx];
   const double cs = carrier_sense_range();
   if (cfg_.use_spatial_grid) {
     for (Index other : transmitting_) {
       if (other == idx) continue;
-      if (distance(self.pos, states_[other].pos) <= cs) return true;
+      if (distance(self_pos, pos_[other]) <= cs) return true;
     }
     return false;
   }
@@ -241,21 +298,22 @@ bool RadioMedium::medium_busy_around(Index idx) const {
   // per-node hash lookup (see candidates_near).
   for (Index other = 0; other < states_.size(); ++other) {
     if (other == idx) continue;
-    const NodeState& st = states_[index_of_.find(states_[other].id)->second];
-    if (st.transmitting && distance(self.pos, st.pos) <= cs) return true;
+    const Index i = index_of_.find(states_[other].id)->second;
+    if (tx_active_[i] != 0 && distance(self_pos, pos_[i]) <= cs) return true;
   }
   return false;
 }
 
 SimTime RadioMedium::busy_end_around(Index idx) const {
-  const NodeState& self = states_[idx];
+  const Vec2 self_pos = pos_[idx];
   const double cs = carrier_sense_range();
   SimTime latest = sim_.now();
   if (cfg_.use_spatial_grid) {
     for (Index other : transmitting_) {
       if (other == idx) continue;
-      const NodeState& st = states_[other];
-      if (distance(self.pos, st.pos) <= cs) latest = std::max(latest, st.tx_end);
+      if (distance(self_pos, pos_[other]) <= cs) {
+        latest = std::max(latest, tx_end_[other]);
+      }
     }
     return latest;
   }
@@ -263,9 +321,9 @@ SimTime RadioMedium::busy_end_around(Index idx) const {
   // per-node hash lookup (see candidates_near).
   for (Index other = 0; other < states_.size(); ++other) {
     if (other == idx) continue;
-    const NodeState& st = states_[index_of_.find(states_[other].id)->second];
-    if (st.transmitting && distance(self.pos, st.pos) <= cs) {
-      latest = std::max(latest, st.tx_end);
+    const Index i = index_of_.find(states_[other].id)->second;
+    if (tx_active_[i] != 0 && distance(self_pos, pos_[i]) <= cs) {
+      latest = std::max(latest, tx_end_[i]);
     }
   }
   return latest;
@@ -289,8 +347,8 @@ SimTime RadioMedium::access_delay(const NodeState& st) {
 
 void RadioMedium::maybe_schedule_attempt(Index idx, SimTime extra_delay) {
   NodeState& st = states_[idx];
-  if (st.attempt_scheduled || st.transmitting || st.os_queue.empty() ||
-      !st.enabled) {
+  if (st.attempt_scheduled || tx_active_[idx] != 0 || st.os_queue.empty() ||
+      enabled_[idx] == 0) {
     return;
   }
   st.attempt_scheduled = true;
@@ -301,7 +359,9 @@ void RadioMedium::maybe_schedule_attempt(Index idx, SimTime extra_delay) {
 void RadioMedium::attempt_transmission(Index idx) {
   NodeState& st = states_[idx];
   st.attempt_scheduled = false;
-  if (!st.enabled || st.transmitting || st.os_queue.empty()) return;
+  if (enabled_[idx] == 0 || tx_active_[idx] != 0 || st.os_queue.empty()) {
+    return;
+  }
   if (medium_busy_around(idx)) {
     // Defer: retry after the sensed busy period plus fresh backoff.
     const SimTime wait = busy_end_around(idx) - sim_.now();
@@ -323,8 +383,8 @@ void RadioMedium::start_transmission(Index idx) {
   st.os_bytes -= frame.size_bytes;
 
   const SimTime airtime = transmission_time(frame.size_bytes, cfg_.mac_rate_bps);
-  st.transmitting = true;
-  st.tx_end = sim_.now() + airtime;
+  tx_active_[idx] = 1;
+  tx_end_[idx] = sim_.now() + airtime;
   st.activity.tx_airtime += airtime;
   transmitting_.push_back(idx);
 
@@ -336,59 +396,101 @@ void RadioMedium::start_transmission(Index idx) {
   if (tx_observer_) tx_observer_(st.id, frame);
 
   const std::uint64_t tx_seq = next_tx_seq_++;
+  const Vec2 sender_pos = pos_[idx];
+  const double interference = interference_range();
+  const std::vector<Index>& cands =
+      candidates_near(idx, sender_pos, interference);
 
-  std::vector<Index> receivers;
-  for (Index ridx : candidates_near(idx, st.pos, interference_range())) {
-    NodeState& rx = states_[ridx];
-    if (!rx.enabled) continue;
-    const double new_dist = distance(st.pos, rx.pos);
-    if (new_dist > interference_range()) continue;
-    const bool decodable = new_dist <= cfg_.range_m;
-    if (rx.transmitting) {
-      // Half-duplex: a busy transmitter cannot decode incoming frames.
-      if (decodable) ++stats_.losses_half_duplex;
-      continue;
-    }
-    // Overlapping receptions interfere; a frame survives only if its
-    // transmitter is decisively closer than the competing one (physical
-    // capture). Hidden terminals — senders out of each other's carrier-sense
-    // range whose signals meet at this receiver, possibly too weak to decode
-    // but strong enough to corrupt — are what make multi-hop floods lossy.
-    if (decodable) rx.activity.rx_airtime += airtime;
-    Reception incoming{.tx_seq = tx_seq,
-                       .sender_distance = new_dist,
-                       .corrupted = false,
-                       .decodable = decodable};
-    for (Reception& ongoing : rx.receptions) {
-      if (new_dist > ongoing.sender_distance * cfg_.capture_ratio) {
-        incoming.corrupted = true;
+  // Classify every candidate: does this transmission reach it, decodably or
+  // as interference, and does it survive half-duplex? The per-candidate work
+  // consumes no RNG and writes only receiver-private state (receptions,
+  // rx_airtime) plus per-shard partials, so it may run sharded; partials
+  // merge in fixed shard order below, making the result byte-identical to
+  // the serial loop for any thread count (DESIGN.md §13).
+  auto classify = [&](std::size_t begin, std::size_t end, std::size_t shard) {
+    std::vector<Index>& out = shard_receivers_[shard];
+    std::uint64_t half_duplex = 0;
+    for (std::size_t c = begin; c < end; ++c) {
+      const Index ridx = cands[c];
+      if (enabled_[ridx] == 0) continue;
+      const double new_dist = distance(sender_pos, pos_[ridx]);
+      if (new_dist > interference) continue;
+      const bool decodable = new_dist <= cfg_.range_m;
+      if (tx_active_[ridx] != 0) {
+        // Half-duplex: a busy transmitter cannot decode incoming frames.
+        if (decodable) ++half_duplex;
+        continue;
       }
-      if (ongoing.sender_distance > new_dist * cfg_.capture_ratio) {
-        ongoing.corrupted = true;
+      NodeState& rx = states_[ridx];
+      // Overlapping receptions interfere; a frame survives only if its
+      // transmitter is decisively closer than the competing one (physical
+      // capture). Hidden terminals — senders out of each other's
+      // carrier-sense range whose signals meet at this receiver, possibly
+      // too weak to decode but strong enough to corrupt — are what make
+      // multi-hop floods lossy.
+      if (decodable) rx.activity.rx_airtime += airtime;
+      Reception incoming{.tx_seq = tx_seq,
+                         .sender_distance = new_dist,
+                         .corrupted = false,
+                         .decodable = decodable};
+      for (Reception& ongoing : rx.receptions) {
+        if (new_dist > ongoing.sender_distance * cfg_.capture_ratio) {
+          incoming.corrupted = true;
+        }
+        if (ongoing.sender_distance > new_dist * cfg_.capture_ratio) {
+          ongoing.corrupted = true;
+        }
       }
+      rx.receptions.push_back(incoming);
+      out.push_back(ridx);
     }
-    rx.receptions.push_back(incoming);
-    receivers.push_back(ridx);
+    shard_half_duplex_[shard] = half_duplex;
+  };
+
+  if (shards_ && cands.size() >= cfg_.shard_min_candidates) {
+    shards_->run(cands.size(), classify);
+  } else {
+    classify(0, cands.size(), 0);
+    for (std::size_t s = 1; s < shard_receivers_.size(); ++s) {
+      shard_receivers_[s].clear();
+      shard_half_duplex_[s] = 0;
+    }
+  }
+
+  // Merge per-shard partials in shard order: shards cover contiguous,
+  // ascending candidate ranges, so concatenation reproduces the serial
+  // receiver order exactly.
+  std::vector<Index> receivers = receiver_pool_.acquire();
+  for (std::size_t s = 0; s < shard_receivers_.size(); ++s) {
+    std::vector<Index>& part = shard_receivers_[s];
+    receivers.insert(receivers.end(), part.begin(), part.end());
+    part.clear();
+    stats_.losses_half_duplex += shard_half_duplex_[s];
+    shard_half_duplex_[s] = 0;
   }
 
   // One completion event per transmission, iterating receivers in candidate
   // (registration) order — the same per-receiver sequence the historical
   // per-receiver events produced, since those carried consecutive sequence
-  // numbers at the identical timestamp.
+  // numbers at the identical timestamp. The receiver list returns to the
+  // pool once delivered.
   if (!receivers.empty()) {
     sim_.schedule_at(
-        st.tx_end,
-        [this, recv = std::move(receivers), fr = std::move(frame), tx_seq] {
+        tx_end_[idx],
+        [this, recv = std::move(receivers), fr = std::move(frame),
+         tx_seq]() mutable {
           for (Index ridx : recv) finish_reception(ridx, tx_seq, fr);
+          receiver_pool_.release(std::move(recv));
         });
+  } else {
+    receiver_pool_.release(std::move(receivers));
   }
 
-  sim_.schedule_at(st.tx_end, [this, idx] { finish_transmission(idx); });
+  sim_.schedule_at(tx_end_[idx], [this, idx] { finish_transmission(idx); });
 }
 
 void RadioMedium::finish_transmission(Index idx) {
-  NodeState& sender = states_[idx];
-  sender.transmitting = false;
+  tx_active_[idx] = 0;
   auto it = std::find(transmitting_.begin(), transmitting_.end(), idx);
   PDS_ENSURE(it != transmitting_.end());
   *it = transmitting_.back();
@@ -407,7 +509,7 @@ void RadioMedium::finish_reception(Index ridx, std::uint64_t tx_seq,
   const Reception rec = *it;
   rx.receptions.erase(it);
 
-  if (!rx.enabled || !rec.decodable) return;
+  if (enabled_[ridx] == 0 || !rec.decodable) return;
   if (rec.corrupted) {
     ++stats_.losses_collision;
     PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), rx.id, "radio", "collision",

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -29,9 +30,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/position.h"
+#include "sim/shard_executor.h"
 #include "sim/simulator.h"
 
 namespace pds::obs {
@@ -114,12 +117,23 @@ struct RadioConfig {
   double capture_ratio = 0.6;
 
   // When true (default), delivery fan-out, carrier sensing and neighbors()
-  // use the spatial hash grid / active-transmitter index and visit only
-  // nearby nodes. When false, every query scans the whole fleet — the
-  // original O(N) reference path, kept for determinism regression tests and
-  // as the perf baseline. Both paths produce bit-identical results for the
-  // same seed (DESIGN.md §"Spatial index").
+  // use the spatial grid / active-transmitter index and visit only nearby
+  // nodes. When false, every query scans the whole fleet — the original O(N)
+  // reference path, kept for determinism regression tests and as the perf
+  // baseline. Both paths produce bit-identical results for the same seed
+  // (DESIGN.md §"Spatial index").
   bool use_spatial_grid = true;
+
+  // Deterministic intra-run parallelism: total threads (including the sim
+  // thread) classifying delivery fan-out for large candidate sets. The
+  // sharded phase consumes no RNG, writes only receiver-private state plus
+  // per-shard partials, and partials merge in fixed shard order, so results
+  // are byte-identical for any value (DESIGN.md §13; trace_determinism_test
+  // asserts 1/2/8 agree). 1 = serial.
+  int shard_threads = 1;
+  // Fan-outs below this stay serial even when shard_threads > 1: waking the
+  // worker pool costs more than scanning a small candidate list.
+  std::size_t shard_min_candidates = 192;
 };
 
 // Calibrated radio environments.
@@ -258,16 +272,17 @@ class RadioMedium {
     bool decodable = true;
   };
 
+  // Cold / medium-rate per-node state. The fields every neighbor query and
+  // fan-out classification touches (position, enabled, transmitting,
+  // tx deadline, grid links) live in parallel arrays below instead — a
+  // structure-of-arrays layout that keeps a 50k-node sweep cache-resident
+  // where an array of these structs would drag the deque and reception
+  // vectors through the cache line by line.
   struct NodeState {
     NodeId id;
     FrameSink* sink = nullptr;
-    Vec2 pos;
-    std::uint64_t cell = 0;  // spatial-grid cell key currently occupying
-    bool enabled = true;
     std::deque<Frame> os_queue;
     std::size_t os_bytes = 0;
-    bool transmitting = false;
-    SimTime tx_end = SimTime::zero();
     bool attempt_scheduled = false;
     std::vector<Reception> receptions;
     RadioActivity activity;
@@ -296,11 +311,37 @@ class RadioMedium {
                                            : 1.5 * cfg_.range_m;
   }
 
-  // -- Spatial hash grid ------------------------------------------------------
-  [[nodiscard]] std::uint64_t cell_key(Vec2 pos) const;
-  void grid_insert(Index idx, std::uint64_t key);
-  void grid_remove(Index idx, std::uint64_t key);
-  // Indices of all nodes other than `self` whose grid cell intersects the
+  // -- Two-level spatial grid -------------------------------------------------
+  // Fine cells are interference-range-sized (a radius query is a 3×3 fine
+  // scan); 8×8 fine cells group into one coarse cell so a query resolves in
+  // at most four hash lookups instead of nine, and each hit walks intrusive
+  // per-fine-cell linked lists threaded through the node index arrays — no
+  // per-cell vectors, O(1) pointer-splice moves, and the whole occupancy
+  // structure recycles through a pool as nodes churn.
+  static constexpr std::int32_t kCoarseShift = 3;  // 8×8 fine per coarse
+  static constexpr std::int32_t kCoarseSpan = 1 << kCoarseShift;
+  struct CoarseCell {
+    // Head of the intrusive node list per fine sub-cell; -1 = empty.
+    std::array<std::int32_t, kCoarseSpan * kCoarseSpan> heads;
+    std::uint32_t count = 0;  // nodes across all sub-cells
+    CoarseCell() { heads.fill(-1); }
+  };
+
+  [[nodiscard]] std::int32_t fine_coord(double v) const;
+  [[nodiscard]] static std::uint64_t coarse_key(std::int32_t cx,
+                                                std::int32_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+  [[nodiscard]] static std::size_t sub_cell(std::int32_t fx, std::int32_t fy) {
+    // Low bits of the fine coords index within the coarse cell; & works for
+    // negatives the same way >> groups them (two's complement low bits).
+    return static_cast<std::size_t>(((fy & (kCoarseSpan - 1)) << kCoarseShift) |
+                                    (fx & (kCoarseSpan - 1)));
+  }
+  void grid_insert(Index idx);
+  void grid_remove(Index idx);
+  // Indices of all nodes other than `self` whose fine cell intersects the
   // disk (pos, radius) — a superset of the nodes actually within `radius` —
   // sorted by registration index so callers iterate in the same order as a
   // full registration-order scan. Falls back to "everyone but self" when the
@@ -325,13 +366,39 @@ class RadioMedium {
   double cell_size_m_ = 0.0;
   std::vector<NodeState> states_;  // dense, in registration order
   std::unordered_map<NodeId, Index> index_of_;
-  // cell key -> registration indices of nodes currently in that cell
-  // (unsorted; candidates_near sorts its gathered superset).
-  std::unordered_map<std::uint64_t, std::vector<Index>> grid_;
+
+  // -- Hot per-node state, structure-of-arrays (parallel to states_) ---------
+  std::vector<Vec2> pos_;
+  std::vector<std::uint8_t> enabled_;
+  std::vector<std::uint8_t> tx_active_;  // frame on the air right now
+  std::vector<SimTime> tx_end_;
+  std::vector<std::int32_t> cell_fx_;  // fine grid cell currently occupied
+  std::vector<std::int32_t> cell_fy_;
+  // Intrusive doubly-linked occupancy lists (indices into the arrays; -1
+  // terminates). grid_prev_ lets grid_remove splice in O(1).
+  std::vector<std::int32_t> grid_next_;
+  std::vector<std::int32_t> grid_prev_;
+
+  // coarse cell key -> slot in coarse_cells_; empty cells return to
+  // coarse_free_ so mobility churn stops allocating once warm.
+  std::unordered_map<std::uint64_t, std::uint32_t> coarse_map_;
+  std::vector<CoarseCell> coarse_cells_;
+  std::vector<std::uint32_t> coarse_free_;
+
   // Nodes with a frame on the air right now; carrier sensing only ever asks
   // about these, so scanning this list replaces the O(N) busy scans.
   std::vector<Index> transmitting_;
   mutable std::vector<Index> scratch_;  // candidate buffer, reused per query
+
+  // -- Sharded fan-out classification (cfg_.shard_threads > 1) ---------------
+  std::unique_ptr<ShardExecutor> shards_;
+  // Per-shard partials, merged in shard order after every sharded phase.
+  std::vector<std::vector<Index>> shard_receivers_;
+  std::vector<std::uint64_t> shard_half_duplex_;
+  // Recycles the merged receiver list each transmission carries into its
+  // completion event.
+  VectorPool<Index> receiver_pool_;
+
   // Scripted per-pair loss overrides, keyed by pair_key (symmetric).
   std::unordered_map<std::uint64_t, double> pair_loss_;
   MediumStats stats_;

@@ -1,0 +1,75 @@
+#include "sim/shard_executor.h"
+
+#include "common/assert.h"
+
+namespace pds::sim {
+
+ShardExecutor::ShardExecutor(int threads) : shards_(threads) {
+  PDS_ENSURE(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int w = 1; w < threads; ++w) {
+    workers_.emplace_back(
+        [this, w] { worker_loop(static_cast<std::size_t>(w)); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardExecutor::run(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const auto total = static_cast<std::size_t>(shards_);
+  if (total == 1 || n == 0) {
+    fn(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_n_ = n;
+    job_ = &fn;
+    pending_ = total - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // Shard 0 runs inline on the simulation thread.
+  fn(0, n / total, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ShardExecutor::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* job =
+        nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(
+          lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+      n = job_n_;
+    }
+    const auto total = static_cast<std::size_t>(shards_);
+    const std::size_t begin = worker_index * n / total;
+    const std::size_t end = (worker_index + 1) * n / total;
+    (*job)(begin, end, worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace pds::sim

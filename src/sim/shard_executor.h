@@ -1,0 +1,64 @@
+// Deterministic intra-run parallelism for the simulator's RNG-free phases.
+//
+// ShardExecutor runs one job over [0, n) split into `shards()` contiguous
+// ranges — shard 0 on the calling thread, the rest on persistent workers —
+// and returns only when every shard has finished (a conservative lockstep
+// window: the simulator never advances while shards are in flight).
+//
+// Determinism argument (DESIGN.md §13): a phase may be sharded only if each
+// item's work (a) consumes no RNG, (b) writes only item-private state plus
+// per-shard partials, and (c) per-shard partials are merged by the caller in
+// fixed shard order (0, 1, ..., S-1). Under those rules the merged result is
+// identical to the serial loop for *any* shard count — byte-identical
+// traces, stats and BENCH JSON across 1, 2 or 8 threads, which
+// trace_determinism_test asserts and the TSan CI job watches for races.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pds::sim {
+
+class ShardExecutor {
+ public:
+  // `threads` is the total shard count including the calling thread;
+  // `threads - 1` persistent workers are spawned. Must be >= 1.
+  explicit ShardExecutor(int threads);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  [[nodiscard]] int shards() const { return shards_; }
+
+  // Invokes fn(begin, end, shard) for every shard's contiguous range of
+  // [0, n); blocks until all shards complete. fn must follow the
+  // determinism rules above. Ranges are a fixed function of (n, shards()):
+  // shard s gets [s*n/S, (s+1)*n/S).
+  void run(std::size_t n,
+           const std::function<void(std::size_t, std::size_t, std::size_t)>&
+               fn);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  int shards_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  // Job state, all guarded by mu_.
+  std::uint64_t generation_ = 0;
+  std::size_t job_n_ = 0;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* job_ =
+      nullptr;
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pds::sim

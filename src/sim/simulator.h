@@ -17,7 +17,9 @@ namespace pds::sim {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed) : rng_(seed) {
+  explicit Simulator(std::uint64_t seed,
+                     SchedulerKind scheduler = SchedulerKind::kCalendar)
+      : queue_(scheduler), rng_(seed) {
     push_sim_clock(&now_);
   }
   ~Simulator() { pop_sim_clock(); }
@@ -47,6 +49,7 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const {
     return events_executed_;
   }
+  [[nodiscard]] SchedulerKind scheduler() const { return queue_.kind(); }
 
  private:
   SimTime now_ = SimTime::zero();

@@ -67,6 +67,7 @@ PddOutcome run_pdd_grid(const PddGridParams& params) {
   setup.nx = params.nx;
   setup.ny = params.ny;
   setup.radio = params.radio;
+  setup.scheduler = params.scheduler;
   setup.pds = pds;
   Grid grid = make_grid(setup, params.seed);
   Scenario& sc = *grid.scenario;
@@ -125,6 +126,7 @@ PddOutcome run_pdd_grid(const PddGridParams& params) {
   out.latency_s = mean(out.per_consumer_latency_s);
   out.rounds = mean(rounds);
   out.overhead_mb = sc.overhead_mb();
+  out.events_executed = sc.sim().events_executed();
   return out;
 }
 
@@ -168,6 +170,7 @@ PddOutcome run_pdd_mobility(const PddMobilityParams& params) {
   out.per_consumer_latency_s = {out.latency_s};
   out.per_consumer_rounds = {round_timeline(*session)};
   out.overhead_mb = sc.overhead_mb();
+  out.events_executed = sc.sim().events_executed();
   return out;
 }
 
@@ -217,6 +220,11 @@ RetrievalOutcome run_retrieval_grid(const RetrievalGridParams& params) {
   setup.ny = params.ny;
   setup.radio = params.contended_medium ? sim::contended_radio_profile()
                                         : sim::clean_radio_profile();
+  // Mechanical knobs (index/parallelism choices that never change outcomes)
+  // come from the caller's radio config; the physics stays profile-driven.
+  setup.radio.use_spatial_grid = params.radio.use_spatial_grid;
+  setup.radio.shard_threads = params.radio.shard_threads;
+  setup.scheduler = params.scheduler;
   setup.pds = params.pds;
   Grid grid = make_grid(setup, params.seed);
   Scenario& sc = *grid.scenario;
@@ -265,6 +273,7 @@ RetrievalOutcome run_retrieval_grid(const RetrievalGridParams& params) {
   for (const core::PdrSession* s : pdr_sessions) {
     out.per_consumer_chunk_arrival_s.push_back(chunk_timeline(s));
   }
+  out.events_executed = sc.sim().events_executed();
   return out;
 }
 
@@ -310,11 +319,12 @@ RetrievalOutcome run_retrieval_mobility(
   sc.run_until(params.horizon);
   RetrievalOutcome out = collect_retrieval(sc, total_chunks, results, finished);
   out.per_consumer_chunk_arrival_s.push_back(chunk_timeline(pdr_session));
+  out.events_executed = sc.sim().events_executed();
   return out;
 }
 
 SingleHopOutcome run_single_hop(const SingleHopParams& params) {
-  sim::Simulator sim(params.seed);
+  sim::Simulator sim(params.seed, params.scheduler);
   sim::RadioConfig radio;
   radio.range_m = 50.0;  // everyone in range: a single-hop cell
   sim::RadioMedium medium(sim, radio);

@@ -37,6 +37,8 @@ struct PddGridParams {
   // Radio profile (range is still taken from the grid geometry); lets tests
   // flip e.g. use_spatial_grid while holding everything else fixed.
   sim::RadioConfig radio;
+  // Event scheduler; kHeap is the bit-identical oracle (sim/event_queue.h).
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(180.0);
   // Optional structured-event tracer attached to the run's simulator (owned
@@ -65,6 +67,9 @@ struct PddOutcome {
   double overhead_mb = 0.0;
   double rounds = 0.0;  // mean over consumers
   bool all_finished = false;
+  // Simulator events executed by the run — the denominator for events/sec
+  // in scale benches. Deterministic for a given (params, seed).
+  std::uint64_t events_executed = 0;
   std::vector<double> per_consumer_recall;
   std::vector<double> per_consumer_latency_s;
   // Per-consumer round timelines (the paper's per-round recall curves,
@@ -105,6 +110,10 @@ struct RetrievalGridParams {
   // Retrieval experiments default to the clean radio profile (see
   // sim/radio.h on the paper's two regimes).
   bool contended_medium = false;
+  // Lets scale benches flip radio knobs (spatial grid, shard threads) while
+  // holding the retrieval workload fixed; range still comes from geometry.
+  sim::RadioConfig radio;
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
   core::PdsConfig pds;
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(900.0);
@@ -117,6 +126,7 @@ struct RetrievalOutcome {
   double latency_s = 0.0;
   double overhead_mb = 0.0;
   bool all_complete = false;
+  std::uint64_t events_executed = 0;  // see PddOutcome::events_executed
   std::vector<double> per_consumer_recall;
   std::vector<double> per_consumer_latency_s;
   // Per-consumer chunk arrival times (seconds since run start, sorted) —
@@ -160,6 +170,7 @@ struct SingleHopParams {
   double leak_rate_bps = 4.5e6;
   SimTime retr_timeout = SimTime::millis(200);
   int max_retransmissions = 4;
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(120.0);
 };

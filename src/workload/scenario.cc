@@ -63,7 +63,7 @@ Grid make_grid(const GridSetup& setup, std::uint64_t seed) {
   Grid grid;
   grid.nx = setup.nx;
   grid.ny = setup.ny;
-  grid.scenario = std::make_unique<Scenario>(seed, radio);
+  grid.scenario = std::make_unique<Scenario>(seed, radio, setup.scheduler);
   const std::vector<sim::Vec2> positions =
       sim::grid_positions(setup.nx, setup.ny, spacing);
   for (std::size_t i = 0; i < positions.size(); ++i) {
@@ -130,7 +130,7 @@ MobileWorld make_mobile_world(const MobilitySetup& setup, std::uint64_t seed) {
   if (pinned_interference) radio.interference_range_m = setup.range_m;
 
   MobileWorld world;
-  world.scenario = std::make_unique<Scenario>(seed, radio);
+  world.scenario = std::make_unique<Scenario>(seed, radio, setup.scheduler);
   Scenario& sc = *world.scenario;
 
   const std::size_t pool_size =

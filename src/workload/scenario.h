@@ -24,8 +24,9 @@ namespace pds::wl {
 
 class Scenario {
  public:
-  Scenario(std::uint64_t seed, sim::RadioConfig radio)
-      : sim_(seed), medium_(sim_, radio) {}
+  Scenario(std::uint64_t seed, sim::RadioConfig radio,
+           sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar)
+      : sim_(seed, scheduler), medium_(sim_, radio) {}
 
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
@@ -84,6 +85,10 @@ struct GridSetup {
   double range_m = 15.0;
   sim::RadioConfig radio;  // range_m is overwritten from the field above
   core::PdsConfig pds;
+  // Event scheduler for the scenario's Simulator. kHeap is the oracle: for
+  // any seed both kinds produce bit-identical traces and outcomes
+  // (trace_determinism_test), so experiments may flip this freely.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
 };
 
 struct Grid {
@@ -115,6 +120,7 @@ struct MobilitySetup {
   core::PdsConfig pds;
   std::size_t churn_pool_extra = 30;  // reserve nodes for joins
   std::size_t pinned_consumers = 1;
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
   // Uniform-random placement occasionally partitions the arena; real crowds
   // (the paper observed actual people) form one connected cluster. When
   // set, placements are re-drawn until the initially present nodes form a

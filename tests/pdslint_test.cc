@@ -100,6 +100,27 @@ TEST(PdslintRules, WallClockWhitelistedForTimingBenches) {
   EXPECT_EQ(count_rule(run(src, "bench/fig03_singlehop.cc"), "wall-clock"), 1);
 }
 
+TEST(PdslintRules, DetectsAmbientParallelism) {
+  const auto fs = run(
+      "#include <thread>\n"
+      "unsigned pool_size() {\n"
+      "  return std::thread::hardware_concurrency();\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "ambient-parallelism"), 1);
+}
+
+TEST(PdslintRules, AmbientParallelismWhitelistedForJobsHelper) {
+  const std::string src =
+      "#include <thread>\n"
+      "unsigned hc = std::thread::hardware_concurrency();\n";
+  EXPECT_EQ(count_rule(run(src, "bench/parallel_runs.h"),
+                       "ambient-parallelism"),
+            0);
+  EXPECT_EQ(count_rule(run(src, "src/sim/shard_executor.cc"),
+                       "ambient-parallelism"),
+            1);
+}
+
 TEST(PdslintRules, MemberTimeCallsAreNotTheCLibrary) {
   const auto fs = run(
       "double at(const Event& e) { return e.time(); }\n"

@@ -107,6 +107,71 @@ TEST(TraceDeterminism, NdjsonBytesIdenticalUnderParallelJobs) {
   }
 }
 
+// -- Scheduler implementations -----------------------------------------------
+// The calendar queue and the binary-heap oracle must be interchangeable at
+// the level of whole experiments: same seed, same workload, byte-identical
+// trace streams (equal-timestamp events pop in identical order).
+
+TEST(TraceDeterminism, NdjsonBytesIdenticalAcrossSchedulerKinds) {
+  obs::Tracer calendar(0);
+  {
+    PddGridParams p = small_pdd(13, &calendar);
+    p.scheduler = sim::SchedulerKind::kCalendar;
+    (void)run_pdd_grid(p);
+  }
+  obs::Tracer heap(0);
+  {
+    PddGridParams p = small_pdd(13, &heap);
+    p.scheduler = sim::SchedulerKind::kHeap;
+    (void)run_pdd_grid(p);
+  }
+  EXPECT_FALSE(calendar.events().empty());
+  EXPECT_EQ(calendar.ndjson(), heap.ndjson());
+}
+
+TEST(TraceDeterminism, PdrOutcomeBitIdenticalAcrossSchedulerKinds) {
+  RetrievalGridParams p;
+  p.nx = p.ny = 4;
+  p.item_size_bytes = 2u * 1024 * 1024;
+  p.seed = 9;
+  p.scheduler = sim::SchedulerKind::kCalendar;
+  const RetrievalOutcome calendar = run_retrieval_grid(p);
+  p.scheduler = sim::SchedulerKind::kHeap;
+  const RetrievalOutcome heap = run_retrieval_grid(p);
+  EXPECT_EQ(calendar.recall, heap.recall);
+  EXPECT_EQ(calendar.latency_s, heap.latency_s);
+  EXPECT_EQ(calendar.overhead_mb, heap.overhead_mb);
+  EXPECT_EQ(calendar.per_consumer_chunk_arrival_s,
+            heap.per_consumer_chunk_arrival_s);
+}
+
+// -- Sharded fan-out classification ------------------------------------------
+// Deterministic intra-run parallelism (RadioConfig::shard_threads): the
+// sharded phase consumes no RNG and merges per-shard partials in fixed
+// shard order, so any thread count must yield byte-identical traces. The
+// threshold is forced to zero so even this small topology exercises the
+// worker pool on every transmission.
+
+std::string sharded_ndjson(std::uint64_t seed, int threads) {
+  obs::Tracer tracer(0);
+  PddGridParams p = small_pdd(seed, &tracer);
+  p.radio.shard_threads = threads;
+  p.radio.shard_min_candidates = 0;
+  (void)run_pdd_grid(p);
+  EXPECT_FALSE(tracer.events().empty());
+  return tracer.ndjson();
+}
+
+TEST(TraceDeterminism, NdjsonBytesIdenticalAcrossShardThreadCounts) {
+  for (const std::uint64_t seed : {21u, 22u}) {
+    const std::string one = sharded_ndjson(seed, 1);
+    const std::string two = sharded_ndjson(seed, 2);
+    const std::string eight = sharded_ndjson(seed, 8);
+    EXPECT_EQ(one, two) << "seed " << seed;
+    EXPECT_EQ(one, eight) << "seed " << seed;
+  }
+}
+
 // -- Fault schedules ---------------------------------------------------------
 // A faulted run is exactly as deterministic as a clean one: same seed +
 // same schedule must give byte-identical trace streams and report JSON,

@@ -80,6 +80,10 @@ inline constexpr RuleSpec kRules[] = {
     {"pointer-order", Severity::kError,
      "cross-run determinism: pointer values change with ASLR, so ordering "
      "or hashing by pointer yields a different order every run"},
+    {"ambient-parallelism", Severity::kError,
+     "thread-count independence: same-seed runs are byte-identical on any "
+     "machine, so worker counts come from explicit config (PDS_BENCH_JOBS, "
+     "RadioConfig::shard_threads), never from probing the host"},
     {"uninit-field", Severity::kWarning,
      "wire correctness: codec/message scalar fields need default member "
      "initializers so partially-filled messages encode deterministically"},
@@ -135,6 +139,9 @@ inline constexpr TokenRule kBannedTokens[] = {
      "time() reads wall time; use sim::SimClock"},
     {"wall-clock", "clock", true,
      "clock() reads CPU time; use sim::SimClock"},
+    {"ambient-parallelism", "hardware_concurrency", true,
+     "std::thread::hardware_concurrency() keys behavior on the host; plumb "
+     "an explicit thread count instead"},
 };
 
 // Per-rule file whitelist (path-suffix match on the repo-relative path).
@@ -148,6 +155,10 @@ struct FileAllowEntry {
 inline constexpr FileAllowEntry kFileAllowlist[] = {
     {"wall-clock", "bench/micro_primitives.cc"},
     {"wall-clock", "bench/perf_radio.cc"},
+    {"wall-clock", "bench/tab_scale.cc"},
+    // The one sanctioned probe: PDS_BENCH_JOBS's default. Worker counts
+    // parallelise identical per-seed work; merge order stays fixed.
+    {"ambient-parallelism", "bench/parallel_runs.h"},
 };
 
 // unordered-iter fires only in determinism-sensitive files: ones that emit

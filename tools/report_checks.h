@@ -601,6 +601,44 @@ inline std::vector<GateFailure> run_gates(const ParsedReport& rep) {
         gate.fail("speedup-positive", "non-positive speedup for " + p->key());
       }
     }
+  } else if (e == "scale") {
+    // City-scale sweep (bench/tab_scale.cc). The determinism claims are
+    // absolute: the calendar queue and the sharded radio are pure
+    // optimisations, so the oracle and every shard row must report
+    // bit-identical outcomes.
+    const auto bit_identical = [&](const char* section,
+                                   const char* assertion) {
+      const auto pts = rep.section(section);
+      if (pts.empty()) {
+        gate.fail(assertion, std::string("no points in section ") + section);
+        return;
+      }
+      for (const ReportPoint* p : pts) {
+        const JsonValue* identical = p->param("identical");
+        if (identical == nullptr ||
+            identical->type != JsonValue::Type::kBool ||
+            !identical->boolean) {
+          gate.fail(assertion, "identical not true for " + p->key());
+        }
+      }
+    };
+    bit_identical("oracle", "calendar-matches-heap-oracle");
+    bit_identical("shards", "outcome-independent-of-shard-threads");
+    // Perf floors are loose (an order below a Release build on CI
+    // hardware) — they catch collapses, not noise; CI layers stricter
+    // env-driven floors on the bench binary itself.
+    const auto scheduler = rep.section("scheduler");
+    gate.floor(scheduler, "speedup", 2.0, "calendar-beats-heap");
+    const auto scenarios = rep.section("scenarios");
+    gate.floor(scenarios, "pdd.events_per_s", 20'000.0,
+               "pdd-events-per-sec-floor");
+    gate.floor(scenarios, "pdr.events_per_s", 20'000.0,
+               "pdr-events-per-sec-floor");
+    // Pervasive-caching workload: discovery and retrieval both complete at
+    // every grid size; a recall drop at scale means the sim core (not the
+    // protocol) broke under load.
+    gate.floor(scenarios, "pdd.recall", 0.95, "pdd-recall-at-scale");
+    gate.floor(scenarios, "pdr.recall", 0.95, "pdr-recall-at-scale");
   }
   // Experiments without assertions (micro_primitives) pass vacuously.
   return failures;
