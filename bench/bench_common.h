@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "parallel_runs.h"
+#include "tools/trace_causal.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -68,6 +71,66 @@ inline obs::Report make_report(const char* experiment, const char* title,
   options.runs = n;
   options.jobs = jobs();
   return obs::Report(std::move(options));
+}
+
+// Causal-trace capture for one representative run (DESIGN.md §14): an
+// unbounded tracer (drops would invalidate the span DAG and fail the
+// causal gate) that benches attach to a single run — usually seed index 0 —
+// and then fold into the report's "causal" section via add_causal_point().
+// Tracing never perturbs outcomes, so the traced run's metrics are
+// bit-identical to an untraced one; the capture only *adds* columns.
+class CausalCapture {
+ public:
+  CausalCapture() : tracer_(/*capacity=*/0) {}
+
+  [[nodiscard]] obs::Tracer* tracer() { return &tracer_; }
+  void clear() { tracer_.clear(); }
+
+  // Reconstructs the captured span DAG through the same NDJSON round-trip
+  // `pdscli trace critpath` uses, so bench columns can never drift from the
+  // CLI's numbers.
+  [[nodiscard]] tools::CausalReport analyze() const {
+    std::stringstream ss;
+    tracer_.write_ndjson(ss);
+    std::size_t bad_line = 0;
+    const std::vector<tools::ParsedEvent> events =
+        tools::read_trace(ss, bad_line);
+    return tools::analyze_causal(events);
+  }
+
+ private:
+  obs::Tracer tracer_;
+};
+
+// The trace-wide dominant edge class: the class winning the most per-trace
+// "longest edge" votes (ties break lexicographically via map order).
+inline std::string dominant_edge_class(const tools::CausalReport& causal) {
+  std::string best = "none";
+  int best_count = 0;
+  for (const auto& [cls, count] : causal.dominant_edges) {
+    if (count > best_count) {
+      best = cls;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+// Appends the causal health + critical-path statistics point for one
+// captured run to the report's current section (callers begin_table/
+// begin_section "causal" first and may prepend identifying params).
+inline obs::Report::Point& add_causal_point(
+    obs::Report::Point& point, const tools::CausalReport& causal) {
+  return point.param("dominant_edge", dominant_edge_class(causal))
+      .metric("traces", static_cast<std::int64_t>(causal.traces.size()))
+      .metric("with_path",
+              static_cast<std::int64_t>(causal.traces_with_path))
+      .metric("orphans", static_cast<std::int64_t>(causal.total_orphans))
+      .metric("dropped", static_cast<std::int64_t>(causal.dropped_events))
+      .metric("cp_hops_p50", causal.cp_hops_p50, 1)
+      .metric("cp_hops_p99", causal.cp_hops_p99, 1)
+      .metric("cp_len_ms_p50", causal.cp_len_us_p50 / 1e3, 1)
+      .metric("cp_len_ms_p99", causal.cp_len_us_p99 / 1e3, 1);
 }
 
 // Writes BENCH_<experiment>.json, announcing on *stderr* so the stdout

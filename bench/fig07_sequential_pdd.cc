@@ -22,8 +22,12 @@ int run() {
   std::vector<util::SampleSet> recall(consumers);
   std::vector<util::SampleSet> latency(consumers);
   util::SampleSet overhead;
+  // Causal capture rides the first (deterministic, seed 1) run only; tracing
+  // never perturbs outcomes, so that run's metrics still average in as-is.
+  bench::CausalCapture capture;
   const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
     wl::PddGridParams p;
+    p.tracer = r == 0 ? capture.tracer() : nullptr;
     p.metadata_count = 5000;
     p.consumers = consumers;
     p.sequential = true;
@@ -73,6 +77,20 @@ int run() {
           .hidden_metric("start_s", rec.start_s)
           .hidden_metric("responses", static_cast<double>(rec.responses));
     }
+  }
+  report.print_table();
+
+  // Causal span-DAG health + critical-path shape for the traced run
+  // (DESIGN.md §14); the orphans/dropped columns are gated to zero.
+  const tools::CausalReport causal = capture.analyze();
+  std::printf("\ncausal critical paths (seed 1):\n");
+  report.begin_table("causal",
+                     {"dominant edge", "traces", "with path", "orphans",
+                      "dropped", "cp hops p50", "cp hops p99",
+                      "cp len p50 (ms)", "cp len p99 (ms)"});
+  {
+    obs::Report::Point& point = report.point();
+    bench::add_causal_point(point, causal);
   }
   report.print_table();
 

@@ -22,6 +22,17 @@ int run() {
       "~linear growth, ~2x PDR at 5 copies", n_runs);
   report.set_param("item_size_mb", 20);
 
+  // One causal capture per (redundancy, method) cell, riding each cell's
+  // first seed; the causal section below restates the figure as critical
+  // paths — with more copies the nearest holder is closer, so PDR's paths
+  // shrink while MDR keeps flooding duplicates down long reverse paths.
+  struct CellCausal {
+    int redundancy;
+    const char* method;
+    tools::CausalReport causal;
+  };
+  std::vector<CellCausal> cells;
+
   report.begin_table("main", {"redundancy", "method", "recall", "latency (s)",
                               "overhead (MB)"});
   for (const int redundancy : {1, 2, 3, 4, 5}) {
@@ -30,8 +41,10 @@ int run() {
       util::SampleSet recall;
       util::SampleSet latency;
       util::SampleSet overhead;
+      bench::CausalCapture capture;
       const auto outs = bench::run_indexed(n_runs, [&](int r) {
         wl::RetrievalGridParams p;
+        p.tracer = r == 0 ? capture.tracer() : nullptr;
         p.item_size_bytes = 20u * 1024 * 1024;
         p.redundancy = redundancy;
         p.method = method;
@@ -43,14 +56,30 @@ int run() {
         latency.add(out.latency_s);
         overhead.add(out.overhead_mb);
       }
+      const char* method_name =
+          method == wl::RetrievalMethod::kPdr ? "PDR" : "MDR";
       report.point()
           .param("redundancy", static_cast<std::int64_t>(redundancy))
-          .param("method",
-                 method == wl::RetrievalMethod::kPdr ? "PDR" : "MDR")
+          .param("method", method_name)
           .metric("recall", recall, 3)
           .metric("latency_s", latency, 1)
           .metric("overhead_mb", overhead, 1);
+      cells.push_back({redundancy, method_name, capture.analyze()});
     }
+  }
+  report.print_table();
+
+  std::printf("\ncausal critical paths (first seed per cell):\n");
+  report.begin_table("causal",
+                     {"redundancy", "method", "dominant edge", "traces",
+                      "with path", "orphans", "dropped", "cp hops p50",
+                      "cp hops p99", "cp len p50 (ms)", "cp len p99 (ms)"});
+  for (const CellCausal& cell : cells) {
+    obs::Report::Point& point =
+        report.point()
+            .param("redundancy", static_cast<std::int64_t>(cell.redundancy))
+            .param("method", cell.method);
+    bench::add_causal_point(point, cell.causal);
   }
   report.print_table();
   return bench::finish(report);

@@ -24,8 +24,12 @@ int run() {
   std::vector<util::SampleSet> recall(consumers);
   std::vector<util::SampleSet> latency(consumers);
   util::SampleSet overhead;
+  // Causal capture rides the first run only (tracing never perturbs
+  // outcomes); its span DAG feeds the "causal" section below.
+  bench::CausalCapture capture;
   const auto outs = bench::run_indexed(n_runs, [&](int r) {
     wl::RetrievalGridParams p;
+    p.tracer = r == 0 ? capture.tracer() : nullptr;
     p.item_size_bytes = 20u * 1024 * 1024;
     p.consumers = consumers;
     p.sequential = true;
@@ -54,6 +58,21 @@ int run() {
               overhead.mean());
   report.begin_section("summary");
   report.point().hidden_metric("overhead_mb", overhead);
+
+  // Causal span-DAG health + critical-path shape (DESIGN.md §14): chunk
+  // caching along earlier consumers' reverse paths should show up as short
+  // critical paths for later retrievals.
+  const tools::CausalReport causal = capture.analyze();
+  std::printf("\ncausal critical paths (seed 1):\n");
+  report.begin_table("causal",
+                     {"dominant edge", "traces", "with path", "orphans",
+                      "dropped", "cp hops p50", "cp hops p99",
+                      "cp len p50 (ms)", "cp len p99 (ms)"});
+  {
+    obs::Report::Point& point = report.point();
+    bench::add_causal_point(point, causal);
+  }
+  report.print_table();
   return bench::finish(report);
 }
 

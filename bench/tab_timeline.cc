@@ -5,6 +5,7 @@
 // behind it — the bulk arrives early, the tail (loss recovery, later rounds)
 // dominates the headline latency.
 #include <algorithm>
+#include <utility>
 
 #include "bench_common.h"
 #include "workload/generator.h"
@@ -37,11 +38,16 @@ int run() {
       "(supplementary; paper reports only the final-arrival latency)");
   report.set_param("seed", 1);
 
+  tools::CausalReport pdd_causal;
+  tools::CausalReport pdr_causal;
+
   {
     core::PdsConfig pds;
     wl::GridSetup setup;
     setup.pds = pds;
     wl::Grid grid = wl::make_grid(setup, 1);
+    bench::CausalCapture capture;
+    grid.scenario->set_tracer(capture.tracer());
     Rng rng(11);
     auto entries = wl::make_sample_descriptors(5000, wl::SampleSpace{}, rng);
     auto nodes = grid.scenario->nodes();
@@ -49,6 +55,7 @@ int run() {
     const core::DiscoverySession& session = grid.center_node().discover(
         core::Filter{}, [](const core::DiscoverySession::Result&) {});
     grid.scenario->run_until(SimTime::seconds(60));
+    pdd_causal = capture.analyze();
 
     std::printf("PDD, 5,000 entries (final recall %.3f):\n",
                 static_cast<double>(session.arrivals().size()) / 5000.0);
@@ -71,6 +78,8 @@ int run() {
     setup.radio = sim::clean_radio_profile();
     setup.pds = pds;
     wl::Grid grid = wl::make_grid(setup, 1);
+    bench::CausalCapture capture;
+    grid.scenario->set_tracer(capture.tracer());
     Rng rng(13);
     const auto item =
         wl::make_chunked_item("clip", 20u << 20, pds.chunk_size_bytes);
@@ -80,6 +89,7 @@ int run() {
     const core::PdrSession& session = grid.center_node().retrieve(
         item, [](const core::RetrievalResult&) {});
     grid.scenario->run_until(SimTime::seconds(600));
+    pdr_causal = capture.analyze();
 
     std::printf("\nPDR, 20 MB item (%zu/80 chunks):\n",
                 session.chunks().size());
@@ -94,6 +104,22 @@ int run() {
     report.point().hidden_metric(
         "chunks", static_cast<double>(session.chunks().size()));
   }
+
+  // Causal span-DAG health + critical-path shape for both phases
+  // (DESIGN.md §14): the tail the deciles above expose should correspond to
+  // long air/retx-dominated critical paths, not to orphaned spans.
+  std::printf("\ncausal critical paths:\n");
+  report.begin_table("causal",
+                     {"phase", "dominant edge", "traces", "with path",
+                      "orphans", "dropped", "cp hops p50", "cp hops p99",
+                      "cp len p50 (ms)", "cp len p99 (ms)"});
+  const std::pair<const char*, const tools::CausalReport*> phases[] = {
+      {"pdd", &pdd_causal}, {"pdr", &pdr_causal}};
+  for (const auto& [phase, causal] : phases) {
+    obs::Report::Point& point = report.point().param("phase", phase);
+    bench::add_causal_point(point, *causal);
+  }
+  report.print_table();
   return bench::finish(report);
 }
 

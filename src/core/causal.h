@@ -1,0 +1,85 @@
+// Causal span helpers (DESIGN.md §14).
+//
+// Every protocol seam that moves a traced message calls one of these: they
+// allocate a span id from the per-node sequence, emit the matching "causal"
+// trace event, and (for tx) stamp the outgoing message's TraceContext so the
+// next hop can link its recv span back. Span allocation ticks whether or not
+// a tracer is attached — NodeContext::new_span advances on protocol events
+// only — so attaching a tracer never perturbs ids, timing, or wire bytes.
+//
+// Untraced messages (trace_id 0, e.g. unit-test singles) pass through as
+// no-ops: no span is allocated and nothing is emitted, which keeps the
+// behavior a pure function of protocol state, identical across reruns.
+#pragma once
+
+#include <cstdint>
+
+#include "core/context.h"
+#include "obs/trace.h"
+
+namespace pds::core {
+
+// A traced message cleared dedup at this node: allocate its recv span and
+// link it under the sender's tx span. Returns 0 for untraced messages.
+inline std::uint64_t causal_recv(NodeContext& ctx,
+                                 const net::TraceContext& t) {
+  if (!t.valid()) return 0;
+  const std::uint64_t span = ctx.new_span();
+  PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "causal", "recv",
+                    {"trace", t.trace_id}, {"span", span},
+                    {"parent", t.parent_span}, {"hop", t.hop});
+  return span;
+}
+
+// Stamps an outgoing message with a fresh tx span parented on `parent` (the
+// recv/round span on this node that caused the send) and the trace identity
+// inherited from `src`. `hop_delta` is +1 for forwards/relays that move the
+// content one hop further from where `src` put it.
+inline void causal_tx(NodeContext& ctx, net::Message& m,
+                      const net::TraceContext& src, std::uint64_t parent,
+                      int hop_delta = 0) {
+  if (!src.valid()) return;
+  const std::uint64_t span = ctx.new_span();
+  const auto hop = static_cast<std::uint8_t>(src.hop + hop_delta);
+  PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "causal", "tx",
+                    {"trace", src.trace_id}, {"span", span},
+                    {"parent", parent}, {"hop", hop});
+  m.trace = {src.trace_id, span, src.origin, hop};
+}
+
+// A traced response reached the consumer session (or a locally registered
+// query); `parent` is the recv span that carried it here — or, for purely
+// local serves, the tx span of the consumer's own query.
+inline void causal_deliver(NodeContext& ctx, const net::TraceContext& t,
+                           std::uint64_t parent) {
+  if (!t.valid()) return;
+  const std::uint64_t span = ctx.new_span();
+  PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "causal",
+                    "deliver", {"trace", t.trace_id}, {"span", span},
+                    {"parent", parent});
+}
+
+// A stamped traced forward was dropped by flood suppression. `t` is the
+// *outgoing* message's context, so t.parent_span is the tx span allocated
+// when it was stamped — the analyzer sees a tx with a suppress child and no
+// xmit children, i.e. a duplicate-suppressed frame that never hit the air.
+inline void causal_suppress(NodeContext& ctx, const net::TraceContext& t,
+                            const char* reason) {
+  if (!t.valid()) return;
+  const std::uint64_t span = ctx.new_span();
+  PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "causal",
+                    "suppress", {"trace", t.trace_id}, {"span", span},
+                    {"parent", t.parent_span}, {"reason", reason});
+}
+
+// A traced response not addressed to this node was cached opportunistically
+// (the overhearing cache, §V.3) — attribution for "free" cache fills.
+inline void causal_overhear(NodeContext& ctx, const net::TraceContext& t) {
+  if (!t.valid()) return;
+  const std::uint64_t span = ctx.new_span();
+  PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "causal",
+                    "overhear", {"trace", t.trace_id}, {"span", span},
+                    {"parent", t.parent_span});
+}
+
+}  // namespace pds::core

@@ -46,6 +46,17 @@ struct NodeContext {
   // session. Provided by PdsNode.
   std::function<void(QueryId, const net::Message&)> deliver_local;
 
+  // Per-node causal span sequence (DESIGN.md §14). Span ids pack the node id
+  // and a local counter, so they are unique across the whole simulation
+  // without coordination and identical across reruns: the counter advances
+  // only at deterministic protocol events, never from wall-clock or RNG
+  // state, and it ticks whether or not a tracer is attached.
+  std::uint64_t causal_seq = 0;
+
+  [[nodiscard]] std::uint64_t new_span() {
+    return (static_cast<std::uint64_t>(self.value()) + 1) << 40 | ++causal_seq;
+  }
+
   [[nodiscard]] QueryId new_query_id() { return QueryId(rng.next_u64()); }
   [[nodiscard]] ResponseId new_response_id() {
     return ResponseId(rng.next_u64());

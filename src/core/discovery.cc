@@ -75,6 +75,28 @@ void DiscoverySession::start_round() {
   query->expire_at = ctx_.now() + ctx_.config.query_lifetime;
   query->filter = filter_;
 
+  // Causal spans (DESIGN.md §14): the session's trace id is its first query
+  // id (already globally unique and on the wire); span ids tick whether or
+  // not a tracer is attached, so traced and untraced runs stay identical.
+  if (trace_id_ == 0) {
+    trace_id_ = query->query_id.value();
+    root_span_ = ctx_.new_span();
+    PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal",
+                      "root", {"trace", trace_id_}, {"span", root_span_},
+                      {"kind", kind_ == net::ContentKind::kMetadata
+                                   ? "pdd-metadata"
+                                   : "pdd-item"});
+  }
+  round_span_ = ctx_.new_span();
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal",
+                    "round", {"trace", trace_id_}, {"span", round_span_},
+                    {"parent", root_span_}, {"round", rounds_});
+  const std::uint64_t tx_span = ctx_.new_span();
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal", "tx",
+                    {"trace", trace_id_}, {"span", tx_span},
+                    {"parent", round_span_}, {"hop", 0});
+  query->trace = {trace_id_, tx_span, ctx_.self.value(), 0};
+
   // Redundancy detection: from the second round on (or whenever something is
   // already held), attach a Bloom filter of everything received, built with
   // a per-round hash family so persistent false positives die out (§V.3).

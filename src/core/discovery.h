@@ -101,6 +101,12 @@ class DiscoverySession {
   std::vector<DataDescriptor> entries_;
   std::vector<net::ItemPayload> items_;
 
+  // Causal tracing (DESIGN.md §14): trace id = first query id of the
+  // session; root/round spans parent the per-round tx spans.
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t root_span_ = 0;
+  std::uint64_t round_span_ = 0;
+
   int rounds_ = 0;
   int empty_retries_ = 0;
   SimTime round_start_ = SimTime::zero();

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/causal.h"
 #include "obs/trace.h"
 
 namespace pds::core {
@@ -23,6 +24,7 @@ void maybe_forward_flood(NodeContext& ctx, QueryId query_id,
     PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "flood",
                       "suppress", {"query", query_id.value()},
                       {"reason", "probability"});
+    causal_suppress(ctx, fwd->trace, "probability");
     return;
   }
 
@@ -45,6 +47,7 @@ void maybe_forward_flood(NodeContext& ctx, QueryId query_id,
                         "suppress", {"query", query_id.value()},
                         {"reason", "copies"},
                         {"copies", lq->duplicate_copies_heard});
+      causal_suppress(ctx, fwd->trace, "copies");
       return;
     }
     PDS_TRACE_INSTANT(ctx.sim.tracer(), ctx.now(), ctx.self, "flood",

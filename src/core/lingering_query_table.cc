@@ -13,6 +13,7 @@ LingeringQuery& LingeringQueryTable::insert(const net::MessagePtr& query,
   lq.upstream = query->sender;
   lq.expire_at = std::min(query->expire_at, now + SimTime::minutes(10.0));
   lq.exclude = query->exclude;
+  lq.trace = query->trace;
   auto [it, inserted] = table_.emplace(query->query_id, std::move(lq));
   PDS_ENSURE(inserted);
   return it->second;

@@ -50,6 +50,13 @@ struct LingeringQuery {
   // Duplicate copies of this flooded query overheard from other relays;
   // feeds counter-based flood suppression (core/flood.h).
   int duplicate_copies_heard = 0;
+  // Causal tracing (DESIGN.md §14): trace context as carried by the query
+  // when installed (copied from query->trace by insert()) and the span id of
+  // the recv event this node emitted for it. Deferred work triggered by this
+  // entry — flood forwards after the assessment delay, jittered serves —
+  // parents its tx spans on `recv_span` so the DAG keeps the true cause.
+  net::TraceContext trace;
+  std::uint64_t recv_span = 0;
 
   [[nodiscard]] bool expired(SimTime now) const { return expire_at <= now; }
 };

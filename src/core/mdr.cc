@@ -115,6 +115,26 @@ void MdrSession::start_round() {
       ctx_.now() + min_round_duration() + 4.0 * round_window();
   query->target = item_descriptor_;
   query->requested_chunks = missing_chunks();
+
+  // Causal spans (DESIGN.md §14): the session's trace id is its first
+  // flooded query id; each round's flood is a tx child of a round span.
+  if (trace_id_ == 0) {
+    trace_id_ = query->query_id.value();
+    root_span_ = ctx_.new_span();
+    PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal",
+                      "root", {"trace", trace_id_}, {"span", root_span_},
+                      {"kind", "mdr"});
+  }
+  const std::uint64_t round_span = ctx_.new_span();
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal",
+                    "round", {"trace", trace_id_}, {"span", round_span},
+                    {"parent", root_span_}, {"round", rounds_});
+  const std::uint64_t tx_span = ctx_.new_span();
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal", "tx",
+                    {"trace", trace_id_}, {"span", tx_span},
+                    {"parent", round_span}, {"hop", 0});
+  query->trace = {trace_id_, tx_span, ctx_.self.value(), 0};
+
   ctx_.register_local_query(
       query, [this](const net::Message& r) { on_local_response(r); });
   ctx_.transport.send(std::move(query));

@@ -64,6 +64,11 @@ class MdrSession {
   std::size_t round_new_ = 0;
   std::vector<SimTime> round_response_times_;
   SimTime round_start_ = SimTime::zero();
+
+  // Causal tracing (DESIGN.md §14): trace id = the session's first flooded
+  // query id; the root span parents the per-round spans.
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t root_span_ = 0;
 };
 
 }  // namespace pds::core

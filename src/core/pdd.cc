@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <memory>
 #include <unordered_set>
+#include <utility>
 
 #include "common/assert.h"
+#include "core/causal.h"
 #include "core/flood.h"
 #include "obs/trace.h"
 
@@ -78,6 +80,7 @@ void PddEngine::handle_query(const net::MessagePtr& query) {
     return;
   }
   LingeringQuery& lq = ctx_.lqt.insert(query, now);
+  lq.recv_span = causal_recv(ctx_, query->trace);
   PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "lq", "query_install",
                     {"query", query->query_id.value()},
                     {"upstream", query->sender}, {"ttl", query->ttl});
@@ -98,6 +101,7 @@ void PddEngine::handle_query(const net::MessagePtr& query) {
   fwd->receivers.clear();
   if (fwd->ttl > 0) --fwd->ttl;
   if (ctx_.config.enable_bloom_rewriting) fwd->exclude = lq.exclude;
+  causal_tx(ctx_, *fwd, query->trace, lq.recv_span, /*hop_delta=*/1);
   PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "lq", "query_forward",
                     {"query", query->query_id.value()}, {"ttl", fwd->ttl});
   maybe_forward_flood(ctx_, query->query_id, std::move(fwd));
@@ -132,6 +136,7 @@ void PddEngine::serve_from_store(LingeringQuery& lq) {
       for (const DataDescriptor& d : resp->metadata) {
         mark_served(lq, d.entry_key(), cfg.enable_bloom_rewriting);
       }
+      causal_tx(ctx_, *resp, lq.trace, lq.recv_span);
       ctx_.transport.send(std::move(resp));
     }
     trace_serve(lq, fresh.size());
@@ -167,6 +172,7 @@ void PddEngine::serve_from_store(LingeringQuery& lq) {
       mark_served(lq, item.descriptor.entry_key(),
                   cfg.enable_bloom_rewriting);
     }
+    causal_tx(ctx_, *resp, lq.trace, lq.recv_span);
     ctx_.transport.send(std::move(resp));
   }
   trace_serve(lq, fresh.size());
@@ -194,6 +200,11 @@ namespace {
 struct PushPlan {
   std::vector<NodeId> relay_receivers;
   std::vector<QueryId> local_queries;
+  // Causal attribution for the one pushed response: of all matched traced
+  // queries, the one with the smallest (trace_id, parent span) — a total
+  // order, so the choice is deterministic under unordered LQT iteration.
+  net::TraceContext trace;
+  std::uint64_t parent = 0;
 };
 
 PushPlan plan_push(NodeContext& ctx, net::ContentKind kind,
@@ -206,6 +217,15 @@ PushPlan plan_push(NodeContext& ctx, net::ContentKind kind,
       plan.local_queries.push_back(lq->query->query_id);
     } else {
       plan.relay_receivers.push_back(lq->upstream);
+    }
+    const std::uint64_t cand_parent =
+        lq->recv_span != 0 ? lq->recv_span : lq->trace.parent_span;
+    if (lq->trace.valid() &&
+        (!plan.trace.valid() ||
+         std::pair(lq->trace.trace_id, cand_parent) <
+             std::pair(plan.trace.trace_id, plan.parent))) {
+      plan.trace = lq->trace;
+      plan.parent = cand_parent;
     }
   }
   std::sort(plan.relay_receivers.begin(), plan.relay_receivers.end());
@@ -227,9 +247,13 @@ void PddEngine::serve_new_publication(const DataDescriptor& entry) {
   resp->response_id = ctx_.new_response_id();
   resp->sender = ctx_.self;
   resp->metadata = {entry};
+  if (!plan.local_queries.empty()) {
+    causal_deliver(ctx_, plan.trace, plan.parent);
+  }
   for (QueryId q : plan.local_queries) ctx_.deliver_local(q, *resp);
   if (!plan.relay_receivers.empty()) {
     resp->receivers = plan.relay_receivers;
+    causal_tx(ctx_, *resp, plan.trace, plan.parent);
     ctx_.transport.send(std::move(resp));
   }
 }
@@ -245,9 +269,13 @@ void PddEngine::serve_new_publication(const net::ItemPayload& item) {
   resp->response_id = ctx_.new_response_id();
   resp->sender = ctx_.self;
   resp->items = {item};
+  if (!plan.local_queries.empty()) {
+    causal_deliver(ctx_, plan.trace, plan.parent);
+  }
   for (QueryId q : plan.local_queries) ctx_.deliver_local(q, *resp);
   if (!plan.relay_receivers.empty()) {
     resp->receivers = plan.relay_receivers;
+    causal_tx(ctx_, *resp, plan.trace, plan.parent);
     ctx_.transport.send(std::move(resp));
   }
 }
@@ -262,6 +290,12 @@ void PddEngine::handle_response(const net::MessagePtr& response) {
 
   const bool addressed = response->addressed_to(ctx_.self) &&
                          !response->receivers.empty();
+
+  const std::uint64_t recv_span =
+      addressed ? causal_recv(ctx_, response->trace) : 0;
+  if (!addressed && cfg.enable_overhearing_cache) {
+    causal_overhear(ctx_, response->trace);
+  }
 
   // {DS Lookup} — opportunistic caching, including overheard responses.
   if (addressed || cfg.enable_overhearing_cache) {
@@ -307,6 +341,7 @@ void PddEngine::handle_response(const net::MessagePtr& response) {
       PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "pdd",
                         "deliver_local", {"query", lq->query->query_id.value()},
                         {"entries", needed.size()});
+      causal_deliver(ctx_, response->trace, recv_span);
       ctx_.deliver_local(lq->query->query_id,
                          prune_payload(*response, needed));
       continue;
@@ -324,6 +359,7 @@ void PddEngine::handle_response(const net::MessagePtr& response) {
       single->response_id = ctx_.new_response_id();
       single->sender = ctx_.self;
       single->receivers = {lq->upstream};
+      causal_tx(ctx_, *single, response->trace, recv_span, /*hop_delta=*/1);
       ctx_.transport.send(std::move(single));
     }
   }
@@ -341,6 +377,7 @@ void PddEngine::handle_response(const net::MessagePtr& response) {
         std::make_shared<net::Message>(prune_payload(*response, relay_union));
     relay->sender = ctx_.self;
     relay->receivers = std::move(relay_receivers);
+    causal_tx(ctx_, *relay, response->trace, recv_span, /*hop_delta=*/1);
     ctx_.transport.send(std::move(relay));
   }
 }

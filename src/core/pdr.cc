@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/assert.h"
+#include "core/causal.h"
 #include "core/flood.h"
 #include "obs/trace.h"
 
@@ -53,7 +54,9 @@ std::vector<net::CdiEntry> PdrEngine::local_cdi_view(
 }
 
 void PdrEngine::answer_cdi(LingeringQuery& lq,
-                           const std::vector<net::CdiEntry>& view) {
+                           const std::vector<net::CdiEntry>& view,
+                           const net::TraceContext& cause,
+                           std::uint64_t cause_span, int hop_delta) {
   std::vector<net::CdiEntry> fresh;
   for (const net::CdiEntry& e : view) {
     auto it = lq.relayed_cdi_hops.find(e.chunk);
@@ -71,9 +74,12 @@ void PdrEngine::answer_cdi(LingeringQuery& lq,
                             lq.upstream);
   resp->cdi = std::move(fresh);
   if (lq.upstream == ctx_.self) {
+    causal_deliver(ctx_, cause,
+                   cause_span != 0 ? cause_span : cause.parent_span);
     ctx_.deliver_local(lq.query->query_id, *resp);
     return;
   }
+  causal_tx(ctx_, *resp, cause, cause_span, hop_delta);
   ctx_.transport.send(std::move(resp));
 }
 
@@ -87,9 +93,11 @@ void PdrEngine::handle_cdi_query(const net::MessagePtr& query) {
     return;
   }
   LingeringQuery& lq = ctx_.lqt.insert(query, now);
+  lq.recv_span = causal_recv(ctx_, query->trace);
 
   const ItemId item = query->target->item_id();
-  answer_cdi(lq, local_cdi_view(item, *query->target));
+  answer_cdi(lq, local_cdi_view(item, *query->target), lq.trace,
+             lq.recv_span);
 
   if (!query->addressed_to(ctx_.self)) return;
   if (query->ttl == 1) return;  // hop budget exhausted
@@ -97,6 +105,7 @@ void PdrEngine::handle_cdi_query(const net::MessagePtr& query) {
   fwd->sender = ctx_.self;
   fwd->receivers.clear();
   if (fwd->ttl > 0) --fwd->ttl;
+  causal_tx(ctx_, *fwd, query->trace, lq.recv_span, /*hop_delta=*/1);
   maybe_forward_flood(ctx_, query->query_id, std::move(fwd));
 }
 
@@ -110,6 +119,12 @@ void PdrEngine::handle_cdi_response(const net::MessagePtr& response) {
   const bool addressed = !response->receivers.empty() &&
                          response->addressed_to(ctx_.self);
   const ItemId item = response->target->item_id();
+
+  const std::uint64_t recv_span =
+      addressed ? causal_recv(ctx_, response->trace) : 0;
+  if (!addressed && ctx_.config.enable_overhearing_cache) {
+    causal_overhear(ctx_, response->trace);
+  }
 
   // Learn distance-vector state: each pair is HopCount from the transmitting
   // neighbor, so it is HopCount+1 from here via that neighbor (§IV-A).
@@ -131,7 +146,7 @@ void PdrEngine::handle_cdi_response(const net::MessagePtr& response) {
   for (LingeringQuery* lq : ctx_.lqt.live_queries(net::ContentKind::kCdi, now)) {
     if (lq->upstream == response->sender) continue;
     if (lq->query->target->item_id() != item) continue;
-    answer_cdi(*lq, view);
+    answer_cdi(*lq, view, response->trace, recv_span, /*hop_delta=*/1);
   }
 }
 
@@ -180,8 +195,11 @@ std::vector<ChunkIndex> PdrEngine::serve_chunks(
                               lq.upstream);
     resp->chunk = *payload;
     if (lq.upstream == ctx_.self) {
+      causal_deliver(ctx_, lq.trace,
+                     lq.recv_span != 0 ? lq.recv_span : lq.trace.parent_span);
       ctx_.deliver_local(lq.query->query_id, *resp);
     } else {
+      causal_tx(ctx_, *resp, lq.trace, lq.recv_span);
       ctx_.transport.send(std::move(resp));
     }
   }
@@ -256,6 +274,7 @@ void PdrEngine::handle_chunk_query(const net::MessagePtr& query) {
   if (!addressed) return;
 
   LingeringQuery& lq = ctx_.lqt.insert(query, now);
+  lq.recv_span = causal_recv(ctx_, query->trace);
   const DataDescriptor& item_descriptor = *query->target;
   const ItemId item = item_descriptor.item_id();
 
@@ -294,6 +313,7 @@ void PdrEngine::handle_chunk_query(const net::MessagePtr& query) {
     fwd->sender = ctx_.self;
     if (fwd->ttl > 0) --fwd->ttl;
     fwd->requested_chunks = std::move(remaining);
+    causal_tx(ctx_, *fwd, query->trace, lq.recv_span, /*hop_delta=*/1);
     ctx_.transport.send(std::move(fwd));
     return;
   }
@@ -328,6 +348,7 @@ void PdrEngine::handle_chunk_query(const net::MessagePtr& query) {
                               : ctx_.config.chunk_query_ttl;
     sub->target = item_descriptor;
     sub->requested_chunks = chunk_list;
+    causal_tx(ctx_, *sub, query->trace, lq.recv_span, /*hop_delta=*/1);
     ctx_.transport.send(std::move(sub));
   }
   // plan.unroutable chunks are dropped here; the consumer's stall timer
@@ -347,6 +368,12 @@ void PdrEngine::handle_chunk_response(const net::MessagePtr& response) {
   const DataDescriptor& item_descriptor = *response->target;
   const ItemId item = item_descriptor.item_id();
   const ChunkIndex chunk = response->chunk->index;
+
+  const std::uint64_t recv_span =
+      addressed ? causal_recv(ctx_, response->trace) : 0;
+  if (!addressed && ctx_.config.enable_overhearing_cache) {
+    causal_overhear(ctx_, response->trace);
+  }
 
   // Any reception — intended or overheard — proves a copy of this chunk was
   // just delivered to these receivers; serving or relaying another copy to
@@ -375,6 +402,7 @@ void PdrEngine::handle_chunk_response(const net::MessagePtr& response) {
     if (lq->served_chunks.contains(chunk)) continue;
     lq->served_chunks.insert(chunk);
     if (lq->upstream == ctx_.self) {
+      causal_deliver(ctx_, response->trace, recv_span);
       ctx_.deliver_local(lq->query->query_id, *response);
       continue;
     }
@@ -396,6 +424,7 @@ void PdrEngine::handle_chunk_response(const net::MessagePtr& response) {
     auto relay = std::make_shared<net::Message>(*response);
     relay->sender = ctx_.self;
     relay->receivers = std::move(relay_receivers);
+    causal_tx(ctx_, *relay, response->trace, recv_span, /*hop_delta=*/1);
     ctx_.transport.send(std::move(relay));
   }
 }

@@ -71,9 +71,13 @@ class PdrEngine {
   [[nodiscard]] std::vector<net::CdiEntry> local_cdi_view(
       ItemId item, const DataDescriptor& item_descriptor) const;
 
-  // Sends pairs that improve on what was already relayed for `lq`.
-  void answer_cdi(LingeringQuery& lq,
-                  const std::vector<net::CdiEntry>& view);
+  // Sends pairs that improve on what was already relayed for `lq`. `cause`
+  // and `cause_span` name the event that triggered the answer for causal
+  // tracing (the query's recv span, or the recv span of the CDI response
+  // being relayed — with hop_delta 1 for relays).
+  void answer_cdi(LingeringQuery& lq, const std::vector<net::CdiEntry>& view,
+                  const net::TraceContext& cause, std::uint64_t cause_span,
+                  int hop_delta = 0);
 
   // Sends one response per requested chunk present in the store; returns the
   // chunks treated as satisfied.

@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "core/causal.h"
 #include "core/pdr.h"
 #include "obs/trace.h"
 
@@ -65,6 +66,26 @@ void PdrSession::send_cdi_query() {
   query->sender = ctx_.self;
   query->expire_at = ctx_.now() + ctx_.config.query_lifetime;
   query->target = item_descriptor_;
+
+  // Causal spans (DESIGN.md §14): the session's trace id is its first CDI
+  // query id; each CDI round hangs off the root span.
+  if (trace_id_ == 0) {
+    trace_id_ = query->query_id.value();
+    root_span_ = ctx_.new_span();
+    PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal",
+                      "root", {"trace", trace_id_}, {"span", root_span_},
+                      {"kind", "pdr"});
+  }
+  const std::uint64_t round_span = ctx_.new_span();
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal",
+                    "round", {"trace", trace_id_}, {"span", round_span},
+                    {"parent", root_span_}, {"round", cdi_rounds_});
+  const std::uint64_t tx_span = ctx_.new_span();
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal", "tx",
+                    {"trace", trace_id_}, {"span", tx_span},
+                    {"parent", round_span}, {"hop", 0});
+  query->trace = {trace_id_, tx_span, ctx_.self.value(), 0};
+
   ctx_.register_local_query(
       query, [this](const net::Message& r) { on_local_response(r); });
   ctx_.transport.send(query);
@@ -145,6 +166,15 @@ void PdrSession::issue_requests() {
                     {"missing", missing.size()},
                     {"neighbors", plan.by_neighbor.size()},
                     {"unroutable", plan.unroutable.size()});
+  // Fetch rounds get their own causal round span under the session root;
+  // every directed chunk query of the round is a tx child of it.
+  std::uint64_t round_span = 0;
+  if (trace_id_ != 0 && !plan.by_neighbor.empty()) {
+    round_span = ctx_.new_span();
+    PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal",
+                      "round", {"trace", trace_id_}, {"span", round_span},
+                      {"parent", root_span_}, {"round", request_rounds_});
+  }
   for (const auto& [neighbor, chunk_list] : plan.by_neighbor) {
     PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdr",
                       "assign", {"neighbor", neighbor},
@@ -161,6 +191,13 @@ void PdrSession::issue_requests() {
     query->ttl = ctx_.config.chunk_query_ttl;
     query->target = item_descriptor_;
     query->requested_chunks = chunk_list;
+    if (trace_id_ != 0) {
+      const std::uint64_t tx_span = ctx_.new_span();
+      PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "causal",
+                        "tx", {"trace", trace_id_}, {"span", tx_span},
+                        {"parent", round_span}, {"hop", 0});
+      query->trace = {trace_id_, tx_span, ctx_.self.value(), 0};
+    }
     ctx_.register_local_query(
         query, [this](const net::Message& r) { on_local_response(r); });
     ctx_.transport.send(std::move(query));

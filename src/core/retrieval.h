@@ -92,6 +92,11 @@ class PdrSession {
   std::map<ChunkIndex, SimTime> arrivals_;
   int cdi_rounds_ = 0;
   int request_rounds_ = 0;
+
+  // Causal tracing (DESIGN.md §14): trace id = the session's first CDI query
+  // id; the root span parents every CDI/fetch round span.
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t root_span_ = 0;
 };
 
 }  // namespace pds::core

@@ -14,6 +14,14 @@ std::size_t receiver_list_bytes(const Message& m) {
   return 1 + 4 * m.receivers.size();
 }
 
+// Whether this message carries the trace-context wire extension under `cfg`
+// — only query/response frames (acks and repairs are hop-local control and
+// never cross more than one link).
+bool carries_trace(const WireConfig& cfg, const Message& m) {
+  return cfg.carry_trace_context && (m.is_query() || m.is_response()) &&
+         m.trace.valid();
+}
+
 }  // namespace
 
 std::size_t Codec::entry_wire_size(const core::DataDescriptor& d) const {
@@ -52,12 +60,15 @@ std::size_t Codec::wire_size(const Message& m) const {
       size += entry_wire_size(item.descriptor) + 4 + item.size_bytes;
     }
   }
+  if (carries_trace(cfg_, m)) size += kTraceContextBytes;
   return size;
 }
 
 std::vector<std::byte> Codec::encode(const Message& m) const {
   ByteWriter w;
-  w.put_u8(static_cast<std::uint8_t>(m.type));
+  const bool with_trace = carries_trace(cfg_, m);
+  w.put_u8(static_cast<std::uint8_t>(m.type) |
+           (with_trace ? kTraceContextFlag : 0));
   if (m.is_ack()) {
     w.put_u16(static_cast<std::uint16_t>(m.ack_tokens.size()));
     for (std::uint64_t token : m.ack_tokens) w.put_u64(token);
@@ -108,15 +119,26 @@ std::vector<std::byte> Codec::encode(const Message& m) const {
       w.put_u64(item.content_hash);
     }
   }
+  if (with_trace) {
+    w.put_u64(m.trace.trace_id);
+    w.put_u64(m.trace.parent_span);
+    w.put_u32(m.trace.origin);
+    w.put_u8(m.trace.hop);
+  }
   return w.take();
 }
 
 Message Codec::decode(std::span<const std::byte> bytes) const {
   ByteReader r(bytes);
   Message m;
-  m.type = static_cast<MessageType>(r.get_u8());
+  const std::uint8_t type_byte = r.get_u8();
+  const bool has_trace = (type_byte & kTraceContextFlag) != 0;
+  m.type = static_cast<MessageType>(type_byte & ~kTraceContextFlag);
   if (static_cast<std::uint8_t>(m.type) > 3) {
     throw DecodeError("unknown message type");
+  }
+  if (has_trace && !(m.is_query() || m.is_response())) {
+    throw DecodeError("trace context on control frame");
   }
   if (m.is_ack()) {
     const std::uint16_t n_tokens = r.get_u16();
@@ -188,6 +210,12 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
       item.content_hash = r.get_u64();
       m.items.push_back(std::move(item));
     }
+  }
+  if (has_trace) {
+    m.trace.trace_id = r.get_u64();
+    m.trace.parent_span = r.get_u64();
+    m.trace.origin = r.get_u32();
+    m.trace.hop = r.get_u8();
   }
   return m;
 }

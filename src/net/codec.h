@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -23,7 +24,19 @@ namespace pds::net {
 struct WireConfig {
   // Fixed per-entry charge for metadata entries; 0 = actual encoded size.
   std::size_t metadata_entry_bytes = 30;
+  // Versioned wire extension (DESIGN.md §14): when set, query/response
+  // frames whose Message::trace is valid carry the causal trace context
+  // in-band — the type byte's high bit marks the extension and
+  // kTraceContextBytes are appended after the regular layout. Off by
+  // default, so disabled tracing costs zero wire bytes and the encoding is
+  // byte-identical to the pre-extension codec.
+  bool carry_trace_context = false;
 };
+
+// trace_id(8) + parent_span(8) + origin(4) + hop(1).
+inline constexpr std::size_t kTraceContextBytes = 8 + 8 + 4 + 1;
+// High bit of the leading type byte: trace-context extension present.
+inline constexpr std::uint8_t kTraceContextFlag = 0x80;
 
 class Codec {
  public:

@@ -83,6 +83,29 @@ struct ItemPayload {
   friend bool operator==(const ItemPayload&, const ItemPayload&) = default;
 };
 
+// Causal trace context riding every message (DESIGN.md §14). `trace_id`
+// names the consumer session the message serves (the session's first query
+// id, already globally unique); `parent_span` is the span id of the tx event
+// that put this copy on the path, so receivers can link their recv spans
+// into one cross-node DAG; `origin` is the consuming node; `hop` counts
+// forwards from the origin. A zero trace_id means "no context" — the
+// default, and what single messages built outside a session carry.
+//
+// The context is simulation metadata: it is stamped unconditionally (so a
+// traced run stays bit-identical to an untraced one) and costs nothing on
+// the wire unless WireConfig::carry_trace_context opts the codec into the
+// versioned extension (net/codec.h).
+struct TraceContext {
+  std::uint64_t trace_id = 0;     // 0 = no context
+  std::uint64_t parent_span = 0;  // span id of the sending tx event
+  std::uint32_t origin = 0xffffffffu;  // NodeId::invalid().value()
+  std::uint8_t hop = 0;           // forwards from the origin
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
 struct Message : sim::FramePayload {
   MessageType type = MessageType::kQuery;
   ContentKind kind = ContentKind::kMetadata;
@@ -114,6 +137,10 @@ struct Message : sim::FramePayload {
   // the contended medium and trigger spurious data retransmissions.
   std::vector<std::uint64_t> ack_tokens;
   NodeId acker;  // acks: who acknowledges
+
+  // Causal trace context (see TraceContext above). Never consulted by
+  // protocol logic — only by trace emission and, when enabled, the codec.
+  TraceContext trace;
 
   [[nodiscard]] bool is_query() const { return type == MessageType::kQuery; }
   [[nodiscard]] bool is_response() const {

@@ -179,7 +179,8 @@ void Transport::transmit(const Packet& packet, bool track_reliably) {
   if (packet.count > 1) ++stats_.fragments_sent;
   sim_.schedule_at(release, [this, payload = std::move(payload),
                              size = packet.wire_bytes, track_reliably, token,
-                             round, epoch = epoch_] {
+                             round, epoch = epoch_,
+                             trace = packet.whole->trace] {
     if (epoch != epoch_) return;  // transport reset while queued: stale send
     if (!face_.send(sim::Frame{.sender = self_,
                                .size_bytes = size,
@@ -187,6 +188,16 @@ void Transport::transmit(const Packet& packet, bool track_reliably) {
       ++stats_.frames_dropped_overflow;
       PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), self_, "transport",
                         "drop_overflow", {"bytes", size});
+    } else if (trace.valid()) {
+      // Per-frame cost attribution (DESIGN.md §14): one xmit per on-air
+      // frame of a traced message, keyed by the tx span that put it on this
+      // hop. round > 0 marks retransmissions; "us" charges the airtime.
+      PDS_TRACE_INSTANT(
+          sim_.tracer(), sim_.now(), self_, "causal", "xmit",
+          {"trace", trace.trace_id}, {"span", trace.parent_span},
+          {"round", round}, {"bytes", size},
+          {"us",
+           transmission_time(size, face_.link_rate_bps()).as_micros()});
     }
     if (track_reliably) {
       // The ack round trip cannot complete before this packet drains through

@@ -125,6 +125,14 @@ void Tracer::write_ndjson(std::ostream& os) const {
     format_ndjson(event, os);
     os << '\n';
   }
+  // Ring-buffer overflow is data loss an analyzer must not paper over: a
+  // synthetic trailer records how many events were silently evicted so
+  // trace_check / causal analysis can refuse truncated captures.
+  if (dropped_ > 0) {
+    os << "{\"t\":0,\"node\":" << NodeId::invalid().value()
+       << ",\"ph\":\"i\",\"sub\":\"trace\",\"ev\":\"drops\",\"args\":{\"count\":"
+       << dropped_ << "}}\n";
+  }
 }
 
 std::string Tracer::ndjson() const {

@@ -69,7 +69,7 @@ struct Arg {
 enum class Phase : char { kBegin = 'B', kEnd = 'E', kInstant = 'i' };
 
 struct TraceEvent {
-  static constexpr std::size_t kMaxArgs = 4;
+  static constexpr std::size_t kMaxArgs = 6;
 
   std::int64_t t_us = 0;
   std::uint32_t node = NodeId::invalid().value();

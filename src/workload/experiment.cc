@@ -325,10 +325,18 @@ RetrievalOutcome run_retrieval_mobility(
 
 SingleHopOutcome run_single_hop(const SingleHopParams& params) {
   sim::Simulator sim(params.seed, params.scheduler);
+  sim.set_tracer(params.tracer);
   sim::RadioConfig radio;
   radio.range_m = 50.0;  // everyone in range: a single-hop cell
   sim::RadioMedium medium(sim, radio);
   const net::Codec codec{net::WireConfig{}};
+
+  // Per-node causal span sequences (DESIGN.md §14); the same
+  // (node+1)<<40 | seq packing NodeContext::new_span uses. This harness has
+  // no NodeContext, so spans are allocated inline.
+  const auto span_of = [](NodeId node, std::uint64_t& seq) {
+    return (static_cast<std::uint64_t>(node.value()) + 1) << 40 | ++seq;
+  };
 
   net::TransportConfig sender_cfg;
   switch (params.mode) {
@@ -366,6 +374,7 @@ SingleHopOutcome run_single_hop(const SingleHopParams& params) {
 
   std::unordered_set<std::uint64_t> received_ids;
   std::uint64_t received_bytes = 0;
+  std::uint64_t rx_seq = 0;
   SimTime first_arrival = SimTime::zero();
   SimTime last_arrival = SimTime::zero();
   receiver.set_handler([&](const net::MessagePtr& msg) {
@@ -374,6 +383,17 @@ SingleHopOutcome run_single_hop(const SingleHopParams& params) {
       if (received_ids.size() == 1) first_arrival = sim.now();
       last_arrival = sim.now();
       received_bytes += codec.wire_size(*msg);
+      if (msg->trace.valid()) {
+        const std::uint64_t recv_span = span_of(rx_id, rx_seq);
+        PDS_TRACE_INSTANT(sim.tracer(), sim.now(), rx_id, "causal", "recv",
+                          {"trace", msg->trace.trace_id}, {"span", recv_span},
+                          {"parent", msg->trace.parent_span},
+                          {"hop", msg->trace.hop});
+        const std::uint64_t deliver_span = span_of(rx_id, rx_seq);
+        PDS_TRACE_INSTANT(sim.tracer(), sim.now(), rx_id, "causal",
+                          "deliver", {"trace", msg->trace.trace_id},
+                          {"span", deliver_span}, {"parent", recv_span});
+      }
     }
   });
 
@@ -409,9 +429,26 @@ SingleHopOutcome run_single_hop(const SingleHopParams& params) {
   for (std::size_t s = 0; s < params.senders; ++s) {
     net::Transport& tx = *senders[s];
     tmpl.sender = tx.self();
+    // Each sender is one causal trace: a root span, then one tx span per
+    // message. trace id = the sender's first response id.
+    std::uint64_t sender_seq = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t root_span = 0;
     for (std::size_t k = 0; k < params.messages_per_sender; ++k) {
       auto msg = std::make_shared<net::Message>(tmpl);
       msg->response_id = ResponseId(rng.next_u64());
+      if (trace_id == 0) {
+        trace_id = msg->response_id.value();
+        root_span = span_of(tx.self(), sender_seq);
+        PDS_TRACE_INSTANT(sim.tracer(), sim.now(), tx.self(), "causal",
+                          "root", {"trace", trace_id}, {"span", root_span},
+                          {"kind", "singlehop"});
+      }
+      const std::uint64_t tx_span = span_of(tx.self(), sender_seq);
+      PDS_TRACE_INSTANT(sim.tracer(), sim.now(), tx.self(), "causal", "tx",
+                        {"trace", trace_id}, {"span", tx_span},
+                        {"parent", root_span}, {"hop", 0});
+      msg->trace = {trace_id, tx_span, tx.self().value(), 0};
       tx.send(std::move(msg));
     }
   }

@@ -173,6 +173,10 @@ struct SingleHopParams {
   sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(120.0);
+  // Optional tracer (see obs/trace.h). Single-hop runs emit the full causal
+  // span set (root/tx at senders, recv/deliver at the receiver, xmit per
+  // frame), which makes this the golden-path fixture for DAG stitching.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct SingleHopOutcome {

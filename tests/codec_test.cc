@@ -235,5 +235,76 @@ TEST(Codec, QuerySizeIsSmall) {
   EXPECT_LT(codec.wire_size(base_query()), 100u);
 }
 
+// -- Trace-context wire extension (DESIGN.md §14) -------------------------------
+
+TEST(Codec, TraceContextRoundTripWhenCarried) {
+  WireConfig cfg;
+  cfg.carry_trace_context = true;
+  Codec codec(cfg);
+  Message m = base_query();
+  m.trace = TraceContext{0x1122334455667788ull, (9000ull + 1) << 40 | 17, 8999u,
+                         3};
+  const Message out = codec.decode(codec.encode(m));
+  expect_equal(out, m);
+  EXPECT_EQ(out.trace, m.trace);
+  EXPECT_EQ(codec.wire_size(m), Codec().wire_size(m) + kTraceContextBytes);
+}
+
+TEST(Codec, TraceContextCostsNothingWhenDisabled) {
+  // The default codec must produce byte-identical frames whether or not the
+  // in-memory message carries a trace: disabled tracing is wire-invisible.
+  Codec codec;
+  Message traced = base_query();
+  traced.trace = TraceContext{42, 7, 1, 2};
+  Message untraced = base_query();
+  EXPECT_EQ(codec.encode(traced), codec.encode(untraced));
+  EXPECT_EQ(codec.wire_size(traced), codec.wire_size(untraced));
+  // The round trip drops the context (it never hit the wire).
+  EXPECT_FALSE(codec.decode(codec.encode(traced)).trace.valid());
+}
+
+TEST(Codec, InvalidTraceContextNotCarriedEvenWhenEnabled) {
+  // An enabled codec only spends the extension bytes on messages that have
+  // a context; a zero trace_id encodes exactly like the plain codec.
+  WireConfig cfg;
+  cfg.carry_trace_context = true;
+  Codec codec(cfg);
+  const Message m = base_query();
+  EXPECT_EQ(codec.encode(m), Codec().encode(m));
+  EXPECT_EQ(codec.wire_size(m), Codec().wire_size(m));
+}
+
+TEST(Codec, PlainFramesDecodeUnderTraceEnabledCodec) {
+  WireConfig cfg;
+  cfg.carry_trace_context = true;
+  Codec codec(cfg);
+  const Message m = base_query();
+  const Message out = codec.decode(Codec().encode(m));
+  expect_equal(out, m);
+  EXPECT_FALSE(out.trace.valid());
+}
+
+TEST(Codec, TraceFlagOnControlFrameIsRejected) {
+  Codec codec;
+  Message ack;
+  ack.type = MessageType::kAck;
+  ack.acker = NodeId(6);
+  ack.ack_tokens = {12345};
+  std::vector<std::byte> bytes = codec.encode(ack);
+  bytes[0] |= std::byte{kTraceContextFlag};
+  EXPECT_THROW((void)codec.decode(bytes), DecodeError);
+}
+
+TEST(Codec, TruncatedTraceTrailerIsRejected) {
+  WireConfig cfg;
+  cfg.carry_trace_context = true;
+  Codec codec(cfg);
+  Message m = base_query();
+  m.trace = TraceContext{42, 7, 1, 2};
+  std::vector<std::byte> bytes = codec.encode(m);
+  bytes.resize(bytes.size() - kTraceContextBytes / 2);
+  EXPECT_THROW((void)codec.decode(bytes), DecodeError);
+}
+
 }  // namespace
 }  // namespace pds::net

@@ -237,6 +237,40 @@ TEST(PdslintRules, ValidatedDecodePasses) {
   EXPECT_EQ(count_rule(fs, "decode-assert"), 0);
 }
 
+TEST(PdslintRules, DetectsUnregisteredTraceEvent) {
+  const auto fs = run(
+      "void f(obs::Tracer* t, SimTime now, NodeId n) {\n"
+      "  PDS_TRACE_INSTANT(t, now, n, \"pdd\", \"serve\", {\"query\", 1});\n"
+      "  PDS_TRACE_INSTANT(t, now, n, \"pdd\", \"not_an_event\", {\"x\", 1});\n"
+      "  PDS_TRACE_BEGIN(t, now, n, \"pdd\", \"round\", {\"round\", 1});\n"
+      "  PDS_TRACE_EMIT(t, 'E', now, n, \"pdd\", \"round\", {\"round\", 1});\n"
+      "  PDS_TRACE_EMIT(t, 'i', now, n, \"nope\", \"nah\");\n"
+      "}\n");
+  // Only the two (sub, ev) pairs missing from tools/trace_schema.h fire.
+  EXPECT_EQ(count_rule(fs, "trace-schema"), 2);
+}
+
+TEST(PdslintRules, DynamicTraceEventNamesAreSkipped) {
+  // The catalog check is syntactic: computed subsystem/event names (the
+  // tracer test fixtures build them at runtime) cannot be resolved and must
+  // not fire.
+  const auto fs = run(
+      "void f(obs::Tracer* t, SimTime now, NodeId n, const char* ev) {\n"
+      "  PDS_TRACE_INSTANT(t, now, n, kSubsystem, ev, {\"x\", 1});\n"
+      "  PDS_TRACE_INSTANT(t, now, n, \"pdd\", ev, {\"x\", 1});\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, "trace-schema"), 0);
+}
+
+TEST(PdslintRules, TraceSchemaAllowlistExemptsTracerTests) {
+  const auto fs = run(
+      "void f(obs::Tracer* t, SimTime now, NodeId n) {\n"
+      "  PDS_TRACE_INSTANT(t, now, n, \"synthetic\", \"ev\", {\"x\", 1});\n"
+      "}\n",
+      "tests/obs_test.cc");
+  EXPECT_EQ(count_rule(fs, "trace-schema"), 0);
+}
+
 TEST(PdslintSuppression, SameLineAndPreviousLine) {
   const auto same = run(
       "int x = rand();  // pdslint:allow(ambient-rng)\n");

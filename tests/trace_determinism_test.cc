@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "obs/trace.h"
 #include "parallel_runs.h"
+#include "tools/trace_causal.h"
 #include "workload/experiment.h"
 
 namespace pds::wl {
@@ -170,6 +172,35 @@ TEST(TraceDeterminism, NdjsonBytesIdenticalAcrossShardThreadCounts) {
     EXPECT_EQ(one, two) << "seed " << seed;
     EXPECT_EQ(one, eight) << "seed " << seed;
   }
+}
+
+// -- Ring-buffer drops -------------------------------------------------------
+// An analyzed run must never have silently lost events: the tracer counts
+// evictions, write_ndjson appends a trace/drops trailer, and the causal
+// analyzer refuses to treat a truncated ring as a complete DAG. The suite's
+// own captures are unbounded and must therefore report zero drops.
+
+TEST(TraceDeterminism, AnalyzedRunsReportNoDroppedEvents) {
+  obs::Tracer tracer(0);
+  (void)run_pdd_grid(small_pdd(7, &tracer));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  std::stringstream ss;
+  tracer.write_ndjson(ss);
+  std::size_t bad_line = 0;
+  const auto events = tools::read_trace(ss, bad_line);
+  EXPECT_EQ(tools::analyze_causal(events).dropped_events, 0u);
+}
+
+TEST(TraceDeterminism, BoundedRingSurfacesDropCount) {
+  obs::Tracer tracer(/*capacity=*/64);
+  (void)run_pdd_grid(small_pdd(7, &tracer));
+  ASSERT_GT(tracer.dropped(), 0u);
+  std::stringstream ss;
+  tracer.write_ndjson(ss);
+  std::size_t bad_line = 0;
+  const auto events = tools::read_trace(ss, bad_line);
+  // The trailer round-trips the exact eviction count into the analysis.
+  EXPECT_EQ(tools::analyze_causal(events).dropped_events, tracer.dropped());
 }
 
 // -- Fault schedules ---------------------------------------------------------

@@ -43,6 +43,7 @@
 
 #include "obs/report.h"
 #include "tools/lint_lexer.h"
+#include "tools/trace_schema.h"
 
 namespace pds::lint {
 
@@ -90,6 +91,10 @@ inline constexpr RuleSpec kRules[] = {
     {"decode-assert", Severity::kWarning,
      "decode robustness: decoders must validate input (PDS_ENSURE / "
      "DecodeError / throw) instead of trusting wire bytes"},
+    {"trace-schema", Severity::kError,
+     "trace catalog completeness: every PDS_TRACE_* emission names a "
+     "(subsystem, event) registered in tools/trace_schema.h, so trace_check "
+     "can validate any capture and analysis tools never meet unknown events"},
     {"bad-suppression", Severity::kError,
      "suppression hygiene: a misspelled pdslint:allow(...) must fail loudly "
      "rather than silently disabling a gate"},
@@ -159,6 +164,9 @@ inline constexpr FileAllowEntry kFileAllowlist[] = {
     // The one sanctioned probe: PDS_BENCH_JOBS's default. Worker counts
     // parallelise identical per-seed work; merge order stays fixed.
     {"ambient-parallelism", "bench/parallel_runs.h"},
+    // Exercises the tracer with synthetic (sub, ev) names on purpose; the
+    // catalog only covers events real captures can contain.
+    {"trace-schema", "tests/obs_test.cc"},
 };
 
 // unordered-iter fires only in determinism-sensitive files: ones that emit
@@ -619,6 +627,82 @@ inline void check_uninit_fields(const LexedFile& lexed,
   }
 }
 
+// trace-schema: every PDS_TRACE_* emission whose subsystem and event are
+// literal strings must name a (sub, ev) pair registered in the
+// tools/trace_schema.h catalog. Computed names cannot be checked statically
+// and are skipped (the repo's emission sites all use literals).
+inline void check_trace_schema(const LexedFile& lexed,
+                               const std::string& file,
+                               const Suppressions& sup,
+                               std::vector<Finding>& out) {
+  if (file_allowlisted("trace-schema", file)) return;
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    // 0-indexed macro argument holding the subsystem string; the event name
+    // is the next argument. PDS_TRACE_{INSTANT,BEGIN,END}(tracer, t, node,
+    // sub, ev, ...) vs PDS_TRACE_EMIT(tracer, phase, t, node, sub, ev, ...).
+    std::size_t sub_arg = 0;
+    if (toks[i].text == "PDS_TRACE_INSTANT" ||
+        toks[i].text == "PDS_TRACE_BEGIN" ||
+        toks[i].text == "PDS_TRACE_END") {
+      sub_arg = 3;
+    } else if (toks[i].text == "PDS_TRACE_EMIT") {
+      sub_arg = 4;
+    } else {
+      continue;
+    }
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // Split the macro call at top-level commas; record whether the sub/ev
+    // arguments are lone string literals and which ones.
+    int depth = 0;
+    std::size_t arg = 0;
+    std::size_t arg_start = i + 2;
+    const Token* sub_tok = nullptr;
+    const Token* ev_tok = nullptr;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      const std::string& t = toks[j].text;
+      bool boundary = false;
+      if (t == "(" || t == "{" || t == "[") {
+        ++depth;
+      } else if (t == ")" || t == "}" || t == "]") {
+        --depth;
+        if (depth == 0) boundary = true;
+      } else if (t == "," && depth == 1) {
+        boundary = true;
+      }
+      if (!boundary) continue;
+      const bool lone_string =
+          j == arg_start + 1 && toks[arg_start].kind == TokKind::kString;
+      if (arg == sub_arg && lone_string) sub_tok = &toks[arg_start];
+      if (arg == sub_arg + 1 && lone_string) ev_tok = &toks[arg_start];
+      ++arg;
+      arg_start = j + 1;
+      if (depth == 0) break;
+    }
+    if (sub_tok == nullptr || ev_tok == nullptr) continue;
+    // Lexer string tokens keep their quotes.
+    const auto unquote = [](const std::string& s) {
+      return s.size() >= 2 ? s.substr(1, s.size() - 2) : s;
+    };
+    const std::string sub = unquote(sub_tok->text);
+    const std::string ev = unquote(ev_tok->text);
+    bool registered = false;
+    for (const tools::EventSchema& schema : tools::kEventCatalog) {
+      if (sub == schema.sub && ev == schema.ev) {
+        registered = true;
+        break;
+      }
+    }
+    if (!registered) {
+      add_finding(out, sup, file, "trace-schema", toks[i].line,
+                  "trace event " + sub + "/" + ev +
+                      " is not registered in tools/trace_schema.h");
+    }
+  }
+}
+
 // decode-assert: decode() definitions whose body never validates.
 inline void check_decode_assert(const LexedFile& lexed,
                                 const std::string& file,
@@ -694,6 +778,7 @@ inline std::vector<Finding> lint_source(
   check_pointer_ordering(lexed, path, sup, findings);
   check_uninit_fields(lexed, path, sup, findings);
   check_decode_assert(lexed, path, sup, findings);
+  check_trace_schema(lexed, path, sup, findings);
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -32,6 +32,7 @@
 
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "tools/trace_causal.h"
 #include "tools/trace_reader.h"
 #include "util/stats.h"
 #include "workload/experiment.h"
@@ -79,6 +80,8 @@ int usage() {
       "usage: pdscli --experiment=<pdd|pdr|mdr|pdd-mobility|pdr-mobility|"
       "singlehop> [options]\n"
       "       pdscli trace --file=<trace.ndjson> [--entries=N] [--json]\n"
+      "       pdscli trace critpath --file=<trace.ndjson> [--top=N] "
+      "[--json]\n"
       "  common:       --seed=N --runs=N --trace=FILE "
       "[--trace-format=chrome]\n"
       "  pdd:          --grid=N --entries=N --redundancy=N --consumers=N\n"
@@ -250,8 +253,10 @@ int run_pdr_mobility(const Flags& flags) {
 int run_singlehop(const Flags& flags) {
   util::SampleSet reception, rate;
   const long runs = flags.num("runs", 1);
+  TraceSink trace(flags);
   for (long r = 0; r < runs; ++r) {
     wl::SingleHopParams p;
+    p.tracer = trace.begin_run();
     const std::string mode = flags.get("mode", "leaky_ack");
     p.mode = mode == "raw"     ? wl::TransportMode::kRawUdp
              : mode == "leaky" ? wl::TransportMode::kLeakyBucket
@@ -290,6 +295,9 @@ struct TraceTalker {
 
 struct TraceStats {
   std::size_t events = 0;
+  // Ring-buffer overflow trailer ("trace"/"drops"): events the tracer could
+  // not keep. Non-zero means every other statistic is a lower bound.
+  std::uint64_t dropped = 0;
   std::vector<TraceRoundRow> rounds;
   std::vector<TraceTalker> talkers;  // ranked by bytes desc, node asc
   std::map<std::uint32_t, std::map<int, std::uint64_t>> retr;
@@ -300,6 +308,11 @@ struct TraceStats {
 TraceStats compute_trace_stats(const std::vector<tools::ParsedEvent>& events) {
   TraceStats stats;
   stats.events = events.size();
+  for (const tools::ParsedEvent& e : events) {
+    if (e.sub == "trace" && e.ev == "drops") {
+      stats.dropped += tools::arg_u64(e, "count");
+    }
+  }
 
   // Per-round progress: every closed PDD round ("pdd"/"round" ph=E).
   for (const tools::ParsedEvent& e : events) {
@@ -344,6 +357,11 @@ TraceStats compute_trace_stats(const std::vector<tools::ParsedEvent>& events) {
 // recall fraction.
 void print_trace_text(const TraceStats& stats, double entries,
                       std::size_t top) {
+  if (stats.dropped > 0) {
+    std::printf("WARNING: tracer ring dropped %llu events; "
+                "all statistics below are lower bounds\n\n",
+                static_cast<unsigned long long>(stats.dropped));
+  }
   std::printf("per-round discovery progress:\n");
   std::printf("  %-6s %-6s %10s %8s %8s %10s", "node", "round", "end_s",
               "new", "total", "responses");
@@ -404,6 +422,7 @@ void print_trace_json(const TraceStats& stats, double entries,
   w.key("schema").value("pds-trace-report/1");
   w.key("file").value(path);
   w.key("events").value(static_cast<std::uint64_t>(stats.events));
+  w.key("dropped_events").value(stats.dropped);
 
   w.key("rounds").begin_array();
   for (const TraceRoundRow& r : stats.rounds) {
@@ -494,11 +513,108 @@ int run_trace_report(const Flags& flags) {
   return 0;
 }
 
+// -- `pdscli trace critpath` — causal span-DAG analysis ----------------------
+
+void print_critpath_text(const tools::CausalReport& report, std::size_t top) {
+  std::printf("causal summary: traces=%zu with_path=%zu orphans=%zu "
+              "dropped=%llu\n",
+              report.traces.size(), report.traces_with_path,
+              report.total_orphans,
+              static_cast<unsigned long long>(report.dropped_events));
+  std::printf("  critical path: hops p50=%.1f p99=%.1f  length p50=%.1fms "
+              "p99=%.1fms\n",
+              report.cp_hops_p50, report.cp_hops_p99,
+              report.cp_len_us_p50 / 1e3, report.cp_len_us_p99 / 1e3);
+  std::printf("  dominant edges:");
+  for (const auto& [cls, count] : report.dominant_edges) {
+    std::printf(" %s=%d", cls.c_str(), count);
+  }
+  if (report.dominant_edges.empty()) std::printf(" (none)");
+  std::printf("\n");
+
+  std::size_t shown = 0;
+  for (const tools::TraceAnalysis& ta : report.traces) {
+    if (shown++ >= top) break;
+    std::printf("\ntrace %llu kind=%s spans=%zu orphans=%zu cp_hops=%d "
+                "cp_len=%.1fms bytes_on_air=%llu airtime=%.1fms retx=%d "
+                "overhears=%d suppressed=%d\n",
+                static_cast<unsigned long long>(ta.trace_id),
+                ta.kind.empty() ? "?" : ta.kind.c_str(), ta.spans.size(),
+                ta.orphans.size(), ta.cp_air_hops,
+                static_cast<double>(ta.cp_len_us) / 1e3,
+                static_cast<unsigned long long>(ta.bytes_on_air),
+                static_cast<double>(ta.airtime_us) / 1e3, ta.retx,
+                ta.overhears, ta.suppressed);
+    for (const tools::CriticalEdge& edge : ta.critical_path) {
+      const auto from = ta.spans.find(edge.from);
+      const auto to = ta.spans.find(edge.to);
+      std::printf("  node %u %s --%s(%.1fms)--> node %u %s\n",
+                  from->second.node, from->second.ev.c_str(),
+                  edge.cls.c_str(), static_cast<double>(edge.dt_us) / 1e3,
+                  to->second.node, to->second.ev.c_str());
+    }
+    if (ta.critical_path.empty()) std::printf("  (no delivery in trace)\n");
+  }
+}
+
+int run_trace_critpath(const Flags& flags) {
+  const std::string path = flags.get("file", "");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: pdscli trace critpath --file=<trace.ndjson> "
+                 "[--top=N] [--max-traces=N] [--json]\n");
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "pdscli: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::size_t bad_line = 0;
+  const std::vector<tools::ParsedEvent> events =
+      tools::read_trace(in, bad_line);
+  if (bad_line != 0) {
+    std::fprintf(stderr, "pdscli: malformed trace line %zu in %s\n", bad_line,
+                 path.c_str());
+    return 1;
+  }
+  const tools::CausalReport report = tools::analyze_causal(events);
+  if (flags.get("json", "") == "1") {
+    std::printf("%s\n",
+                tools::causal_report_json(
+                    report,
+                    static_cast<std::size_t>(flags.num("max-traces", 64)))
+                    .c_str());
+  } else {
+    print_critpath_text(report,
+                        static_cast<std::size_t>(flags.num("top", 5)));
+  }
+  // Orphan spans or a dropped-event trailer mean the DAG is incomplete; make
+  // that a hard failure so CI smoke jobs cannot silently pass on bad data.
+  if (report.total_orphans > 0) {
+    std::fprintf(stderr, "pdscli: %zu orphan spans in %s\n",
+                 report.total_orphans, path.c_str());
+    return 1;
+  }
+  if (report.dropped_events > 0) {
+    std::fprintf(stderr, "pdscli: tracer dropped %llu events in %s\n",
+                 static_cast<unsigned long long>(report.dropped_events),
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int run_main(int argc, char** argv) {
   const Flags flags = parse(argc, argv);
   std::string experiment = flags.get("experiment", "");
   // `pdscli trace --file=...` — subcommand form.
-  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) experiment = "trace";
+  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+    experiment = "trace";
+    if (argc > 2 && std::strcmp(argv[2], "critpath") == 0) {
+      return run_trace_critpath(flags);
+    }
+  }
   if (experiment == "trace") return run_trace_report(flags);
   if (experiment == "pdd") return run_pdd(flags);
   if (experiment == "pdr") {

@@ -62,6 +62,17 @@ int check(std::istream& is) {
   for (std::size_t idx = 0; idx < events.size(); ++idx) {
     const ParsedEvent& event = events[idx];
     const std::size_t line_no = idx + 1;
+    if (event.sub == "trace" && event.ev == "drops") {
+      // Ring-overflow trailer: the tracer discarded events, so any analysis
+      // of this capture is silently incomplete — that is always a failure.
+      // The trailer carries t=0 / an invalid node, so it skips the ordering
+      // checks below.
+      const std::string* count = event.arg("count");
+      checker.report(line_no, "tracer dropped " +
+                                  (count ? *count : std::string("?")) +
+                                  " event(s) (ring buffer overflow)");
+      continue;
+    }
     if (event.t_us < 0) {
       checker.report(line_no, "negative timestamp");
     }

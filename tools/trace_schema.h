@@ -29,7 +29,7 @@ inline constexpr std::array<const char*, 4> keys(const char* a = nullptr,
   return {a, b, c, d};
 }
 
-inline constexpr std::array<EventSchema, 40> kEventCatalog = {{
+inline constexpr std::array<EventSchema, 50> kEventCatalog = {{
     // -- PDD discovery round lifecycle (§IV-B) -------------------------------
     {"pdd", "round", "BE", keys("round", "arrivals"),
      keys("round", "new", "total", "responses")},
@@ -79,6 +79,31 @@ inline constexpr std::array<EventSchema, 40> kEventCatalog = {{
     {"fault", "pdd_purge", "i", keys("upstream", "queries"), keys()},
     {"fault", "pdr_purge", "i", keys("upstream", "queries", "cdi"), keys()},
     {"fault", "redispatch", "i", keys("peer", "missing"), keys()},
+    // -- Causal cross-node spans (DESIGN.md §14) -----------------------------
+    // Span ids are (node+1)<<40 | per-node sequence; "parent" links the event
+    // to the span that caused it, letting tools/trace_causal stitch per-node
+    // rings into one DAG. "trace" is the owning consumer session's first
+    // query id.
+    {"causal", "root", "i", keys("trace", "span", "kind"), keys()},
+    {"causal", "round", "i", keys("trace", "span", "parent", "round"), keys()},
+    {"causal", "tx", "i", keys("trace", "span", "parent", "hop"), keys()},
+    {"causal", "recv", "i", keys("trace", "span", "parent", "hop"), keys()},
+    {"causal", "deliver", "i", keys("trace", "span", "parent"), keys()},
+    {"causal", "suppress", "i", keys("trace", "span", "parent", "reason"),
+     keys()},
+    {"causal", "overhear", "i", keys("trace", "span", "parent"), keys()},
+    // One per on-air frame carrying a traced message; "span" names the tx
+    // span whose payload went out, so >1 xmit per span = retransmissions.
+    // Extra keys: "us" (airtime), "node" is the transmitting hop.
+    {"causal", "xmit", "i", keys("trace", "span", "round", "bytes"), keys()},
+    // -- Tracer self-reporting -----------------------------------------------
+    // Synthetic trailer appended by Tracer::write_ndjson when the ring
+    // buffer evicted events; analyzers treat its presence as truncation.
+    {"trace", "drops", "i", keys("count"), keys()},
+    // -- Microbenchmark-only events ------------------------------------------
+    // bench/micro_primitives measures the PDS_TRACE_* macro overhead with a
+    // synthetic event; registered so the trace-schema lint covers it.
+    {"bench", "tick", "i", keys("i"), keys()},
 }};
 
 }  // namespace pds::tools
