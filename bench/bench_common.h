@@ -1,16 +1,22 @@
 // Shared helpers for the experiment harness binaries.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "parallel_runs.h"
+#include "tools/stats_analysis.h"
 #include "tools/trace_causal.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -131,6 +137,96 @@ inline obs::Report::Point& add_causal_point(
       .metric("cp_hops_p99", causal.cp_hops_p99, 1)
       .metric("cp_len_ms_p50", causal.cp_len_us_p50 / 1e3, 1)
       .metric("cp_len_ms_p99", causal.cp_len_us_p99 / 1e3, 1);
+}
+
+// Flight-recorder capture for one representative run (DESIGN.md §15): a
+// sim-time sampler + wall-clock profiler a bench attaches to a single run —
+// usually seed index 0 — and folds into the report's "stats" section via
+// add_stats_point(). Sampling only reads state, so the sampled run's
+// outcomes are bit-identical to an unsampled one.
+class StatsCapture {
+ public:
+  explicit StatsCapture(SimTime interval = SimTime::seconds(1.0))
+      : sampler_(interval) {}
+
+  [[nodiscard]] obs::TimeSeries* sampler() { return &sampler_; }
+  [[nodiscard]] obs::Profiler* profiler() { return &profiler_; }
+  void reset() { sampler_.reset(); }
+
+  // Serialized capture: the series body plus the trailing profile line.
+  // include_wall=false is the deterministic projection benches byte-compare
+  // for the `timeseries-deterministic` gate (no profile line either — wall
+  // durations are never deterministic).
+  [[nodiscard]] std::string ndjson(bool include_wall = true) const {
+    std::string out = sampler_.ndjson(include_wall);
+    if (include_wall) {
+      out += obs::Profiler::profile_json_line(profiler_.snapshot());
+    }
+    return out;
+  }
+
+  // Parses the capture back through the same reader `pdscli stats` uses, so
+  // bench report columns can never drift from the CLI's numbers. A capture
+  // this class itself serialized must round-trip; failure is a bench bug.
+  [[nodiscard]] tools::ParsedSeries analyze() const {
+    std::string error;
+    std::optional<tools::ParsedSeries> parsed =
+        tools::parse_timeseries(ndjson(), &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "stats capture failed to round-trip: %s\n",
+                   error.c_str());
+      std::exit(1);
+    }
+    return *std::move(parsed);
+  }
+
+  // Writes the full capture to `path` (the STATS_<experiment>.ndjson
+  // artifact CI uploads); false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << ndjson();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  obs::TimeSeries sampler_;
+  obs::Profiler profiler_;
+};
+
+// Appends the flight-recorder health + resource-peak statistics for one
+// captured run to the report's current section (callers begin_section
+// "stats" first and may prepend identifying params such as the determinism
+// A/B verdict). `util_ceiling` is the bench's concurrent-transmission
+// ceiling (node count for grid scenarios): derived channel utilization is
+// the average number of concurrent transmissions per interval, which can
+// never exceed it — the `channel-utilization-bounded` gate checks the
+// verdict recorded here.
+inline obs::Report::Point& add_stats_point(obs::Report::Point& point,
+                                           const tools::ParsedSeries& s,
+                                           double util_ceiling) {
+  const std::vector<tools::SeriesSummary> sums = tools::summarize_series(s);
+  const auto peak = [&sums](const char* name) -> double {
+    for (const tools::SeriesSummary& sum : sums) {
+      if (sum.name == name) return sum.peak;
+    }
+    return 0.0;
+  };
+  const std::vector<double> util = tools::channel_utilization(s);
+  double util_max = 0.0;
+  double util_min = 0.0;
+  if (!util.empty()) {
+    util_max = *std::max_element(util.begin(), util.end());
+    util_min = *std::min_element(util.begin(), util.end());
+  }
+  const bool util_bounded = util_min >= 0.0 && util_max <= util_ceiling;
+  return point.param("util_bounded", util_bounded, util_bounded ? "yes" : "NO")
+      .metric("rows", static_cast<std::int64_t>(s.rows.size()))
+      .metric("channel_util_max", util_max, 3)
+      .metric("peak_rss_mb", peak("rss.peak_mb"), 1)
+      .metric("queue_peak", peak("sched.queue_len"), 0)
+      .metric("inflight_peak", peak("transport.inflight"), 0)
+      .metric("chunk_bytes_peak_mb", peak("store.chunk_bytes") / 1e6, 1);
 }
 
 // Writes BENCH_<experiment>.json, announcing on *stderr* so the stdout

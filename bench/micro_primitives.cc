@@ -6,6 +6,10 @@
 // gate: a full PDD experiment with the tracer compiled in but disabled must
 // cost <PDS_TRACE_OVERHEAD_MAX_PCT% (default 1%) over the same run with no
 // tracer attached. Exit 0 = pass, 1 = fail.
+//
+// `micro_primitives --stats-overhead-gate` gates the flight-recorder seams
+// the same way: a detached sampler/profiler (the default in every
+// experiment) must cost <PDS_STATS_OVERHEAD_MAX_PCT% (default 1%).
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
@@ -15,9 +19,12 @@
 
 #include "common/arena.h"
 #include "common/rng.h"
+#include "parallel_runs.h"
 #include "core/data_store.h"
 #include "net/codec.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "util/bloom_filter.h"
@@ -333,11 +340,8 @@ int run_trace_overhead_gate() {
     best_off = std::min(best_off, timed_pdd_run(nullptr));
   }
 
-  double max_pct = 1.0;
-  if (const char* env = std::getenv("PDS_TRACE_OVERHEAD_MAX_PCT")) {
-    const double v = std::atof(env);
-    if (v > 0) max_pct = v;
-  }
+  const double max_pct =
+      bench::env_nonneg_double("PDS_TRACE_OVERHEAD_MAX_PCT", 1.0);
   const double pct = calls * per_call_s / best_off * 100.0;
   std::printf(
       "trace overhead gate: %.0f trace sites hit, %.2f ns/call disabled, "
@@ -345,6 +349,104 @@ int run_trace_overhead_gate() {
       calls, per_call_s * 1e9, best_off, pct, max_pct);
   if (pct > max_pct) {
     std::printf("FAIL: disabled-tracer overhead above gate\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
+// -- Flight-recorder overhead gate -------------------------------------------
+//
+// Same derivation as the tracer gate, for the sampler/profiler seams
+// (obs/timeseries.h, obs/profiler.h). A detached sampler costs one pointer
+// compare per simulator event; a detached profiler scope costs one pointer
+// compare at construction and destruction. Both counts are deterministic for
+// a fixed seed, so:
+//
+//   overhead% = (events x per-event cost + scopes x per-scope cost)
+//               / (uninstrumented run wall time)
+
+struct StatsSiteCounts {
+  double events = 0.0;
+  double scopes = 0.0;
+};
+
+// Deterministic per-run site counts from a fully instrumented reference run.
+StatsSiteCounts stats_site_counts() {
+  obs::TimeSeries sampler(SimTime::seconds(1.0));
+  obs::Profiler profiler;
+  wl::PddGridParams p;
+  p.nx = p.ny = 10;
+  p.metadata_count = 5000;
+  p.consumers = 2;
+  p.seed = 1;
+  p.sampler = &sampler;
+  p.profiler = &profiler;
+  const wl::PddOutcome out = wl::run_pdd_grid(p);
+  StatsSiteCounts c;
+  c.events = static_cast<double>(out.events_executed);
+  for (const obs::Profiler::Entry& e : profiler.snapshot()) {
+    c.scopes += static_cast<double>(e.calls);
+  }
+  return c;
+}
+
+// Seconds per simulator event spent on the detached-sampler test.
+double detached_sampler_cost_s() {
+  obs::TimeSeries* sampler = nullptr;
+  benchmark::DoNotOptimize(sampler);
+  constexpr std::uint64_t kCalls = 100'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    if (sampler != nullptr) {
+      sampler->advance_to(SimTime::micros(static_cast<std::int64_t>(i)));
+    }
+    // Forces the pointer to be re-read every iteration, as in the run loop.
+    benchmark::ClobberMemory();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() /
+         static_cast<double>(kCalls);
+}
+
+// Seconds per instrumented scope with a detached profiler.
+double detached_scope_cost_s() {
+  obs::Profiler* profiler = nullptr;
+  benchmark::DoNotOptimize(profiler);
+  constexpr std::uint64_t kCalls = 100'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    PDS_PROF_SCOPE(profiler, "sim");
+    benchmark::ClobberMemory();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() /
+         static_cast<double>(kCalls);
+}
+
+int run_stats_overhead_gate() {
+  const StatsSiteCounts sites = stats_site_counts();
+  const double per_event_s = detached_sampler_cost_s();
+  const double per_scope_s = detached_scope_cost_s();
+
+  constexpr int kReps = 5;
+  timed_pdd_run(nullptr);  // warm-up
+  double best_off = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    best_off = std::min(best_off, timed_pdd_run(nullptr));
+  }
+
+  const double max_pct =
+      bench::env_nonneg_double("PDS_STATS_OVERHEAD_MAX_PCT", 1.0);
+  const double pct = (sites.events * per_event_s + sites.scopes * per_scope_s) /
+                     best_off * 100.0;
+  std::printf(
+      "stats overhead gate: %.0f events + %.0f scopes hit, %.2f/%.2f ns "
+      "detached, uninstrumented run %.4fs => overhead %.4f%% (max %.2f%%)\n",
+      sites.events, sites.scopes, per_event_s * 1e9, per_scope_s * 1e9,
+      best_off, pct, max_pct);
+  if (pct > max_pct) {
+    std::printf("FAIL: detached flight-recorder overhead above gate\n");
     return 1;
   }
   std::printf("PASS\n");
@@ -405,6 +507,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-overhead-gate") == 0) {
       return pds::run_trace_overhead_gate();
+    }
+    if (std::strcmp(argv[i], "--stats-overhead-gate") == 0) {
+      return pds::run_stats_overhead_gate();
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -43,6 +43,24 @@ inline int env_positive_int(const char* name, int dflt) {
   return static_cast<int>(v);
 }
 
+// Strict real-valued sibling of env_positive_int — same contract: unset
+// means `dflt`, a set-but-invalid value (non-numeric, trailing junk,
+// negative, out of range) is fatal. Zero is allowed: perf-floor variables
+// use 0 to mean "report only".
+inline double env_nonneg_double(const char* name, double dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return dflt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || errno == ERANGE || v < 0.0) {
+    std::fprintf(stderr, "%s must be a non-negative number, got \"%s\"\n",
+                 name, env);
+    std::exit(2);
+  }
+  return v;
+}
+
 // Worker threads used for multi-seed sweeps.
 inline int jobs() {
   const unsigned hc = std::thread::hardware_concurrency();

@@ -121,13 +121,6 @@ struct ScenarioReport {
   double speedup = 0.0;
 };
 
-double env_double(const char* name, double dflt) {
-  if (const char* env = std::getenv(name)) {
-    const double v = std::atof(env);
-    if (v > 0.0) return v;
-  }
-  return dflt;
-}
 
 int run(bool smoke) {
   std::printf("== perf_radio — spatial-grid radio medium vs brute force ==\n");
@@ -224,7 +217,8 @@ int run(bool smoke) {
       rc = 1;
     }
   }
-  const double min_speedup = env_double("PDS_PERF_MIN_SPEEDUP", 0.0);
+  const double min_speedup =
+      bench::env_nonneg_double("PDS_PERF_MIN_SPEEDUP", 0.0);
   if (min_speedup > 0.0 && !reports.empty()) {
     const ScenarioReport& largest = reports.back();
     if (largest.speedup < min_speedup) {

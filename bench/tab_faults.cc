@@ -130,6 +130,10 @@ int run() {
   report.print_table();
 
   // -- Sequential PDR (Fig. 15 workload) -----------------------------------
+  // The partition class's first PDR seed is flight-recorded: a healed
+  // partition is the run where retransmission backlog and leaky-bucket fill
+  // actually move, which is what the flight recorder exists to show.
+  bench::StatsCapture capture;
   std::vector<LegRow> pdr(classes.size());
   for (std::size_t c = 0; c < classes.size(); ++c) {
     const auto outs = bench::run_indexed(n, [&](int r) {
@@ -145,6 +149,10 @@ int run() {
       // Providers crash mid-phase-2: CDI converges within ~1-2 s, so by
       // t=5 s chunk queries are in flight toward the crashed nodes.
       p.faults = make_schedule(classes[c], 5.0, 45.0);
+      if (classes[c] == "partition" && r == 0) {
+        p.sampler = capture.sampler();
+        p.profiler = capture.profiler();
+      }
       return wl::run_retrieval_grid(p);
     });
     for (const wl::RetrievalOutcome& out : outs) {
@@ -168,6 +176,14 @@ int run() {
   }
   report.print_table();
 
+  report.begin_section("stats");
+  const tools::ParsedSeries parsed = capture.analyze();
+  obs::Report::Point& stats_point =
+      report.point().param("class", std::string("partition"));
+  // 7x7 grid: 49 nodes bound concurrent transmissions.
+  bench::add_stats_point(stats_point, parsed, 49.0);
+  std::printf("\nflight recorder: %zu rows over the partitioned PDR run\n",
+              parsed.rows.size());
   return bench::finish(report);
 }
 

@@ -16,6 +16,11 @@ int run() {
       "1 copy: ~0.35 recall up to 10k entries, ~0.20 at 20k; 2 copies: "
       "~0.55 up to 5k");
 
+  // The saturated 20k-entry / 2-copy point's first seed is flight-recorded:
+  // single-round no-ack PDD at 20k entries is the highest channel contention
+  // any bench drives, so its utilization summary is the interesting input to
+  // the channel-utilization-bounded gate.
+  bench::StatsCapture capture;
   report.begin_table("main", {"entries", "redundancy", "recall",
                               "latency (s)", "overhead (MB)"});
   for (const int redundancy : {1, 2}) {
@@ -28,6 +33,10 @@ int run() {
             p.multi_round = false;
             p.ack = false;
             p.seed = seed;
+            if (seed == 1 && entries == 20000u && redundancy == 2) {
+              p.sampler = capture.sampler();
+              p.profiler = capture.profiler();
+            }
             const wl::PddOutcome out = wl::run_pdd_grid(p);
             return std::tuple{out.recall, out.latency_s, out.overhead_mb};
           });
@@ -40,6 +49,17 @@ int run() {
     }
   }
   report.print_table();
+
+  report.begin_section("stats");
+  const tools::ParsedSeries parsed = capture.analyze();
+  obs::Report::Point& stats_point =
+      report.point()
+          .param("entries", static_cast<std::int64_t>(20000))
+          .param("redundancy", static_cast<std::int64_t>(2));
+  // 10x10 default grid: 100 nodes bound concurrent transmissions.
+  bench::add_stats_point(stats_point, parsed, 100.0);
+  std::printf("\nflight recorder: %zu rows at the saturated point\n",
+              parsed.rows.size());
   return bench::finish(report);
 }
 

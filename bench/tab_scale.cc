@@ -17,20 +17,23 @@
 //   shards     smallest grid PDD across shard_threads 1/2/8 with the
 //              candidate threshold forced to 0 so the worker pool engages:
 //              outcomes must be bit-identical regardless of thread count.
+//   stats      flight-recorder summary (DESIGN.md §15): the largest grid's
+//              PDR run is sampled at 1 Hz sim time (full capture written to
+//              STATS_scale.ndjson for `pdscli stats`), and the shard runs
+//              above each re-capture the same series — the sim-kind
+//              projection must be byte-identical across thread counts.
 //
-// Exit status: nonzero when the oracle or shard runs diverge, or when the
-// env floors below are set and missed (CI sets them; default 0 = report
-// only, so laptops and debug builds stay green).
+// Exit status: nonzero when the oracle, shard outcomes or shard series
+// diverge, or when the env floors below are set and missed (CI sets them;
+// default 0 = report only, so laptops and debug builds stay green).
 //
-// Flags / env:
+// Flags / env (invalid values are fatal, never silently defaulted):
 //   --smoke                     1k + 5k grids only, shorter hold model (CI)
 //   --tiny                      a few hundred nodes, minimal ops (TSan CI)
 //   PDS_SIM_SHARDS              shard_threads for the scenario sweep
 //   PDS_SCALE_MIN_EVENTS_PER_S  floor on every scenario's PDD events/sec
 //   PDS_SCALE_MIN_SCHED_SPEEDUP floor on the calendar/heap speedup at the
 //                               largest pending count
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -40,9 +43,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "sim/event_queue.h"
 #include "workload/experiment.h"
 
@@ -53,28 +58,6 @@ double now_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-double peak_rss_mb() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KB
-}
-
-double env_double(const char* name, double dflt) {
-  if (const char* env = std::getenv(name)) {
-    const double v = std::atof(env);
-    if (v > 0.0) return v;
-  }
-  return dflt;
-}
-
-int env_int(const char* name, int dflt) {
-  if (const char* env = std::getenv(name)) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return dflt;
 }
 
 // -- Scheduler hold model -----------------------------------------------------
@@ -193,14 +176,26 @@ wl::RetrievalGridParams pdr_params(std::size_t side, int shard_threads) {
   return p;
 }
 
-ScenarioResult run_scenario(std::size_t side, int shard_threads) {
+// `stats`, when non-null, flight-records the PDR run (the memory-heavy leg:
+// cached chunk bytes, reassembly buffers) and profiles both legs. Sampling
+// reads state only, so outcomes are identical with or without it.
+ScenarioResult run_scenario(std::size_t side, int shard_threads,
+                            bench::StatsCapture* stats) {
   ScenarioResult r;
   r.nodes = side * side;
+  wl::PddGridParams pp = pdd_params(side, shard_threads);
+  wl::RetrievalGridParams rp = pdr_params(side, shard_threads);
+  if (stats != nullptr) {
+    stats->reset();
+    pp.profiler = stats->profiler();
+    rp.sampler = stats->sampler();
+    rp.profiler = stats->profiler();
+  }
   double t0 = now_s();
-  r.pdd = wl::run_pdd_grid(pdd_params(side, shard_threads));
+  r.pdd = wl::run_pdd_grid(pp);
   r.pdd_wall_s = now_s() - t0;
   t0 = now_s();
-  r.pdr = wl::run_retrieval_grid(pdr_params(side, shard_threads));
+  r.pdr = wl::run_retrieval_grid(rp);
   r.pdr_wall_s = now_s() - t0;
   return r;
 }
@@ -222,7 +217,7 @@ int run(bool smoke, bool tiny) {
       : smoke ? std::vector<std::size_t>{32, 71}
               : std::vector<std::size_t>{32, 71, 141, 224};
   const std::uint64_t hold_ops = tiny ? 20'000 : smoke ? 400'000 : 1'000'000;
-  const int shard_threads = env_int("PDS_SIM_SHARDS", 1);
+  const int shard_threads = bench::env_positive_int("PDS_SIM_SHARDS", 1);
 
   obs::Report::Options options;
   options.experiment = "scale";
@@ -260,8 +255,11 @@ int run(bool smoke, bool tiny) {
                      {"nodes", "pdd recall", "pdd wall (s)", "pdd ev/s",
                       "pdr recall", "pdr wall (s)", "pdr ev/s", "rss (MB)"});
   std::vector<ScenarioResult> results;
+  bench::StatsCapture capture;
   for (const std::size_t side : sides) {
-    const ScenarioResult r = run_scenario(side, shard_threads);
+    // Flight-record the largest grid — the run the RSS budget gate judges.
+    const ScenarioResult r = run_scenario(
+        side, shard_threads, side == sides.back() ? &capture : nullptr);
     const double pdd_eps = r.pdd_wall_s > 0.0
                                ? static_cast<double>(r.pdd.events_executed) /
                                      r.pdd_wall_s
@@ -278,7 +276,7 @@ int run(bool smoke, bool tiny) {
         .metric("pdr.recall", r.pdr.recall, 3)
         .metric("pdr.wall_s", r.pdr_wall_s, 2)
         .metric("pdr.events_per_s", pdr_eps, 0)
-        .metric("peak_rss_mb", peak_rss_mb(), 1)
+        .metric("peak_rss_mb", obs::peak_rss_mb(), 1)
         .hidden_metric("pdd.events",
                        static_cast<double>(r.pdd.events_executed))
         .hidden_metric("pdr.events",
@@ -311,30 +309,74 @@ int run(bool smoke, bool tiny) {
               oracle_identical ? "identical" : "DIVERGED");
 
   // Shard determinism: identical outcomes for 1/2/8 worker threads, with
-  // the candidate threshold forced to 0 so small grids still shard.
+  // the candidate threshold forced to 0 so small grids still shard. Each
+  // run also re-captures the flight-recorder series: the sim-kind
+  // projection must be byte-identical across thread counts too (the
+  // `timeseries-deterministic` gate).
   report.begin_section("shards");
   const std::vector<int> thread_counts = tiny ? std::vector<int>{1, 2}
                                               : std::vector<int>{1, 2, 8};
+  bench::StatsCapture shard_capture;
+  std::string first_series;
   std::vector<wl::PddOutcome> shard_outs;
   bool shards_identical = true;
+  bool series_identical = true;
   for (const int threads : thread_counts) {
     wl::PddGridParams p = pdd_params(sides.front(), threads);
     p.radio.shard_min_candidates = 0;
+    shard_capture.reset();
+    p.sampler = shard_capture.sampler();
+    p.profiler = shard_capture.profiler();
     const double t0 = now_s();
     shard_outs.push_back(wl::run_pdd_grid(p));
     const double wall = now_s() - t0;
     const bool same = pdd_outcomes_identical(shard_outs.front(),
                                              shard_outs.back());
     shards_identical = shards_identical && same;
+    const std::string series = shard_capture.ndjson(/*include_wall=*/false);
+    if (first_series.empty()) first_series = series;
+    const bool series_same = series == first_series;
+    series_identical = series_identical && series_same;
     report.point()
         .param("threads", static_cast<std::int64_t>(threads))
         .metric("wall_s", wall, 2)
-        .param("identical", same, same ? "yes" : "NO");
-    std::printf("shards=%d: wall %.2f s, outcome %s\n", threads, wall,
-                same ? "identical" : "DIVERGED");
+        .param("identical", same, same ? "yes" : "NO")
+        .param("series_identical", series_same, series_same ? "yes" : "NO");
+    std::printf("shards=%d: wall %.2f s, outcome %s, series %s\n", threads,
+                wall, same ? "identical" : "DIVERGED",
+                series_same ? "identical" : "DIVERGED");
   }
 
+  // Flight-recorder summary over the largest grid's sampled PDR run; the
+  // full capture goes to STATS_scale.ndjson for `pdscli stats`. Utilization
+  // is average concurrent transmissions, so node count is its hard ceiling.
+  report.begin_section("stats");
+  const tools::ParsedSeries parsed = capture.analyze();
+  obs::Report::Point& stats_point =
+      report.point()
+          .param("nodes",
+                 static_cast<std::int64_t>(sides.back() * sides.back()))
+          .param("identical", series_identical,
+                 series_identical ? "yes" : "NO");
+  bench::add_stats_point(stats_point, parsed,
+                         static_cast<double>(sides.back() * sides.back()));
+  std::printf("\nflight recorder: %zu rows over the %zu-node PDR run, "
+              "series across shard threads %s\n",
+              parsed.rows.size(), sides.back() * sides.back(),
+              series_identical ? "identical" : "DIVERGED");
+
   int rc = 0;
+  if (!capture.write("STATS_scale.ndjson")) {
+    std::fprintf(stderr, "FAIL: cannot write STATS_scale.ndjson\n");
+    rc = 1;
+  } else {
+    std::printf("wrote STATS_scale.ndjson\n");
+  }
+  if (!series_identical) {
+    std::fprintf(stderr,
+                 "FAIL: flight-recorder series depends on thread count\n");
+    rc = 1;
+  }
   if (report.write_json()) {
     std::printf("wrote %s\n", report.json_path().c_str());
   } else {
@@ -349,7 +391,8 @@ int run(bool smoke, bool tiny) {
     std::fprintf(stderr, "FAIL: sharded outcomes depend on thread count\n");
     rc = 1;
   }
-  const double min_eps = env_double("PDS_SCALE_MIN_EVENTS_PER_S", 0.0);
+  const double min_eps =
+      bench::env_nonneg_double("PDS_SCALE_MIN_EVENTS_PER_S", 0.0);
   if (min_eps > 0.0) {
     for (const ScenarioResult& r : results) {
       const double eps = r.pdd_wall_s > 0.0
@@ -365,7 +408,8 @@ int run(bool smoke, bool tiny) {
       }
     }
   }
-  const double min_speedup = env_double("PDS_SCALE_MIN_SCHED_SPEEDUP", 0.0);
+  const double min_speedup =
+      bench::env_nonneg_double("PDS_SCALE_MIN_SCHED_SPEEDUP", 0.0);
   if (min_speedup > 0.0 && largest_speedup < min_speedup) {
     std::fprintf(stderr,
                  "FAIL: scheduler speedup %.2fx below required %.2fx\n",

@@ -13,7 +13,9 @@
 // and RNG draws.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <new>
 #include <unordered_map>
@@ -21,6 +23,16 @@
 #include <vector>
 
 namespace pds {
+
+// Pool accounting the flight recorder samples (DESIGN.md §15): lifetime
+// counters plus a high-water mark. Counters survive reset()/release_all() —
+// the recorder wants "how hard was this pool worked over the whole run",
+// not "since the last trim".
+struct PoolStats {
+  std::uint64_t acquires = 0;   // total acquire()/allocate() calls
+  std::uint64_t reuses = 0;     // calls served from the free list
+  std::size_t high_water = 0;   // peak parked entries (or bytes for BlockPool)
+};
 
 // Recycles std::vector buffers: acquire() returns an empty vector that keeps
 // the capacity it had when released, so a stable working set stops touching
@@ -31,7 +43,9 @@ class VectorPool {
   explicit VectorPool(std::size_t max_parked = 64) : max_parked_(max_parked) {}
 
   [[nodiscard]] std::vector<T> acquire() {
+    ++stats_.acquires;
     if (parked_.empty()) return {};
+    ++stats_.reuses;
     std::vector<T> v = std::move(parked_.back());
     parked_.pop_back();
     return v;
@@ -41,14 +55,20 @@ class VectorPool {
     v.clear();
     if (parked_.size() < max_parked_ && v.capacity() > 0) {
       parked_.push_back(std::move(v));
+      stats_.high_water = std::max(stats_.high_water, parked_.size());
     }
   }
 
+  // Frees every parked buffer; lifetime stats are preserved.
+  void reset() { parked_.clear(); }
+
   [[nodiscard]] std::size_t parked() const { return parked_.size(); }
+  [[nodiscard]] const PoolStats& stats() const { return stats_; }
 
  private:
   std::vector<std::vector<T>> parked_;
   std::size_t max_parked_;
+  PoolStats stats_;
 };
 
 // Size-class keyed free lists of raw blocks, one pool per thread. Backs
@@ -65,8 +85,11 @@ class BlockPool {
   }
 
   void* allocate(std::size_t bytes) {
+    ++stats_.acquires;
     auto it = free_.find(bytes);
     if (it != free_.end() && !it->second.empty()) {
+      ++stats_.reuses;
+      parked_bytes_ -= bytes;
       void* p = it->second.back();
       it->second.pop_back();
       return p;
@@ -85,7 +108,24 @@ class BlockPool {
       return;
     }
     list.push_back(p);
+    parked_bytes_ += bytes;
+    stats_.high_water = std::max(stats_.high_water, parked_bytes_);
   }
+
+  // Returns every parked block to the system; lifetime stats survive. The
+  // flight recorder reads parked_bytes() as a wall-kind column (the pool is
+  // thread-local, so its occupancy depends on which worker thread — and how
+  // many prior seeds — warmed it).
+  void release_all() {
+    for (auto& [bytes, list] : free_) {
+      for (void* p : list) ::operator delete(p);
+      list.clear();
+    }
+    parked_bytes_ = 0;
+  }
+
+  [[nodiscard]] std::size_t parked_bytes() const { return parked_bytes_; }
+  [[nodiscard]] const PoolStats& stats() const { return stats_; }
 
   ~BlockPool() {
     // Lookup-only map: never iterated for output (the parked blocks hold no
@@ -105,6 +145,8 @@ class BlockPool {
   static constexpr std::size_t kMaxPerClass = 4096;
 
   std::unordered_map<std::size_t, std::vector<void*>> free_;
+  std::size_t parked_bytes_ = 0;
+  PoolStats stats_;
 };
 
 // Standard allocator over BlockPool::local(); drop-in for allocate_shared.

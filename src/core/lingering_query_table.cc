@@ -1,5 +1,7 @@
 #include "core/lingering_query_table.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace pds::core {
@@ -47,6 +49,16 @@ std::size_t LingeringQueryTable::purge_upstream(NodeId upstream,
     }
   }
   return dropped;
+}
+
+LingeringQueryTable::BloomStats LingeringQueryTable::bloom_stats() const {
+  BloomStats out;
+  for (const auto& [id, lq] : table_) {
+    if (lq.exclude.empty_filter()) continue;
+    ++out.filters;
+    out.max_fill = std::max(out.max_fill, lq.exclude.fill_ratio());
+  }
+  return out;
 }
 
 std::size_t LingeringQueryTable::sweep(SimTime now) {

@@ -8,6 +8,7 @@
 #include "common/assert.h"
 #include "core/causal.h"
 #include "core/flood.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace pds::core {
@@ -67,6 +68,7 @@ std::vector<std::uint64_t> PddEngine::payload_keys(const net::Message& r) {
 }
 
 void PddEngine::handle_query(const net::MessagePtr& query) {
+  PDS_PROF_SCOPE(ctx_.sim.profiler(), "pdd");
   PDS_ENSURE(query->is_query() && is_pdd_kind(query->kind));
   const SimTime now = ctx_.now();
   if (query->expire_at <= now) return;
@@ -281,6 +283,7 @@ void PddEngine::serve_new_publication(const net::ItemPayload& item) {
 }
 
 void PddEngine::handle_response(const net::MessagePtr& response) {
+  PDS_PROF_SCOPE(ctx_.sim.profiler(), "pdd");
   PDS_ENSURE(response->is_response() && is_pdd_kind(response->kind));
   const SimTime now = ctx_.now();
   const PdsConfig& cfg = ctx_.config;

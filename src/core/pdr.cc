@@ -9,6 +9,7 @@
 #include "common/assert.h"
 #include "core/causal.h"
 #include "core/flood.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace pds::core {
@@ -84,6 +85,7 @@ void PdrEngine::answer_cdi(LingeringQuery& lq,
 }
 
 void PdrEngine::handle_cdi_query(const net::MessagePtr& query) {
+  PDS_PROF_SCOPE(ctx_.sim.profiler(), "pdr");
   PDS_ENSURE(query->is_query() && query->kind == net::ContentKind::kCdi);
   PDS_ENSURE(query->target.has_value());
   const SimTime now = ctx_.now();
@@ -110,6 +112,7 @@ void PdrEngine::handle_cdi_query(const net::MessagePtr& query) {
 }
 
 void PdrEngine::handle_cdi_response(const net::MessagePtr& response) {
+  PDS_PROF_SCOPE(ctx_.sim.profiler(), "pdr");
   PDS_ENSURE(response->is_response() &&
              response->kind == net::ContentKind::kCdi);
   PDS_ENSURE(response->target.has_value());
@@ -260,6 +263,7 @@ ChunkPlan plan_chunk_requests(const NodeContext& ctx, ItemId item,
 }
 
 void PdrEngine::handle_chunk_query(const net::MessagePtr& query) {
+  PDS_PROF_SCOPE(ctx_.sim.profiler(), "pdr");
   PDS_ENSURE(query->is_query() && query->kind == net::ContentKind::kChunk);
   PDS_ENSURE(query->target.has_value());
   const SimTime now = ctx_.now();
@@ -356,6 +360,7 @@ void PdrEngine::handle_chunk_query(const net::MessagePtr& query) {
 }
 
 void PdrEngine::handle_chunk_response(const net::MessagePtr& response) {
+  PDS_PROF_SCOPE(ctx_.sim.profiler(), "pdr");
   PDS_ENSURE(response->is_response() &&
              response->kind == net::ContentKind::kChunk);
   PDS_ENSURE(response->target.has_value());

@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace pds::net {
@@ -81,6 +82,7 @@ std::vector<Transport::Packet> Transport::packetize(
 }
 
 void Transport::send(MessagePtr msg) {
+  PDS_PROF_SCOPE(sim_.profiler(), "transport");
   PDS_ENSURE(msg != nullptr);
   const bool reliable = cfg_.reliability_enabled && !msg->is_ack() &&
                         !msg->receivers.empty();
@@ -421,6 +423,7 @@ void Transport::handle_repair_request(const Message& request) {
 }
 
 void Transport::on_frame(const sim::Frame& frame) {
+  PDS_PROF_SCOPE(sim_.profiler(), "transport");
   if (auto msg = std::dynamic_pointer_cast<const Message>(frame.payload)) {
     if (msg->is_repair()) {
       handle_repair_request(*msg);

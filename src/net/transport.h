@@ -140,6 +140,22 @@ class Transport final {
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] const Codec& codec() const { return codec_; }
 
+  // -- Flight-recorder sampling accessors (DESIGN.md §15) --------------------
+  // Instantaneous backlog snapshots, read-only. Summed (or maxed) across
+  // nodes by the Scenario collector.
+  [[nodiscard]] std::size_t inflight() const { return inflight_; }
+  [[nodiscard]] std::size_t queued_sends() const { return send_queue_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::size_t reassembly_count() const {
+    return reassembly_.size();
+  }
+  // Pacing backlog: how far the leaky bucket's next free slot sits past
+  // `now` (µs); 0 when the bucket would admit a send immediately.
+  [[nodiscard]] std::int64_t bucket_backlog_us(SimTime now) const {
+    const SimTime free_at = bucket_.next_free();
+    return free_at > now ? (free_at - now).as_micros() : 0;
+  }
+
   // Surfaces Stats through a metrics registry as "<prefix>messages_sent"
   // etc. — a view over the same fields, read at snapshot time.
   void register_metrics(obs::MetricsRegistry& registry,

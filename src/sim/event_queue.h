@@ -56,6 +56,26 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return live_count_; }
   [[nodiscard]] SchedulerKind kind() const { return kind_; }
 
+  // -- Occupancy introspection (flight recorder, DESIGN.md §15) --------------
+  // Read-only structural counters the sim-time sampler snapshots; none of
+  // them prune dead entries or move the window, so sampling never perturbs
+  // the queue. For kHeap, ring/overflow decompose as "everything is
+  // overflow" so the columns stay meaningful under the oracle scheduler.
+  [[nodiscard]] std::size_t ring_live() const {
+    return kind_ == SchedulerKind::kCalendar ? cal_.ring_live : 0;
+  }
+  [[nodiscard]] std::size_t overflow_depth() const {
+    return kind_ == SchedulerKind::kCalendar ? cal_.overflow.size()
+                                             : heap_.heap.size();
+  }
+  // Entries allocated in the backing store (calendar slot pool including the
+  // free list, or the heap vector including dead entries awaiting lazy
+  // cleanup) — the queue's memory footprint in entries.
+  [[nodiscard]] std::size_t slot_pool_size() const {
+    return kind_ == SchedulerKind::kCalendar ? cal_.slots.size()
+                                             : heap_.heap.size();
+  }
+
   // Pops and returns the earliest live event. Precondition: !empty().
   struct Popped {
     SimTime at;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include <unordered_map>
+
 #include "common/assert.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace pds::sim {
@@ -376,6 +379,7 @@ void RadioMedium::attempt_transmission(Index idx) {
 }
 
 void RadioMedium::start_transmission(Index idx) {
+  PDS_PROF_SCOPE(sim_.profiler(), "radio");
   NodeState& st = states_[idx];
   Frame frame = std::move(st.os_queue.front());
   st.os_queue.pop_front();
@@ -390,6 +394,7 @@ void RadioMedium::start_transmission(Index idx) {
 
   ++stats_.frames_transmitted;
   stats_.bytes_transmitted += frame.size_bytes;
+  stats_.air_time_us += static_cast<std::uint64_t>(airtime.as_micros());
   PDS_TRACE_INSTANT(sim_.tracer(), sim_.now(), st.id, "radio", "tx",
                     {"bytes", frame.size_bytes},
                     {"control", static_cast<std::int64_t>(frame.control)});
@@ -448,6 +453,7 @@ void RadioMedium::start_transmission(Index idx) {
   };
 
   if (shards_ && cands.size() >= cfg_.shard_min_candidates) {
+    PDS_PROF_SCOPE(sim_.profiler(), "classify-shards");
     shards_->run(cands.size(), classify);
   } else {
     classify(0, cands.size(), 0);
@@ -557,6 +563,29 @@ void RadioMedium::finish_reception(Index ridx, std::uint64_t tx_seq,
   rx.sink->on_frame(frame);
 }
 
+RadioMedium::TxCellOccupancy RadioMedium::tx_cell_occupancy() const {
+  TxCellOccupancy out;
+  // Small map: |transmitting_| concurrent transmitters, not N nodes. Only
+  // the distinct-cell count and the per-cell max leave this function, both
+  // independent of hash iteration order.
+  std::unordered_map<std::uint64_t, std::size_t> per_cell;
+  per_cell.reserve(transmitting_.size());
+  for (Index idx : transmitting_) {
+    const std::uint64_t key = coarse_key(cell_fx_[idx] >> kCoarseShift,
+                                         cell_fy_[idx] >> kCoarseShift);
+    const std::size_t n = ++per_cell[key];
+    out.max_per_cell = std::max(out.max_per_cell, n);
+  }
+  out.cells = per_cell.size();
+  return out;
+}
+
+std::size_t RadioMedium::total_os_backlog_bytes() const {
+  std::size_t total = 0;
+  for (const NodeState& st : states_) total += st.os_bytes;
+  return total;
+}
+
 void RadioMedium::register_metrics(obs::MetricsRegistry& registry,
                                    const std::string& prefix) const {
   registry.expose_counter(prefix + "frames_offered", &stats_.frames_offered);
@@ -565,6 +594,7 @@ void RadioMedium::register_metrics(obs::MetricsRegistry& registry,
                           &stats_.frames_transmitted);
   registry.expose_counter(prefix + "bytes_transmitted",
                           &stats_.bytes_transmitted);
+  registry.expose_counter(prefix + "air_time_us", &stats_.air_time_us);
   registry.expose_counter(prefix + "deliveries", &stats_.deliveries);
   registry.expose_counter(prefix + "losses_collision",
                           &stats_.losses_collision);

@@ -167,6 +167,10 @@ struct MediumStats {
   std::uint64_t os_buffer_drops = 0;
   std::uint64_t frames_transmitted = 0;
   std::uint64_t bytes_transmitted = 0;
+  // Cumulative on-air time across all transmissions (µs). The flight
+  // recorder differentiates this per sample interval to get channel
+  // utilization: Δair_us / interval_us = average concurrent transmissions.
+  std::uint64_t air_time_us = 0;
   std::uint64_t deliveries = 0;  // per-receiver successful receptions
   std::uint64_t losses_collision = 0;
   std::uint64_t losses_noise = 0;
@@ -246,6 +250,32 @@ class RadioMedium {
   }
 
   [[nodiscard]] const RadioConfig& config() const { return cfg_; }
+
+  // -- Flight-recorder sampling accessors (DESIGN.md §15) --------------------
+  // Read-only structural snapshots for the sim-time sampler; none mutate
+  // state, so sampling never perturbs the medium.
+  [[nodiscard]] std::size_t active_transmitters() const {
+    return transmitting_.size();
+  }
+  // Spatial spread of the instantaneous transmitter set over coarse grid
+  // cells: how many distinct cells hold a transmitter, and the deepest
+  // single-cell pileup (local contention hot spot).
+  struct TxCellOccupancy {
+    std::size_t cells = 0;
+    std::size_t max_per_cell = 0;
+  };
+  [[nodiscard]] TxCellOccupancy tx_cell_occupancy() const;
+  // Total OS send-buffer backlog across all nodes (bytes).
+  [[nodiscard]] std::size_t total_os_backlog_bytes() const;
+  // Receiver-list vectors parked in the recycling pool. Per-run state used
+  // identically by the serial and sharded paths, so it samples as a
+  // deterministic sim column.
+  [[nodiscard]] std::size_t receiver_pool_parked() const {
+    return receiver_pool_.parked();
+  }
+  [[nodiscard]] const PoolStats& receiver_pool_stats() const {
+    return receiver_pool_.stats();
+  }
 
   // Surfaces MediumStats through a metrics registry as
   // "<prefix>frames_offered" etc. — registry-backed views over the same

@@ -10,6 +10,8 @@
 #include "sim/event_queue.h"
 
 namespace pds::obs {
+class Profiler;
+class TimeSeries;
 class Tracer;
 }  // namespace pds::obs
 
@@ -35,6 +37,20 @@ class Simulator {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
+  // Sim-time resource sampler (obs/timeseries.h), owned by the caller. The
+  // run loop commits a row at every interval boundary the clock crosses —
+  // before executing the event that crosses it, so a row reflects the state
+  // "just before t". Null means unsampled; the disabled cost is one pointer
+  // compare per event (gated <1% like the tracer).
+  void set_sampler(obs::TimeSeries* sampler) { sampler_ = sampler; }
+  [[nodiscard]] obs::TimeSeries* sampler() const { return sampler_; }
+
+  // Scoped wall-clock profiler (obs/profiler.h), owned by the caller;
+  // subsystems open PDS_PROF_SCOPE scopes against it. Wall readings never
+  // feed simulation state.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] obs::Profiler* profiler() const { return profiler_; }
+
   // Schedule `action` to run `delay` after the current time.
   EventQueue::EventId schedule(SimTime delay, EventQueue::Action action) {
     return schedule_at(now_ + delay, std::move(action));
@@ -50,6 +66,8 @@ class Simulator {
     return events_executed_;
   }
   [[nodiscard]] SchedulerKind scheduler() const { return queue_.kind(); }
+  // Read-only queue view for occupancy sampling (size, ring/overflow split).
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
  private:
   SimTime now_ = SimTime::zero();
@@ -58,6 +76,8 @@ class Simulator {
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  obs::TimeSeries* sampler_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace pds::sim

@@ -72,6 +72,8 @@ PddOutcome run_pdd_grid(const PddGridParams& params) {
   Grid grid = make_grid(setup, params.seed);
   Scenario& sc = *grid.scenario;
   sc.set_tracer(params.tracer);
+  sc.attach_sampler(params.sampler);
+  sc.set_profiler(params.profiler);
 
   Rng rng(params.seed * 7919 + 17);
   const std::vector<NodeId> consumers =
@@ -229,6 +231,8 @@ RetrievalOutcome run_retrieval_grid(const RetrievalGridParams& params) {
   Grid grid = make_grid(setup, params.seed);
   Scenario& sc = *grid.scenario;
   sc.set_tracer(params.tracer);
+  sc.attach_sampler(params.sampler);
+  sc.set_profiler(params.profiler);
 
   Rng rng(params.seed * 6151 + 3);
   const std::vector<NodeId> consumers =

@@ -17,6 +17,8 @@
 #include "workload/scenario.h"
 
 namespace pds::obs {
+class Profiler;
+class TimeSeries;
 class Tracer;
 }  // namespace pds::obs
 
@@ -44,6 +46,11 @@ struct PddGridParams {
   // Optional structured-event tracer attached to the run's simulator (owned
   // by the caller; see src/obs/trace.h). Tracing never perturbs outcomes.
   obs::Tracer* tracer = nullptr;
+  // Optional flight-recorder sampler / wall-clock profiler (obs/timeseries.h,
+  // obs/profiler.h; both caller-owned). Sampling reads state only, so
+  // sampled and unsampled runs stay byte-identical.
+  obs::TimeSeries* sampler = nullptr;
+  obs::Profiler* profiler = nullptr;
   // Deterministic fault schedule (crash/churn/partition/burst/storm)
   // installed against the scenario before any session starts; empty = clean
   // run (see sim/faults.h and DESIGN.md §11).
@@ -118,6 +125,9 @@ struct RetrievalGridParams {
   std::uint64_t seed = 1;
   SimTime horizon = SimTime::seconds(900.0);
   obs::Tracer* tracer = nullptr;
+  // Flight-recorder hooks (see PddGridParams).
+  obs::TimeSeries* sampler = nullptr;
+  obs::Profiler* profiler = nullptr;
   sim::FaultSchedule faults;
 };
 

@@ -1,9 +1,12 @@
 #include "workload/scenario.h"
 
+#include <algorithm>
 #include <string>
 
+#include "common/arena.h"
 #include "common/assert.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace pds::wl {
 
@@ -38,6 +41,104 @@ void Scenario::register_metrics(obs::MetricsRegistry& registry) {
     node(id).transport().register_metrics(
         registry, "node" + std::to_string(id.value()) + ".transport.");
   }
+}
+
+void Scenario::attach_sampler(obs::TimeSeries* sampler) {
+  sim_.set_sampler(sampler);
+  if (sampler == nullptr) return;
+
+  // Column ids for the collector below; registration is idempotent, so
+  // re-attaching the same series to a fresh scenario reuses the layout.
+  struct Cols {
+    int queue_len, ring_live, overflow_depth, slot_pool, events;
+    int active_tx, tx_cells, max_cell_tx, air_us, radio_bytes, os_backlog;
+    int inflight, send_queue, pending, reassembly, bucket_backlog;
+    int store_meta, store_items, chunk_bytes, lqt_entries, bloom_fill;
+    int rx_pool, block_pool, rss;
+  };
+  obs::TimeSeries& ts = *sampler;
+  const Cols c{
+      PDS_TS_COLUMN(ts, "sched.queue_len"),
+      PDS_TS_COLUMN(ts, "sched.ring_live"),
+      PDS_TS_COLUMN(ts, "sched.overflow_depth"),
+      PDS_TS_COLUMN(ts, "sched.slot_pool"),
+      PDS_TS_COLUMN(ts, "sim.events"),
+      PDS_TS_COLUMN(ts, "radio.active_tx"),
+      PDS_TS_COLUMN(ts, "radio.tx_cells"),
+      PDS_TS_COLUMN(ts, "radio.max_cell_tx"),
+      PDS_TS_COLUMN(ts, "radio.air_us"),
+      PDS_TS_COLUMN(ts, "radio.bytes"),
+      PDS_TS_COLUMN(ts, "radio.os_backlog_bytes"),
+      PDS_TS_COLUMN(ts, "transport.inflight"),
+      PDS_TS_COLUMN(ts, "transport.send_queue"),
+      PDS_TS_COLUMN(ts, "transport.pending"),
+      PDS_TS_COLUMN(ts, "transport.reassembly"),
+      PDS_TS_COLUMN(ts, "transport.bucket_backlog_us_max"),
+      PDS_TS_COLUMN(ts, "store.metadata"),
+      PDS_TS_COLUMN(ts, "store.items"),
+      PDS_TS_COLUMN(ts, "store.chunk_bytes"),
+      PDS_TS_COLUMN(ts, "lqt.entries"),
+      PDS_TS_COLUMN(ts, "lqt.bloom_fill_max"),
+      PDS_TS_COLUMN(ts, "arena.rx_pool_parked"),
+      PDS_TS_COLUMN(ts, "arena.block_pool_bytes", obs::TimeSeries::Kind::kWall),
+      PDS_TS_COLUMN(ts, "rss.peak_mb", obs::TimeSeries::Kind::kWall),
+  };
+
+  sampler->set_collector([this, c](SimTime now, obs::TimeSeries& out) {
+    const sim::EventQueue& q = sim_.queue();
+    out.set(c.queue_len, static_cast<double>(q.size()));
+    out.set(c.ring_live, static_cast<double>(q.ring_live()));
+    out.set(c.overflow_depth, static_cast<double>(q.overflow_depth()));
+    out.set(c.slot_pool, static_cast<double>(q.slot_pool_size()));
+    out.set(c.events, static_cast<double>(sim_.events_executed()));
+
+    const auto tx = medium_.tx_cell_occupancy();
+    out.set(c.active_tx, static_cast<double>(medium_.active_transmitters()));
+    out.set(c.tx_cells, static_cast<double>(tx.cells));
+    out.set(c.max_cell_tx, static_cast<double>(tx.max_per_cell));
+    out.set(c.air_us, static_cast<double>(medium_.stats().air_time_us));
+    out.set(c.radio_bytes,
+            static_cast<double>(medium_.stats().bytes_transmitted));
+    out.set(c.os_backlog,
+            static_cast<double>(medium_.total_os_backlog_bytes()));
+
+    double inflight = 0, send_queue = 0, pending = 0, reassembly = 0;
+    double bucket_max = 0, meta = 0, items = 0, chunk_bytes = 0;
+    double lqt_entries = 0, bloom_max = 0;
+    for (const NodeId id : order_) {
+      core::PdsNode& n = node(id);
+      const net::Transport& t = n.transport();
+      inflight += static_cast<double>(t.inflight());
+      send_queue += static_cast<double>(t.queued_sends());
+      pending += static_cast<double>(t.pending_count());
+      reassembly += static_cast<double>(t.reassembly_count());
+      bucket_max = std::max(bucket_max,
+                            static_cast<double>(t.bucket_backlog_us(now)));
+      meta += static_cast<double>(n.store().metadata_count(now));
+      items += static_cast<double>(n.store().item_count());
+      chunk_bytes += static_cast<double>(n.store().cached_chunk_bytes());
+      lqt_entries += static_cast<double>(n.lqt().size());
+      bloom_max = std::max(bloom_max, n.lqt().bloom_stats().max_fill);
+    }
+    out.set(c.inflight, inflight);
+    out.set(c.send_queue, send_queue);
+    out.set(c.pending, pending);
+    out.set(c.reassembly, reassembly);
+    out.set(c.bucket_backlog, bucket_max);
+    out.set(c.store_meta, meta);
+    out.set(c.store_items, items);
+    out.set(c.chunk_bytes, chunk_bytes);
+    out.set(c.lqt_entries, lqt_entries);
+    out.set(c.bloom_fill, bloom_max);
+
+    out.set(c.rx_pool, static_cast<double>(medium_.receiver_pool_parked()));
+    // Wall-kind columns: thread/host facts, excluded from the deterministic
+    // projection (the thread-local block pool depends on which worker thread
+    // runs this seed and how many seeds warmed it before).
+    out.set(c.block_pool,
+            static_cast<double>(BlockPool::local().parked_bytes()));
+    out.set(c.rss, obs::peak_rss_mb());
+  });
 }
 
 void Scenario::install_faults(const sim::FaultSchedule& schedule) {

@@ -17,6 +17,8 @@
 
 namespace pds::obs {
 class MetricsRegistry;
+class Profiler;
+class TimeSeries;
 class Tracer;
 }  // namespace pds::obs
 
@@ -54,6 +56,18 @@ class Scenario {
   // Attaches a structured-event tracer (null detaches). The tracer must
   // outlive the scenario's simulation runs.
   void set_tracer(obs::Tracer* tracer) { sim_.set_tracer(tracer); }
+
+  // Attaches the flight-recorder sampler (null detaches): registers the full
+  // column catalog (tools/stats_schema.h) and installs a collector that
+  // snapshots scheduler occupancy, radio channel state, transport backlogs,
+  // per-node store/LQT state and pool/RSS probes at every interval boundary.
+  // Reads state only — sampled and unsampled runs stay byte-identical. The
+  // sampler must outlive the scenario's simulation runs.
+  void attach_sampler(obs::TimeSeries* sampler);
+
+  // Attaches the scoped wall-clock profiler (null detaches); subsystem
+  // PDS_PROF_SCOPE sites resolve through the simulator.
+  void set_profiler(obs::Profiler* profiler) { sim_.set_profiler(profiler); }
 
   // Exposes the medium's stats plus every node's transport stats through
   // `registry` ("radio.*", "node<N>.transport.*"). Call after all nodes are

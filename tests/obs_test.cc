@@ -1,19 +1,27 @@
 // Unit tests for src/obs: metrics registry (counters/gauges/histograms,
-// snapshot/diff/merge, exposed-struct views) and the sim-time tracer (ring
-// buffer, NDJSON/Chrome rendering, macro no-eval guarantees), plus the
-// tools/trace_reader.h parser against the writer.
+// snapshot/diff/merge, exposed-struct views), the sim-time tracer (ring
+// buffer, NDJSON/Chrome rendering, macro no-eval guarantees) with the
+// tools/trace_reader.h parser, and the flight recorder (obs/timeseries.h
+// sampler, obs/profiler.h scoped profiler) with the tools/stats_analysis.h
+// parser.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/arena.h"
 #include "common/sim_clock.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/radio.h"
 #include "sim/simulator.h"
+#include "tools/stats_analysis.h"
 #include "tools/trace_reader.h"
 #include "workload/scenario.h"
 
@@ -237,6 +245,253 @@ TEST(TraceReader, RejectsMalformedLines) {
   const auto events = tools::read_trace(in, bad_line);
   EXPECT_EQ(events.size(), 1u);
   EXPECT_EQ(bad_line, 2u);
+}
+
+TEST(TimeSeries, CommitsOneRowPerBoundaryAndSkipsStale) {
+  TimeSeries ts(SimTime::millis(10));
+  const int col = ts.column("test.value");
+  int fired = 0;
+  ts.set_collector([&](SimTime now, TimeSeries& out) {
+    ++fired;
+    out.set(col, static_cast<double>(now.as_micros()));
+  });
+  ts.advance_to(SimTime::millis(5));  // before the first boundary
+  EXPECT_EQ(ts.row_count(), 0u);
+  ts.advance_to(SimTime::millis(35));  // crosses 10, 20, 30 ms
+  EXPECT_EQ(ts.row_count(), 3u);
+  EXPECT_EQ(fired, 3);
+  ts.advance_to(SimTime::millis(20));  // non-monotone: no new boundary
+  EXPECT_EQ(ts.row_count(), 3u);
+  EXPECT_EQ(ts.row_time(0), SimTime::millis(10));
+  EXPECT_EQ(ts.row_time(2), SimTime::millis(30));
+  // The collector sees the boundary time, not the caller's clock.
+  EXPECT_DOUBLE_EQ(ts.value(1, col), 20'000.0);
+}
+
+TEST(TimeSeries, ColumnRegistrationIsIdempotentAndOrdered) {
+  TimeSeries ts(SimTime::seconds(1.0));
+  const int a = ts.column("a", TimeSeries::Kind::kSim);
+  const int b = ts.column("b", TimeSeries::Kind::kWall);
+  EXPECT_EQ(ts.column("a"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ts.column_count(), 2u);
+  EXPECT_STREQ(ts.column_name(a), "a");
+  EXPECT_EQ(ts.column_kind(b), TimeSeries::Kind::kWall);
+}
+
+TEST(TimeSeries, NdjsonDropsWallColumnsFromDeterministicProjection) {
+  TimeSeries ts(SimTime::seconds(1.0));
+  const int sim_col = ts.column("sim.col", TimeSeries::Kind::kSim);
+  const int wall_col = ts.column("wall.col", TimeSeries::Kind::kWall);
+  ts.set_collector([&](SimTime, TimeSeries& out) {
+    out.set(sim_col, 7.0);
+    out.set(wall_col, 9.0);
+  });
+  ts.advance_to(SimTime::seconds(2.0));
+
+  std::string error;
+  const auto full = tools::parse_timeseries(ts.ndjson(true), &error);
+  ASSERT_TRUE(full.has_value()) << error;
+  ASSERT_EQ(full->columns.size(), 2u);
+  EXPECT_EQ(full->columns[1].kind, "wall");
+  ASSERT_EQ(full->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(full->rows[0].v[1], 9.0);
+
+  const auto sim_only = tools::parse_timeseries(ts.ndjson(false), &error);
+  ASSERT_TRUE(sim_only.has_value()) << error;
+  ASSERT_EQ(sim_only->columns.size(), 1u);
+  EXPECT_EQ(sim_only->columns[0].name, "sim.col");
+  ASSERT_EQ(sim_only->rows.size(), 2u);
+  ASSERT_EQ(sim_only->rows[0].v.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim_only->rows[0].v[0], 7.0);
+}
+
+TEST(TimeSeries, ResetKeepsColumnsAndCollector) {
+  TimeSeries ts(SimTime::seconds(1.0));
+  const int col = ts.column("test.value");
+  ts.set_collector(
+      [&](SimTime, TimeSeries& out) { out.set(col, 1.0); });
+  ts.advance_to(SimTime::seconds(3.0));
+  EXPECT_EQ(ts.row_count(), 3u);
+  ts.reset();
+  EXPECT_EQ(ts.row_count(), 0u);
+  EXPECT_EQ(ts.column_count(), 1u);
+  ts.advance_to(SimTime::seconds(1.0));
+  ASSERT_EQ(ts.row_count(), 1u);  // collector survived the reset
+  EXPECT_DOUBLE_EQ(ts.value(0, col), 1.0);
+}
+
+TEST(Profiler, NestedScopesBuildPathsAndCountCalls) {
+  Profiler prof;
+  for (int i = 0; i < 3; ++i) {
+    PDS_PROF_SCOPE(&prof, "sim");
+    {
+      PDS_PROF_SCOPE(&prof, "radio");
+    }
+  }
+  const auto entries = prof.snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  // Sorted by path: "sim" then "sim/radio".
+  EXPECT_EQ(entries[0].path, "sim");
+  EXPECT_EQ(entries[0].depth, 0);
+  EXPECT_EQ(entries[0].calls, 3u);
+  EXPECT_EQ(entries[1].path, "sim/radio");
+  EXPECT_EQ(entries[1].depth, 1);
+  EXPECT_EQ(entries[1].calls, 3u);
+  EXPECT_GE(entries[0].ns, entries[1].ns);
+}
+
+TEST(Profiler, DisabledAndDetachedScopesAreInert) {
+  Profiler prof;
+  prof.set_enabled(false);
+  {
+    PDS_PROF_SCOPE(&prof, "sim");
+  }
+  EXPECT_TRUE(prof.snapshot().empty());
+  Profiler* null_prof = nullptr;
+  {
+    PDS_PROF_SCOPE(null_prof, "sim");  // must not crash
+  }
+}
+
+TEST(Profiler, MergeSnapshotsFoldsByPath) {
+  Profiler a;
+  Profiler b;
+  {
+    PDS_PROF_SCOPE(&a, "sim");
+  }
+  {
+    PDS_PROF_SCOPE(&b, "sim");
+    PDS_PROF_SCOPE(&b, "radio");
+  }
+  const auto merged = Profiler::merge_snapshots({a.snapshot(), b.snapshot()});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].path, "sim");
+  EXPECT_EQ(merged[0].calls, 2u);
+  EXPECT_EQ(merged[1].path, "sim/radio");
+  EXPECT_EQ(merged[1].calls, 1u);
+}
+
+TEST(Profiler, ConcurrentScopesOnSharedProfilerStayConsistent) {
+  Profiler prof;
+  std::vector<std::thread> pool;
+  for (int w = 0; w < 4; ++w) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        PDS_PROF_SCOPE(&prof, "sim");
+        PDS_PROF_SCOPE(&prof, "transport");
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const auto entries = prof.snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].path, "sim");
+  EXPECT_EQ(entries[0].calls, 4000u);
+  EXPECT_EQ(entries[1].path, "sim/transport");
+  EXPECT_EQ(entries[1].calls, 4000u);
+}
+
+TEST(Profiler, ProfileJsonLineRoundTripsThroughStatsAnalysis) {
+  Profiler prof;
+  {
+    PDS_PROF_SCOPE(&prof, "sim");
+    PDS_PROF_SCOPE(&prof, "pdd");
+  }
+  // A profile line is valid only appended to a series body.
+  TimeSeries ts(SimTime::seconds(1.0));
+  ts.column("test.value");
+  ts.advance_to(SimTime::seconds(1.0));
+  const std::string text =
+      ts.ndjson() + Profiler::profile_json_line(prof.snapshot());
+  std::string error;
+  const auto parsed = tools::parse_timeseries(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->profile.size(), 2u);
+  EXPECT_EQ(parsed->profile[0].path, "sim");
+  EXPECT_EQ(parsed->profile[0].depth, 0);
+  EXPECT_EQ(parsed->profile[0].calls, 1u);
+  EXPECT_EQ(parsed->profile[1].path, "sim/pdd");
+  EXPECT_EQ(parsed->profile[1].depth, 1);
+  EXPECT_GE(parsed->profile[0].ns, parsed->profile[1].ns);
+}
+
+// Satellite: common/arena.h pool accounting. High-water marks and reuse
+// counts must round-trip through a sampler column and survive pool reset —
+// the flight recorder reads these live during a run.
+TEST(PoolStats, VectorPoolAccountingRoundTripsThroughSampler) {
+  VectorPool<std::uint32_t> pool;
+  std::vector<std::uint32_t> a = pool.acquire();  // miss: pool empty
+  a.push_back(1);
+  std::vector<std::uint32_t> b = pool.acquire();  // miss
+  b.push_back(2);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.parked(), 2u);
+  EXPECT_EQ(pool.stats().high_water, 2u);
+  std::vector<std::uint32_t> c = pool.acquire();  // hit
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  pool.release(std::move(c));
+
+  TimeSeries ts(SimTime::seconds(1.0));
+  const int parked = ts.column("arena.rx_pool_parked");
+  const int reuses = ts.column("test.value");
+  ts.set_collector([&](SimTime, TimeSeries& out) {
+    out.set(parked, static_cast<double>(pool.parked()));
+    out.set(reuses, static_cast<double>(pool.stats().reuses));
+  });
+  ts.advance_to(SimTime::seconds(1.0));
+  ASSERT_EQ(ts.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(ts.value(0, parked), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value(0, reuses), 1.0);
+
+  // reset() frees parked buffers but preserves lifetime stats.
+  pool.reset();
+  EXPECT_EQ(pool.parked(), 0u);
+  EXPECT_EQ(pool.stats().high_water, 2u);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  ts.advance_to(SimTime::seconds(2.0));
+  ASSERT_EQ(ts.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(ts.value(1, parked), 0.0);
+  EXPECT_DOUBLE_EQ(ts.value(1, reuses), 1.0);
+}
+
+TEST(PoolStats, BlockPoolTracksParkedBytesHighWaterAndReuse) {
+  // BlockPool is a thread-local singleton; run on a fresh thread so no other
+  // test's allocations pollute the accounting.
+  std::thread([] {
+    BlockPool& pool = BlockPool::local();
+    void* p1 = pool.allocate(256);
+    void* p2 = pool.allocate(1024);
+    ASSERT_NE(p1, nullptr);
+    ASSERT_NE(p2, nullptr);
+    EXPECT_EQ(pool.parked_bytes(), 0u);
+    pool.deallocate(p1, 256);
+    pool.deallocate(p2, 1024);
+    EXPECT_EQ(pool.parked_bytes(), 1280u);
+    EXPECT_EQ(pool.stats().high_water, 1280u);
+
+    void* p3 = pool.allocate(256);  // served from the free list
+    EXPECT_EQ(pool.stats().reuses, 1u);
+    EXPECT_EQ(pool.parked_bytes(), 1024u);
+    pool.deallocate(p3, 256);
+
+    TimeSeries ts(SimTime::seconds(1.0));
+    const int bytes = ts.column("arena.block_pool_bytes",
+                                TimeSeries::Kind::kWall);
+    ts.set_collector([&](SimTime, TimeSeries& out) {
+      out.set(bytes, static_cast<double>(pool.parked_bytes()));
+    });
+    ts.advance_to(SimTime::seconds(1.0));
+    ASSERT_EQ(ts.row_count(), 1u);
+    EXPECT_DOUBLE_EQ(ts.value(0, bytes), 1280.0);
+
+    pool.release_all();
+    EXPECT_EQ(pool.parked_bytes(), 0u);
+    EXPECT_EQ(pool.stats().high_water, 1280u);  // lifetime stats survive
+    EXPECT_EQ(pool.stats().reuses, 1u);
+    EXPECT_EQ(pool.stats().acquires, 3u);
+  }).join();
 }
 
 }  // namespace

@@ -43,6 +43,7 @@
 
 #include "obs/report.h"
 #include "tools/lint_lexer.h"
+#include "tools/stats_schema.h"
 #include "tools/trace_schema.h"
 
 namespace pds::lint {
@@ -95,6 +96,11 @@ inline constexpr RuleSpec kRules[] = {
      "trace catalog completeness: every PDS_TRACE_* emission names a "
      "(subsystem, event) registered in tools/trace_schema.h, so trace_check "
      "can validate any capture and analysis tools never meet unknown events"},
+    {"stats-schema", Severity::kError,
+     "flight-recorder catalog completeness: every PDS_TS_COLUMN column and "
+     "PDS_PROF_SCOPE scope names an entry registered in "
+     "tools/stats_schema.h, so pdscli stats can render any capture and "
+     "resource gates never meet unknown series"},
     {"bad-suppression", Severity::kError,
      "suppression hygiene: a misspelled pdslint:allow(...) must fail loudly "
      "rather than silently disabling a gate"},
@@ -167,6 +173,12 @@ inline constexpr FileAllowEntry kFileAllowlist[] = {
     // Exercises the tracer with synthetic (sub, ev) names on purpose; the
     // catalog only covers events real captures can contain.
     {"trace-schema", "tests/obs_test.cc"},
+    // The profiler's whole job is reading host time; its readings are
+    // observability output and never feed simulation state (DESIGN.md §15).
+    {"wall-clock", "src/obs/profiler.cc"},
+    // Unit tests drive TimeSeries/Profiler with synthetic names on purpose.
+    {"stats-schema", "tests/obs_test.cc"},
+    {"stats-schema", "tests/timeseries_test.cc"},
 };
 
 // unordered-iter fires only in determinism-sensitive files: ones that emit
@@ -703,6 +715,79 @@ inline void check_trace_schema(const LexedFile& lexed,
   }
 }
 
+// stats-schema: every PDS_TS_COLUMN registration and PDS_PROF_SCOPE site
+// whose name is a literal string must be registered in tools/stats_schema.h
+// (kSeriesCatalog / kProfileScopeCatalog). Computed names cannot be checked
+// statically and are skipped.
+inline void check_stats_schema(const LexedFile& lexed, const std::string& file,
+                               const Suppressions& sup,
+                               std::vector<Finding>& out) {
+  if (file_allowlisted("stats-schema", file)) return;
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const bool is_column = toks[i].text == "PDS_TS_COLUMN";
+    const bool is_scope = toks[i].text == "PDS_PROF_SCOPE";
+    if (!is_column && !is_scope) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // Both macros carry the name as argument 1 (0-indexed):
+    // PDS_TS_COLUMN(ts, name[, kind]) / PDS_PROF_SCOPE(profiler, name).
+    constexpr std::size_t kNameArg = 1;
+    int depth = 0;
+    std::size_t arg = 0;
+    std::size_t arg_start = i + 2;
+    const Token* name_tok = nullptr;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      const std::string& t = toks[j].text;
+      bool boundary = false;
+      if (t == "(" || t == "{" || t == "[") {
+        ++depth;
+      } else if (t == ")" || t == "}" || t == "]") {
+        --depth;
+        if (depth == 0) boundary = true;
+      } else if (t == "," && depth == 1) {
+        boundary = true;
+      }
+      if (!boundary) continue;
+      if (arg == kNameArg && j == arg_start + 1 &&
+          toks[arg_start].kind == TokKind::kString) {
+        name_tok = &toks[arg_start];
+      }
+      ++arg;
+      arg_start = j + 1;
+      if (depth == 0) break;
+    }
+    if (name_tok == nullptr) continue;
+    const std::string name =
+        name_tok->text.size() >= 2
+            ? name_tok->text.substr(1, name_tok->text.size() - 2)
+            : name_tok->text;
+    bool registered = false;
+    if (is_column) {
+      for (const tools::SeriesSchema& s : tools::kSeriesCatalog) {
+        if (name == s.name) {
+          registered = true;
+          break;
+        }
+      }
+    } else {
+      for (const char* s : tools::kProfileScopeCatalog) {
+        if (name == s) {
+          registered = true;
+          break;
+        }
+      }
+    }
+    if (!registered) {
+      add_finding(out, sup, file, "stats-schema", toks[i].line,
+                  std::string(is_column ? "series column '"
+                                        : "profiler scope '") +
+                      name + "' is not registered in tools/stats_schema.h");
+    }
+  }
+}
+
 // decode-assert: decode() definitions whose body never validates.
 inline void check_decode_assert(const LexedFile& lexed,
                                 const std::string& file,
@@ -779,6 +864,7 @@ inline std::vector<Finding> lint_source(
   check_uninit_fields(lexed, path, sup, findings);
   check_decode_assert(lexed, path, sup, findings);
   check_trace_schema(lexed, path, sup, findings);
+  check_stats_schema(lexed, path, sup, findings);
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

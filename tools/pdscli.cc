@@ -20,6 +20,13 @@
 // captured trace: per-round recall table, top talkers, retransmit heatmap.
 // `pdscli trace --json` emits the same statistics as a single JSON document
 // (schema pds-trace-report/1) for scripting instead of the text tables.
+//
+// Grid experiments (pdd/pdr/mdr) also accept --stats=FILE to capture the
+// final run's flight-recorder series (pds-timeseries/1 NDJSON, sampled every
+// --stats-interval-ms, default 1000) with a trailing wall-clock profile
+// line. `pdscli stats --file=FILE` summarizes a capture (per-column peaks
+// and percentiles, channel utilization, profile shares); --json emits the
+// same as a pds-stats-report/1 document and --csv exports the raw rows.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,11 +34,15 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "tools/stats_analysis.h"
 #include "tools/trace_causal.h"
 #include "tools/trace_reader.h"
 #include "util/stats.h"
@@ -82,8 +93,10 @@ int usage() {
       "       pdscli trace --file=<trace.ndjson> [--entries=N] [--json]\n"
       "       pdscli trace critpath --file=<trace.ndjson> [--top=N] "
       "[--json]\n"
+      "       pdscli stats --file=<stats.ndjson> [--json|--csv]\n"
       "  common:       --seed=N --runs=N --trace=FILE "
       "[--trace-format=chrome]\n"
+      "  pdd/pdr/mdr:  --stats=FILE [--stats-interval-ms=N]\n"
       "  pdd:          --grid=N --entries=N --redundancy=N --consumers=N\n"
       "                --sequential --single-round --no-ack\n"
       "  pdr/mdr:      --grid=N --item-mb=N --redundancy=N --consumers=N\n"
@@ -135,6 +148,46 @@ class TraceSink {
   std::unique_ptr<obs::Tracer> tracer_;
 };
 
+// --stats=FILE support: a flight-recorder sampler + wall-clock profiler
+// attached to every run (sampler reset between runs, so the file holds the
+// final seed's series; the profiler accumulates across all runs), written on
+// scope exit as pds-timeseries/1 NDJSON with a trailing profile line.
+class StatsSink {
+ public:
+  explicit StatsSink(const Flags& flags) : path_(flags.get("stats", "")) {
+    if (path_.empty()) return;
+    sampler_ = std::make_unique<obs::TimeSeries>(
+        SimTime::millis(flags.num("stats-interval-ms", 1000)));
+    profiler_ = std::make_unique<obs::Profiler>();
+  }
+
+  ~StatsSink() {
+    if (!sampler_) return;
+    std::ofstream out(path_, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "pdscli: cannot write stats to %s\n",
+                   path_.c_str());
+      return;
+    }
+    out << sampler_->ndjson();
+    out << obs::Profiler::profile_json_line(profiler_->snapshot());
+    std::fprintf(stderr, "pdscli: wrote %zu sample rows to %s\n",
+                 sampler_->row_count(), path_.c_str());
+  }
+
+  // Call at the start of each run; returns the sampler for params.sampler.
+  obs::TimeSeries* begin_run() {
+    if (sampler_) sampler_->reset();
+    return sampler_.get();
+  }
+  [[nodiscard]] obs::Profiler* profiler() { return profiler_.get(); }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::TimeSeries> sampler_;
+  std::unique_ptr<obs::Profiler> profiler_;
+};
+
 sim::MobilityParams scenario_params(const std::string& name) {
   return name == "classroom" ? sim::classroom_params()
                              : sim::student_center_params();
@@ -144,9 +197,12 @@ int run_pdd(const Flags& flags) {
   util::SampleSet recall, latency, overhead;
   const long runs = flags.num("runs", 1);
   TraceSink trace(flags);
+  StatsSink stats(flags);
   for (long r = 0; r < runs; ++r) {
     wl::PddGridParams p;
     p.tracer = trace.begin_run();
+    p.sampler = stats.begin_run();
+    p.profiler = stats.profiler();
     p.nx = p.ny = static_cast<std::size_t>(flags.num("grid", 10));
     p.metadata_count = static_cast<std::size_t>(flags.num("entries", 5000));
     p.redundancy = static_cast<int>(flags.num("redundancy", 1));
@@ -171,9 +227,12 @@ int run_retrieval(const Flags& flags, wl::RetrievalMethod method) {
   const long runs = flags.num("runs", 1);
   bool all_complete = true;
   TraceSink trace(flags);
+  StatsSink stats(flags);
   for (long r = 0; r < runs; ++r) {
     wl::RetrievalGridParams p;
     p.tracer = trace.begin_run();
+    p.sampler = stats.begin_run();
+    p.profiler = stats.profiler();
     p.nx = p.ny = static_cast<std::size_t>(flags.num("grid", 10));
     p.item_size_bytes =
         static_cast<std::size_t>(flags.num("item-mb", 20)) * 1024 * 1024;
@@ -605,6 +664,162 @@ int run_trace_critpath(const Flags& flags) {
   return 0;
 }
 
+// -- `pdscli stats` — render a captured flight-recorder series ---------------
+
+// Total nanoseconds across root profile scopes — the denominator for the
+// per-scope share column (children are counted inside their parents).
+double profile_root_ns(const std::vector<tools::ProfileEntry>& profile) {
+  double total = 0.0;
+  for (const tools::ProfileEntry& e : profile) {
+    if (e.depth == 0) total += static_cast<double>(e.ns);
+  }
+  return total;
+}
+
+void print_stats_text(const tools::ParsedSeries& s, std::size_t top) {
+  const std::vector<tools::SeriesSummary> summaries =
+      tools::summarize_series(s);
+  std::printf("series: %zu columns x %zu rows, interval %.3fs\n",
+              s.columns.size(), s.rows.size(),
+              static_cast<double>(s.interval_us) / 1e6);
+  std::printf("  %-30s %-4s %12s %8s %12s %12s %12s\n", "column", "kind",
+              "peak", "t_peak_s", "mean", "p99", "last");
+  for (const tools::SeriesSummary& sum : summaries) {
+    std::printf("  %-30s %-4s %12.1f %8.1f %12.1f %12.1f %12.1f\n",
+                sum.name.c_str(), sum.kind.c_str(), sum.peak,
+                static_cast<double>(sum.t_peak_us) / 1e6, sum.mean, sum.p99,
+                sum.last);
+  }
+
+  const std::vector<double> util = tools::channel_utilization(s);
+  if (!util.empty()) {
+    const double peak = *std::max_element(util.begin(), util.end());
+    double mean = 0.0;
+    for (const double u : util) mean += u;
+    mean /= static_cast<double>(util.size());
+    std::printf("\nchannel utilization (avg concurrent tx): peak=%.3f "
+                "mean=%.3f p99=%.3f\n",
+                peak, mean, tools::series_percentile(util, 99.0));
+  }
+
+  if (!s.profile.empty()) {
+    const double root_ns = profile_root_ns(s.profile);
+    std::printf("\nwall-clock profile (top %zu by time):\n", top);
+    std::printf("  %-40s %10s %12s %7s\n", "path", "ms", "calls", "share");
+    std::vector<tools::ProfileEntry> ranked = s.profile;
+    std::sort(ranked.begin(), ranked.end(),
+              [](const tools::ProfileEntry& a, const tools::ProfileEntry& b) {
+                return a.ns != b.ns ? a.ns > b.ns : a.path < b.path;
+              });
+    for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+      const tools::ProfileEntry& e = ranked[i];
+      std::printf("  %-40s %10.1f %12llu %6.1f%%\n", e.path.c_str(),
+                  static_cast<double>(e.ns) / 1e6,
+                  static_cast<unsigned long long>(e.calls),
+                  root_ns > 0 ? 100.0 * static_cast<double>(e.ns) / root_ns
+                              : 0.0);
+    }
+  }
+}
+
+// --json rendering: schema pds-stats-report/1, the machine-readable twin of
+// the text view (and the shape pdsreport validates/gates).
+void print_stats_json(const tools::ParsedSeries& s, const std::string& path) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pds-stats-report/1");
+  w.key("file").value(path);
+  w.key("interval_us").value(static_cast<std::int64_t>(s.interval_us));
+  w.key("rows").value(static_cast<std::uint64_t>(s.rows.size()));
+
+  w.key("columns").begin_array();
+  for (const tools::SeriesSummary& sum : tools::summarize_series(s)) {
+    w.begin_object();
+    w.key("name").value(sum.name);
+    w.key("kind").value(sum.kind);
+    w.key("peak").value(sum.peak);
+    w.key("t_peak_us").value(static_cast<std::int64_t>(sum.t_peak_us));
+    w.key("mean").value(sum.mean);
+    w.key("p50").value(sum.p50);
+    w.key("p95").value(sum.p95);
+    w.key("p99").value(sum.p99);
+    w.key("last").value(sum.last);
+    w.end_object();
+  }
+  w.end_array();
+
+  const std::vector<double> util = tools::channel_utilization(s);
+  if (!util.empty()) {
+    const double peak = *std::max_element(util.begin(), util.end());
+    double mean = 0.0;
+    for (const double u : util) mean += u;
+    mean /= static_cast<double>(util.size());
+    w.key("channel_utilization").begin_object();
+    w.key("peak").value(peak);
+    w.key("mean").value(mean);
+    w.key("p99").value(tools::series_percentile(util, 99.0));
+    w.end_object();
+  }
+
+  if (!s.profile.empty()) {
+    const double root_ns = profile_root_ns(s.profile);
+    w.key("profile").begin_array();
+    for (const tools::ProfileEntry& e : s.profile) {
+      w.begin_object();
+      w.key("path").value(e.path);
+      w.key("depth").value(static_cast<std::int64_t>(e.depth));
+      w.key("ns").value(static_cast<std::int64_t>(e.ns));
+      w.key("calls").value(static_cast<std::uint64_t>(e.calls));
+      w.key("share").value(
+          root_ns > 0 ? static_cast<double>(e.ns) / root_ns : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+}
+
+// --csv rendering: raw rows, one line per sample, for spreadsheets/pandas.
+void print_stats_csv(const tools::ParsedSeries& s) {
+  std::printf("t_us");
+  for (const tools::SeriesColumn& c : s.columns) {
+    std::printf(",%s", c.name.c_str());
+  }
+  std::printf("\n");
+  for (const tools::SeriesRow& row : s.rows) {
+    std::printf("%lld", static_cast<long long>(row.t_us));
+    for (const double v : row.v) std::printf(",%.17g", v);
+    std::printf("\n");
+  }
+}
+
+int run_stats_report(const Flags& flags) {
+  const std::string path = flags.get("file", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: pdscli stats --file=<stats.ndjson> "
+                         "[--top=N] [--json|--csv]\n");
+    return 2;
+  }
+  std::string error;
+  const std::optional<tools::ParsedSeries> series =
+      tools::read_timeseries(path, &error);
+  if (!series.has_value()) {
+    std::fprintf(stderr, "pdscli: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  if (flags.get("csv", "") == "1") {
+    print_stats_csv(*series);
+  } else if (flags.get("json", "") == "1") {
+    print_stats_json(*series, path);
+  } else {
+    print_stats_text(*series,
+                     static_cast<std::size_t>(flags.num("top", 12)));
+  }
+  return 0;
+}
+
 int run_main(int argc, char** argv) {
   const Flags flags = parse(argc, argv);
   std::string experiment = flags.get("experiment", "");
@@ -614,6 +829,10 @@ int run_main(int argc, char** argv) {
     if (argc > 2 && std::strcmp(argv[2], "critpath") == 0) {
       return run_trace_critpath(flags);
     }
+  }
+  // `pdscli stats --file=...` — flight-recorder subcommand form.
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    return run_stats_report(flags);
   }
   if (experiment == "trace") return run_trace_report(flags);
   if (experiment == "pdd") return run_pdd(flags);

@@ -66,11 +66,12 @@ std::vector<std::string> collect_reports(const std::vector<std::string>& args,
   return files;
 }
 
-// `is_causal`, when non-null, is set for pds-causal-report/1 documents
-// (which validate against their own schema and produce no ParsedReport).
+// `sidecar`, when non-null, is set to "causal" or "stats" for
+// pds-causal-report/1 / pds-stats-report/1 documents (which validate against
+// their own schema and produce no ParsedReport).
 std::optional<ParsedReport> load_report(const std::string& path,
                                         std::vector<std::string>& errors,
-                                        bool* is_causal = nullptr) {
+                                        const char** sidecar = nullptr) {
   std::ifstream in(path);
   if (!in) {
     errors.push_back("cannot open " + path);
@@ -85,11 +86,17 @@ std::optional<ParsedReport> load_report(const std::string& path,
     return std::nullopt;
   }
   if (const JsonValue* schema = root->find("schema");
-      schema != nullptr && schema->is_string() &&
-      schema->text == kCausalReportSchema) {
-    if (is_causal != nullptr) *is_causal = true;
-    validate_causal_report(*root, errors);
-    return std::nullopt;
+      schema != nullptr && schema->is_string()) {
+    if (schema->text == kCausalReportSchema) {
+      if (sidecar != nullptr) *sidecar = "causal";
+      validate_causal_report(*root, errors);
+      return std::nullopt;
+    }
+    if (schema->text == kStatsReportSchema) {
+      if (sidecar != nullptr) *sidecar = "stats";
+      validate_stats_report(*root, errors);
+      return std::nullopt;
+    }
   }
   ParsedReport rep = parse_report(*root, errors);
   // The filename is part of the contract: BENCH_<experiment>.json.
@@ -106,10 +113,11 @@ int run_validate(const std::vector<std::string>& files) {
   int bad = 0;
   for (const std::string& path : files) {
     std::vector<std::string> errors;
-    bool causal = false;
-    load_report(path, errors, &causal);
+    const char* sidecar = nullptr;
+    load_report(path, errors, &sidecar);
     if (errors.empty()) {
-      std::printf("%s: OK%s\n", path.c_str(), causal ? " (causal)" : "");
+      std::printf("%s: OK%s%s%s\n", path.c_str(), sidecar ? " (" : "",
+                  sidecar ? sidecar : "", sidecar ? ")" : "");
     } else {
       ++bad;
       for (const std::string& e : errors) {
@@ -125,12 +133,14 @@ int run_gate(const std::vector<std::string>& files) {
   int bad = 0;
   for (const std::string& path : files) {
     std::vector<std::string> errors;
-    bool causal = false;
-    const std::optional<ParsedReport> rep = load_report(path, errors, &causal);
-    if (causal && errors.empty()) {
-      // Causal reports carry no per-experiment shape gates; the DAG health
-      // gates run against the bench report's "causal" section instead.
-      std::printf("%s: PASS (causal report, no gates)\n", path.c_str());
+    const char* sidecar = nullptr;
+    const std::optional<ParsedReport> rep =
+        load_report(path, errors, &sidecar);
+    if (sidecar != nullptr && errors.empty()) {
+      // Sidecar reports carry no per-experiment shape gates; the DAG-health
+      // and flight-recorder gates run against the bench report's "causal"
+      // and "stats" sections instead.
+      std::printf("%s: PASS (%s report, no gates)\n", path.c_str(), sidecar);
       continue;
     }
     if (!rep.has_value() || !errors.empty()) {
@@ -233,9 +243,10 @@ int run_render(const std::vector<std::string>& files) {
   int bad = 0;
   for (const std::string& path : files) {
     std::vector<std::string> errors;
-    bool causal = false;
-    const std::optional<ParsedReport> rep = load_report(path, errors, &causal);
-    if (causal && errors.empty()) continue;  // no markdown form (yet)
+    const char* sidecar = nullptr;
+    const std::optional<ParsedReport> rep =
+        load_report(path, errors, &sidecar);
+    if (sidecar != nullptr && errors.empty()) continue;  // no markdown form
     if (!rep.has_value() || !errors.empty()) {
       ++bad;
       for (const std::string& e : errors) {

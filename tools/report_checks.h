@@ -26,6 +26,12 @@ namespace pds::tools {
 
 inline constexpr const char* kBenchReportSchema = "pds-bench-report/1";
 inline constexpr const char* kCausalReportSchema = "pds-causal-report/1";
+inline constexpr const char* kStatsReportSchema = "pds-stats-report/1";
+
+// Peak-RSS ceiling for the 50k-node scale run (ROADMAP's 0.8 GB target plus
+// allocator/measurement headroom), enforced by the `rss-peak-50k-budget`
+// gate on tab_scale's "stats" section.
+inline constexpr double kRssPeak50kBudgetMb = 850.0;
 
 struct ReportMetric {
   std::size_t count = 0;
@@ -380,6 +386,106 @@ inline void validate_causal_report(const JsonValue& root,
   }
 }
 
+// Schema check for pds-stats-report/1 documents (the JSON `pdscli stats
+// --json` emits from tools/stats_analysis.h summaries). Same contract as
+// parse_report: valid iff `errors` stays empty.
+inline void validate_stats_report(const JsonValue& root,
+                                  std::vector<std::string>& errors) {
+  using check_detail::require_string;
+  if (!root.is_object()) {
+    errors.emplace_back("document is not a JSON object");
+    return;
+  }
+  std::string schema;
+  require_string(root, "schema", schema, "root", errors);
+  if (!schema.empty() && schema != kStatsReportSchema) {
+    errors.push_back("unsupported schema \"" + schema + "\" (want " +
+                     kStatsReportSchema + ")");
+  }
+  const auto require_number = [&errors](const JsonValue& obj, const char* key,
+                                        const std::string& where) -> double {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr || !v->is_number()) {
+      errors.push_back(where + ": missing number \"" + key + "\"");
+      return 0.0;
+    }
+    return v->number;
+  };
+
+  std::string text;
+  require_string(root, "file", text, "root", errors);
+  if (require_number(root, "interval_us", "root") <= 0.0) {
+    errors.emplace_back("root: interval_us must be positive");
+  }
+  require_number(root, "rows", "root");
+
+  const JsonValue* columns = root.find("columns");
+  if (columns == nullptr || !columns->is_array()) {
+    errors.emplace_back("root: missing array \"columns\"");
+  } else {
+    for (std::size_t i = 0; i < columns->items.size(); ++i) {
+      const std::string where = "columns[" + std::to_string(i) + "]";
+      const JsonValue& c = columns->items[i];
+      if (!c.is_object()) {
+        errors.push_back(where + ": not an object");
+        continue;
+      }
+      require_string(c, "name", text, where.c_str(), errors);
+      std::string kind;
+      require_string(c, "kind", kind, where.c_str(), errors);
+      if (!kind.empty() && kind != "sim" && kind != "wall") {
+        errors.push_back(where + ": kind must be \"sim\" or \"wall\"");
+      }
+      double peak = 0.0;
+      double lo = 0.0;
+      double hi = 0.0;
+      for (const char* key :
+           {"peak", "t_peak_us", "mean", "p50", "p95", "p99", "last"}) {
+        const double v = require_number(c, key, where);
+        if (std::string(key) == "peak") peak = v;
+        if (std::string(key) == "p50") lo = v;
+        if (std::string(key) == "p99") hi = v;
+      }
+      if (hi < lo) errors.push_back(where + ": p99 below p50");
+      if (peak < hi) errors.push_back(where + ": peak below p99");
+    }
+  }
+
+  // Optional blocks — validated only when emitted (a capture with no
+  // radio.air_us column has no channel_utilization; one with no profiler
+  // attached has no profile).
+  if (const JsonValue* util = root.find("channel_utilization")) {
+    if (!util->is_object()) {
+      errors.emplace_back("root: channel_utilization is not an object");
+    } else {
+      for (const char* key : {"peak", "mean", "p99"}) {
+        if (require_number(*util, key, "channel_utilization") < 0.0) {
+          errors.push_back(std::string("channel_utilization: negative \"") +
+                           key + "\"");
+        }
+      }
+    }
+  }
+  if (const JsonValue* profile = root.find("profile")) {
+    if (!profile->is_array()) {
+      errors.emplace_back("root: profile is not an array");
+    } else {
+      for (std::size_t i = 0; i < profile->items.size(); ++i) {
+        const std::string where = "profile[" + std::to_string(i) + "]";
+        const JsonValue& e = profile->items[i];
+        if (!e.is_object()) {
+          errors.push_back(where + ": not an object");
+          continue;
+        }
+        require_string(e, "path", text, where.c_str(), errors);
+        for (const char* key : {"depth", "ns", "calls", "share"}) {
+          require_number(e, key, where);
+        }
+      }
+    }
+  }
+}
+
 // -- Shape gates --------------------------------------------------------------
 
 struct GateFailure {
@@ -478,6 +584,33 @@ inline std::vector<GateFailure> run_gates(const ParsedReport& rep) {
     }
   }
 
+  // Benches that capture a flight-recorder series publish its health in a
+  // "stats" section (bench_common.h::StatsCapture). Wherever one exists:
+  // the deterministic (sim-kind) projection must be byte-identical across
+  // re-runs with different thread counts wherever the bench performed that
+  // A/B (`identical` param), and derived channel utilization must be sane —
+  // non-negative and below the bench's concurrency ceiling (`util_bounded`,
+  // computed against the radio.max_cell_tx peak). Reports without the
+  // section pass vacuously.
+  for (const ReportPoint* p : rep.section("stats")) {
+    const JsonValue* identical = p->param("identical");
+    if (identical != nullptr &&
+        (identical->type != JsonValue::Type::kBool || !identical->boolean)) {
+      gate.fail("timeseries-deterministic",
+                "sim-kind series projection differs across thread counts (" +
+                    p->key() + ")");
+    }
+    if (const ReportMetric* util = p->metric("channel_util_max")) {
+      const JsonValue* bounded = p->param("util_bounded");
+      if (util->mean < 0.0 || bounded == nullptr ||
+          bounded->type != JsonValue::Type::kBool || !bounded->boolean) {
+        gate.fail("channel-utilization-bounded",
+                  "channel utilization negative or above the concurrent-tx "
+                  "ceiling (" + p->key() + ")");
+      }
+    }
+  }
+
   if (e == "fig03_singlehop") {
     // Paper §V.4: raw UDP saturates low; leaky bucket much better; adding
     // ack/retransmission wins at every sender count.
@@ -568,6 +701,16 @@ inline std::vector<GateFailure> run_gates(const ParsedReport& rep) {
     }
   } else if (e == "fig08_simultaneous_pdd") {
     gate.floor(rep.section("main"), "recall", 0.99, "recall-stays-full");
+    // fig08 carries the worker-pool side of the determinism claim: when it
+    // publishes a stats section, the A/B (series re-captured on a serial
+    // re-run vs the pooled run) must have been performed.
+    for (const ReportPoint* p : rep.section("stats")) {
+      if (p->param("identical") == nullptr) {
+        gate.fail("timeseries-deterministic",
+                  "fig08 stats section missing the worker-pool determinism "
+                  "A/B (" + p->key() + ")");
+      }
+    }
   } else if (e == "fig09_10_mobility_pdd") {
     gate.floor(rep.section("student_center"), "recall", 0.95,
                "student-center-recall");
@@ -648,10 +791,15 @@ inline std::vector<GateFailure> run_gates(const ParsedReport& rep) {
                 "overhead at 5 consumers below the single-consumer run");
     }
   } else if (e == "tab_saturation") {
-    // Two copies must not do worse than one at the same load.
-    for (const ReportPoint& p : rep.points) {
+    // Two copies must not do worse than one at the same load. Scoped to the
+    // "main" table: the stats section reuses the entries/redundancy params to
+    // label its flight-recorder point but carries no recall metric.
+    const auto main_pts = rep.section("main");
+    for (const ReportPoint* pp : main_pts) {
+      const ReportPoint& p = *pp;
       if (p.num_param("redundancy") != 2) continue;
-      for (const ReportPoint& q : rep.points) {
+      for (const ReportPoint* qp : main_pts) {
+        const ReportPoint& q = *qp;
         if (q.num_param("redundancy") == 1 &&
             q.num_param("entries") == p.num_param("entries") &&
             p.mean("recall") + 0.05 < q.mean("recall")) {
@@ -787,6 +935,32 @@ inline std::vector<GateFailure> run_gates(const ParsedReport& rep) {
     // protocol) broke under load.
     gate.floor(scenarios, "pdd.recall", 0.95, "pdd-recall-at-scale");
     gate.floor(scenarios, "pdr.recall", 0.95, "pdr-recall-at-scale");
+    // Flight-recorder resource budget: the largest grid's peak RSS must hold
+    // ROADMAP's memory target, and the determinism A/B must actually have
+    // been run (the cross-experiment stats loop above only checks the
+    // `identical` param when present).
+    const auto stats = rep.section("stats");
+    if (stats.empty()) {
+      gate.fail("rss-peak-50k-budget", "no stats section in scale report");
+    }
+    for (const ReportPoint* p : stats) {
+      if (p->param("identical") == nullptr) {
+        gate.fail("timeseries-deterministic",
+                  "scale stats section missing the shard-thread determinism "
+                  "A/B (" + p->key() + ")");
+      }
+      if (p->mean("peak_rss_mb", -1.0) < 0.0) {
+        gate.fail("rss-peak-50k-budget",
+                  "scale stats section missing peak_rss_mb (" + p->key() +
+                      ")");
+      } else if (p->mean("peak_rss_mb") > kRssPeak50kBudgetMb) {
+        gate.fail("rss-peak-50k-budget",
+                  "peak RSS " + std::to_string(p->mean("peak_rss_mb")) +
+                      " MB above the " +
+                      std::to_string(kRssPeak50kBudgetMb) + " MB budget (" +
+                      p->key() + ")");
+      }
+    }
   }
   // Experiments without assertions (micro_primitives) pass vacuously.
   return failures;
