@@ -18,9 +18,11 @@
 #include <cstring>
 
 #include "common/arena.h"
+#include "common/bytes.h"
 #include "common/rng.h"
 #include "parallel_runs.h"
 #include "core/data_store.h"
+#include "net/bloom_delta.h"
 #include "net/codec.h"
 #include "obs/profiler.h"
 #include "obs/report.h"
@@ -135,6 +137,100 @@ void BM_CodecWireSize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CodecWireSize);
+
+// -- v2 wire extensions (DESIGN.md §16) --------------------------------------
+
+void BM_CodecEncodeResponseCompressed(benchmark::State& state) {
+  Rng rng(15);
+  net::Message m;
+  m.type = net::MessageType::kResponse;
+  m.kind = net::ContentKind::kMetadata;
+  m.response_id = ResponseId(1);
+  m.sender = NodeId(1);
+  m.receivers = {NodeId(2)};
+  for (auto& d : wl::make_sample_descriptors(45, wl::SampleSpace{}, rng)) {
+    m.metadata.push_back(std::move(d));
+  }
+  net::WireConfig cfg;
+  cfg.compress_entries = true;
+  const net::Codec codec(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(m));
+  }
+}
+BENCHMARK(BM_CodecEncodeResponseCompressed);
+
+void BM_Varint(benchmark::State& state) {
+  Rng rng(16);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 1024; ++i) {
+    values.push_back(rng.next_u64() >> (rng.next_u64() % 64));
+  }
+  for (auto _ : state) {
+    ByteWriter w;
+    for (const std::uint64_t v : values) w.put_varint(v);
+    ByteReader r(w.bytes());
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) sum += r.get_varint();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_Varint);
+
+void BM_BloomDeltaRoundTrip(benchmark::State& state) {
+  // One discovery round's worth of filter growth, framed and applied: the
+  // sender inserts `range(0)` new keys into a shared filter, emits the delta
+  // frame, and the receiver cache reconstructs.
+  Rng rng(17);
+  util::BloomFilter filter =
+      util::BloomFilter::with_capacity(20000, 0.01, 42);
+  for (int i = 0; i < 5000; ++i) filter.insert(rng.next_u64());
+  net::DeltaBloomSender sender;
+  net::BloomSyncCache cache;
+  (void)cache.apply(sender.next_frame(7, 1, filter));
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      filter.insert(rng.next_u64());
+    }
+    const net::BloomDeltaFrame frame = sender.next_frame(7, 1, filter);
+    ByteWriter w;
+    frame.encode(w);
+    ByteReader r(w.bytes());
+    const net::BloomDeltaFrame decoded = net::BloomDeltaFrame::decode(r);
+    benchmark::DoNotOptimize(cache.apply(decoded));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BloomDeltaRoundTrip)->Arg(64)->Arg(512);
+
+void BM_ChunkBitmapRoundTrip(benchmark::State& state) {
+  // Chunk-bitmap query encode/decode for an 80-chunk request with holes.
+  net::Message m;
+  m.type = net::MessageType::kQuery;
+  m.kind = net::ContentKind::kChunk;
+  m.query_id = QueryId(9);
+  m.sender = NodeId(1);
+  m.receivers = {NodeId(2)};
+  m.expire_at = SimTime::seconds(5.0);
+  m.ttl = 8;
+  core::DataDescriptor item;
+  item.set("name", std::string("clip"));
+  item.set("chunks", std::int64_t{96});
+  m.target = item;
+  for (std::uint32_t c = 0; c < 96; c += 2) {
+    m.requested_chunks.push_back(ChunkIndex(c));
+  }
+  net::WireConfig cfg;
+  cfg.chunk_bitmap = true;
+  const net::Codec codec(cfg);
+  for (auto _ : state) {
+    const std::vector<std::byte> bytes = codec.encode(m);
+    benchmark::DoNotOptimize(codec.decode(bytes));
+  }
+}
+BENCHMARK(BM_ChunkBitmapRoundTrip);
 
 void BM_GapHeuristic(benchmark::State& state) {
   Rng rng(7);

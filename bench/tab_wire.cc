@@ -1,0 +1,237 @@
+// Wire-efficiency sweep (ROADMAP item 5; DESIGN.md §16): bytes on the air
+// per discovered entry, classic codec vs the v2 extensions (delta-encoded
+// Bloom updates, varint/prefix-compressed CDI entries, chunk-bitmap
+// reconciliation), across Fig. 5/6-style metadata densities.
+//
+// Both legs measure with `metadata_entry_bytes = 0`, so the entry payloads
+// are charged at their real encoded size instead of the paper's flat 30-byte
+// convention — the flat charge would hide exactly the compression this bench
+// exists to measure.
+//
+// Gate (tools/report_checks.h, experiment "wire"): at the densest point the
+// v2 legs' bytes-per-discovered-entry must drop >= 20% below classic with
+// recall unchanged; the PDR leg's chunk bitmap must not regress overhead.
+#include <cstring>
+#include <utility>
+
+#include "bench_common.h"
+#include "net/message.h"
+#include "net/transport.h"
+#include "workload/experiment.h"
+
+namespace pds {
+namespace {
+
+// Bytes on the air by frame type, for one run. Decomposes overhead_mb so a
+// regression in either leg points at the responsible message class (query
+// floods vs response payloads vs ack/repair control traffic).
+struct ByteSplit {
+  std::uint64_t query = 0;
+  std::uint64_t response = 0;
+  std::uint64_t control = 0;  // acks + selective-repair requests
+  double mb(std::uint64_t v) const { return static_cast<double>(v) / 1e6; }
+};
+
+// Scenario hook: attribute every transmitted frame's bytes to its message
+// type. Fragments carry the whole message by pointer; unwrap them so a
+// fragmented response still counts as response bytes.
+std::function<void(wl::Scenario&)> byte_split_hook(ByteSplit& split) {
+  return [&split](wl::Scenario& sc) {
+    sc.medium().set_tx_observer([&split](NodeId, const sim::Frame& f) {
+      const auto* msg = dynamic_cast<const net::Message*>(f.payload.get());
+      if (msg == nullptr) {
+        if (const auto* frag =
+                dynamic_cast<const net::FragmentPayload*>(f.payload.get())) {
+          msg = frag->whole.get();
+        }
+      }
+      const auto bytes = static_cast<std::uint64_t>(f.size_bytes);
+      if (msg == nullptr) return;
+      switch (msg->type) {
+        case net::MessageType::kQuery:
+          split.query += bytes;
+          break;
+        case net::MessageType::kResponse:
+          split.response += bytes;
+          break;
+        case net::MessageType::kAck:
+        case net::MessageType::kRepair:
+          split.control += bytes;
+          break;
+      }
+    });
+  };
+}
+
+// Wire variants for the PDD sweep. `delta` and `compress` isolate the two
+// extensions so a regression in the combined leg is attributable; `v2` is
+// the full efficiency stack (delta sync + compressed entries + adaptive
+// round spacing + serve cooldown), which is what the report gates compare
+// against classic. The cooldown rides with v2 because compression makes it
+// necessary: single-frame compressed responses overhear-cache far more
+// reliably than classic's fragmented ones, and without suppression every
+// cache along the path echoes the in-flight entries back at the consumer.
+struct WireVariant {
+  const char* name;
+  bool delta_bloom;
+  bool compress_entries;
+  bool efficiency;  // adaptive round spacing + off-the-air serve cooldown
+};
+constexpr WireVariant kPddVariants[] = {
+    {"classic", false, false, false},
+    {"delta", true, false, false},
+    {"compress", false, true, false},
+    {"v2", true, true, true},
+};
+
+core::PdsConfig wire_config(bool delta_bloom, bool compress_entries,
+                            bool chunk_bitmap, bool efficiency) {
+  core::PdsConfig pds;
+  pds.wire.metadata_entry_bytes = 0;  // charge real encoded entry sizes
+  pds.wire.delta_bloom = delta_bloom;
+  pds.wire.compress_entries = compress_entries;
+  pds.wire.chunk_bitmap = chunk_bitmap;
+  pds.adaptive_round_spacing = efficiency;
+  if (efficiency) pds.entry_serve_cooldown = SimTime::seconds(3.0);
+  return pds;
+}
+
+int run(bool tiny) {
+  obs::Report report = bench::make_report(
+      "wire",
+      "wire efficiency — classic codec vs v2 extensions (10x10 grid)",
+      "bytes/entry drops >=20% at the densest point, recall unchanged");
+  report.set_param("mode", tiny ? "tiny" : "full");
+
+  const std::size_t grid = tiny ? 7 : 10;
+  const std::vector<std::size_t> densities =
+      tiny ? std::vector<std::size_t>{1500, 3000}
+           : std::vector<std::size_t>{5000, 10000, 20000};
+
+  report.begin_table("main", {"entries", "variant", "recall", "bytes/entry",
+                              "overhead (MB)", "query (MB)", "resp (MB)",
+                              "rounds", "latency (s)"});
+  for (const std::size_t entries : densities) {
+    for (const WireVariant& variant : kPddVariants) {
+      util::SampleSet recall;
+      util::SampleSet bytes_per_entry;
+      util::SampleSet overhead;
+      util::SampleSet query_mb;
+      util::SampleSet response_mb;
+      util::SampleSet rounds;
+      util::SampleSet latency;
+      const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
+        ByteSplit split;
+        wl::PddGridParams p;
+        p.nx = grid;
+        p.ny = grid;
+        p.metadata_count = entries;
+        p.pds = wire_config(variant.delta_bloom, variant.compress_entries,
+                            /*chunk_bitmap=*/false, variant.efficiency);
+        p.seed = static_cast<std::uint64_t>(r + 1);
+        p.scenario_hook = byte_split_hook(split);
+        return std::make_pair(wl::run_pdd_grid(p), split);
+      });
+      for (const auto& [out, split] : outs) {
+        recall.add(out.recall);
+        overhead.add(out.overhead_mb);
+        query_mb.add(split.mb(split.query));
+        response_mb.add(split.mb(split.response));
+        rounds.add(out.rounds);
+        latency.add(out.latency_s);
+        const double discovered =
+            out.recall * static_cast<double>(entries);
+        bytes_per_entry.add(discovered > 0.0
+                                ? out.overhead_mb * 1e6 / discovered
+                                : 0.0);
+      }
+      report.point()
+          .param("entries", static_cast<std::int64_t>(entries))
+          .param("variant", variant.name)
+          .metric("recall", recall, 3)
+          .metric("bytes_per_entry", bytes_per_entry, 1)
+          .metric("overhead_mb", overhead, 2)
+          .metric("query_mb", query_mb, 2)
+          .metric("response_mb", response_mb, 2)
+          .metric("rounds", rounds, 1)
+          .metric("latency_s", latency, 2);
+    }
+  }
+  report.print_table();
+
+  // PDR leg: phase-1 CDI advertisements and phase-2 chunk requests carry the
+  // chunk-bitmap extension; overhead must not regress vs classic lists.
+  report.begin_table("pdr", {"variant", "recall", "overhead (MB)",
+                             "latency (s)"});
+  for (const bool v2 : {false, true}) {
+    util::SampleSet recall;
+    util::SampleSet overhead;
+    util::SampleSet latency;
+    const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
+      wl::RetrievalGridParams p;
+      p.nx = grid;
+      p.ny = grid;
+      p.item_size_bytes = (tiny ? 2u : 8u) * 1024 * 1024;
+      p.redundancy = 3;
+      p.pds = wire_config(v2, v2, v2, v2);
+      p.seed = static_cast<std::uint64_t>(r + 1);
+      return wl::run_retrieval_grid(p);
+    });
+    for (const wl::RetrievalOutcome& out : outs) {
+      recall.add(out.recall);
+      overhead.add(out.overhead_mb);
+      latency.add(out.latency_s);
+    }
+    report.point()
+        .param("variant", v2 ? "v2" : "classic")
+        .metric("recall", recall, 3)
+        .metric("overhead_mb", overhead, 2)
+        .metric("latency_s", latency, 2);
+  }
+  report.print_table();
+
+  // Adaptive round spacing on top of the v2 wire: novelty-driven backoff
+  // must not cost recall (it may trade latency for fewer low-yield rounds).
+  report.begin_table("adaptive", {"variant", "recall", "rounds",
+                                  "latency (s)", "overhead (MB)"});
+  {
+    util::SampleSet recall;
+    util::SampleSet rounds;
+    util::SampleSet latency;
+    util::SampleSet overhead;
+    const auto outs = bench::run_indexed(bench::runs(), [&](int r) {
+      wl::PddGridParams p;
+      p.nx = grid;
+      p.ny = grid;
+      p.metadata_count = densities.back();
+      p.pds = wire_config(true, true, true, true);
+      p.seed = static_cast<std::uint64_t>(r + 1);
+      return wl::run_pdd_grid(p);
+    });
+    for (const wl::PddOutcome& out : outs) {
+      recall.add(out.recall);
+      rounds.add(out.rounds);
+      latency.add(out.latency_s);
+      overhead.add(out.overhead_mb);
+    }
+    report.point()
+        .param("variant", "v2+adaptive")
+        .metric("recall", recall, 3)
+        .metric("rounds", rounds, 1)
+        .metric("latency_s", latency, 2)
+        .metric("overhead_mb", overhead, 2);
+  }
+  report.print_table();
+  return bench::finish(report);
+}
+
+}  // namespace
+}  // namespace pds
+
+int main(int argc, char** argv) {
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+  return pds::run(tiny);
+}

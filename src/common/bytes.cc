@@ -23,6 +23,19 @@ void ByteWriter::put_u64(std::uint64_t v) { append_le(buf_, v); }
 
 void ByteWriter::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
 
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::byte>(v));
+}
+
+void ByteWriter::put_varint_i64(std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  put_varint((u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
 void ByteWriter::put_string(std::string_view s) {
   if (s.size() > std::numeric_limits<std::uint16_t>::max()) {
     throw DecodeError("string too long to encode");
@@ -76,6 +89,29 @@ std::uint64_t ByteReader::get_u64() {
 }
 
 double ByteReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::uint64_t ByteReader::get_varint() {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::uint8_t b = get_u8();
+    const std::uint64_t group = b & 0x7f;
+    // Byte 10 may only carry the top bit of a 64-bit value; anything more
+    // overflows. A zero continuation group (other than a lone 0) would give
+    // the value a second byte form, so reject it to keep encodings unique.
+    if (i == 9 && group > 1) throw DecodeError("varint overflows 64 bits");
+    if (i > 0 && group == 0 && (b & 0x80) == 0) {
+      throw DecodeError("non-canonical varint");
+    }
+    v |= group << (7 * i);
+    if ((b & 0x80) == 0) return v;
+  }
+  throw DecodeError("varint longer than 10 bytes");
+}
+
+std::int64_t ByteReader::get_varint_i64() {
+  const std::uint64_t u = get_varint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
 
 std::string ByteReader::get_string() {
   const std::uint16_t n = get_u16();

@@ -24,6 +24,12 @@ class ByteWriter {
   void put_u64(std::uint64_t v);
   void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
   void put_f64(double v);
+  // LEB128 base-128 varint, 1–10 bytes. The compressed wire paths
+  // (net/codec.cc v2 extensions, net/bloom_delta.cc) use varints for counts,
+  // indices and deltas that are small in the common case.
+  void put_varint(std::uint64_t v);
+  // Zigzag-mapped signed varint: small magnitudes of either sign stay short.
+  void put_varint_i64(std::int64_t v);
   // Length-prefixed (u16) string.
   void put_string(std::string_view s);
   // Length-prefixed (u32) raw bytes.
@@ -56,6 +62,11 @@ class ByteReader {
     return static_cast<std::int64_t>(get_u64());
   }
   [[nodiscard]] double get_f64();
+  // Throws DecodeError on truncation and on non-canonical encodings
+  // (more than 10 bytes, bits past the 64th, or a zero-valued trailing
+  // continuation group), so decode(encode(x)) is the unique byte form.
+  [[nodiscard]] std::uint64_t get_varint();
+  [[nodiscard]] std::int64_t get_varint_i64();
   [[nodiscard]] std::string get_string();
   [[nodiscard]] std::vector<std::byte> get_bytes();
 
@@ -70,5 +81,16 @@ class ByteReader {
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
 };
+
+// Encoded length of `v` as a varint (1–10 bytes); lets sizing code charge
+// varint fields without a scratch encode.
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
 
 }  // namespace pds

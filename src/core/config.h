@@ -31,6 +31,17 @@ struct PdsConfig {
   SimTime cdi_ttl = SimTime::seconds(30.0);
   // Recent-response dedup window (ids remembered per node).
   std::size_t recent_response_capacity = 4096;
+  // Serve-time suppression for off-the-air metadata copies (DESIGN.md §16):
+  // when a node installs a query, it skips entries whose only copy was
+  // cached from a relayed/overheard response this recently — that copy is
+  // still in flight toward the consumer, and re-serving it from every cache
+  // along the path multiplies response traffic (single-frame compressed
+  // responses make overhear-caching much more effective, which is exactly
+  // when the echo shows up). Publisher copies are never suppressed, so a
+  // lost in-flight copy is recovered by the next round. Purely local
+  // policy — no wire impact, nodes may enable it unilaterally. Zero keeps
+  // the paper's serve-everything rule.
+  SimTime entry_serve_cooldown = SimTime::zero();
 
   // -- Multi-round discovery (§III-B.2, §VI-B.2) ---------------------------
   // Recent time window T for the diminishing-responses rule.
@@ -44,8 +55,23 @@ struct PdsConfig {
   // lost flooded query would otherwise terminate discovery with recall 0,
   // which a real consumer would never accept).
   int empty_round_retries = 3;
-  // Bloom filter sizing for redundancy detection (§V.3).
+  // Bloom filter sizing for redundancy detection (§V.3). Delta-Bloom mode
+  // (wire.delta_bloom; DESIGN.md §16) sizes each epoch's filter exactly for
+  // the arrivals at hand — any growth starts a fresh epoch anyway, so
+  // headroom would only inflate the full snapshot floods.
   double bloom_fpp = 0.01;
+
+  // -- Adaptive round spacing (DESIGN.md §16) -------------------------------
+  // When enabled, every re-flood waits at least the base spacing so
+  // in-flight responses land and the next filter excludes them, instead of
+  // a back-to-back re-flood that re-collects stragglers; a round that
+  // contributed little novelty (new/total below the threshold) backs off
+  // exponentially up to the max. Off by default: round timing is
+  // byte-identical to the paper's schedule.
+  bool adaptive_round_spacing = false;
+  SimTime adaptive_spacing_base = SimTime::millis(250);
+  SimTime adaptive_spacing_max = SimTime::seconds(2.0);
+  double adaptive_novelty_threshold = 0.05;
 
   // -- Payload shaping ------------------------------------------------------
   // Metadata entries per response message; ~45 × 30 B entries keeps response

@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "core/data_store.h"
 #include "core/lingering_query_table.h"
+#include "net/bloom_delta.h"
 #include "net/message.h"
 #include "net/transport.h"
 #include "sim/simulator.h"
@@ -34,6 +35,12 @@ struct NodeContext {
   LingeringQueryTable& lqt;
   util::DedupCache<std::uint64_t>& recent_responses;
   CdiTable& cdi;
+  // Bloom-sync reconstruction cache (DESIGN.md §16): per-session state for
+  // rebuilding consumers' exclude filters from delta frames. Consulted by
+  // PddEngine whenever a query carries Message::exclude_delta — regardless
+  // of this node's own wire config, so legacy-configured nodes still
+  // understand delta-aware consumers.
+  net::BloomSyncCache& bloom_sync;
   Rng& rng;
 
   // Registers a locally originated query: inserts it into the LQT (with this

@@ -13,6 +13,7 @@ bool DataStore::insert_metadata(const DataDescriptor& d, bool has_payload,
     rec.descriptor = d;
     rec.has_payload = has_payload;
     rec.expire_at = has_payload ? SimTime::max() : now + ttl;
+    if (!has_payload) rec.cached_at = now;
     metadata_.emplace(key, std::move(rec));
     return true;
   }
@@ -23,6 +24,7 @@ bool DataStore::insert_metadata(const DataDescriptor& d, bool has_payload,
     rec.expire_at = SimTime::max();
   } else if (!rec.has_payload) {
     rec.expire_at = std::max(rec.expire_at, now + ttl);
+    rec.cached_at = now;
   }
   return was_expired;
 }
@@ -38,6 +40,18 @@ std::vector<DataDescriptor> DataStore::match_metadata(const Filter& f,
   for (const auto& [key, rec] : metadata_) {
     if (rec.expired(now)) continue;
     if (f.matches(rec.descriptor)) out.push_back(rec.descriptor);
+  }
+  return out;
+}
+
+std::vector<DataStore::MetaMatch> DataStore::match_metadata_records(
+    const Filter& f, SimTime now) const {
+  std::vector<MetaMatch> out;
+  for (const auto& [key, rec] : metadata_) {
+    if (rec.expired(now)) continue;
+    if (f.matches(rec.descriptor)) {
+      out.push_back({rec.descriptor, rec.has_payload, rec.cached_at});
+    }
   }
   return out;
 }

@@ -51,6 +51,17 @@ class DataStore {
   // All unexpired entries matching the filter.
   [[nodiscard]] std::vector<DataDescriptor> match_metadata(const Filter& f,
                                                            SimTime now) const;
+  // Matching entries with their caching provenance: whether this node holds
+  // the payload (publisher/retriever copy) and, for cached-only copies, when
+  // the copy last arrived off the air. Serve-time suppression
+  // (`entry_serve_cooldown`, DESIGN.md §16) needs both.
+  struct MetaMatch {
+    DataDescriptor descriptor;
+    bool has_payload = false;
+    SimTime cached_at = SimTime::zero();
+  };
+  [[nodiscard]] std::vector<MetaMatch> match_metadata_records(
+      const Filter& f, SimTime now) const;
   [[nodiscard]] std::size_t metadata_count(SimTime now) const;
 
   // -- Chunks ------------------------------------------------------------
@@ -103,6 +114,9 @@ class DataStore {
     DataDescriptor descriptor;
     bool has_payload = false;
     SimTime expire_at = SimTime::max();
+    // Last time a cached-only copy of this entry arrived off the air
+    // (relayed or overheard response). Meaningless once payload-backed.
+    SimTime cached_at = SimTime::zero();
 
     [[nodiscard]] bool expired(SimTime now) const {
       return !has_payload && expire_at <= now;

@@ -101,13 +101,44 @@ void DiscoverySession::start_round() {
   // already held), attach a Bloom filter of everything received, built with
   // a per-round hash family so persistent false positives die out (§V.3).
   if (ctx_.config.enable_bloom_rewriting && !arrivals_.empty()) {
-    util::BloomFilter bloom = util::BloomFilter::with_capacity(
-        arrivals_.size(), ctx_.config.bloom_fpp,
-        hash_combine(bloom_seed_base_, static_cast<std::uint64_t>(rounds_)));
-    // Bloom insertion is commutative (bitwise OR), so hash-order iteration
-    // cannot reach the wire or the trace. pdslint:allow(unordered-iter)
-    for (const auto& [key, when] : arrivals_) bloom.insert(key);
-    query->exclude = std::move(bloom);
+    if (ctx_.config.wire.delta_bloom) {
+      // Delta-Bloom mode (DESIGN.md §16): every round after novelty starts
+      // a fresh epoch — new hash family, filter sized exactly for the
+      // current arrivals — and ships it as a full frame. Two reasons a
+      // delta cannot follow a productive round anyway: (a) a relay that
+      // served rewrote the forwarded filter into classic form, so caches
+      // downstream of it missed the session's frames and a delta would
+      // push them to the fallback path; (b) rotating the family on every
+      // full frame restores classic's per-round false-positive die-out for
+      // entries still outstanding. Deltas ship only after silent rounds,
+      // where frames relayed verbatim (no serve, no rewrite), every cache
+      // is known to be in step, and the frame carries no blocks — a few
+      // bytes per hop to confirm the quiesced state.
+      const bool novelty = arrivals_.size() != arrivals_at_last_frame_;
+      const bool fresh_epoch = session_filter_.empty_filter() || novelty;
+      if (fresh_epoch) {
+        ++epoch_;
+        session_filter_ = util::BloomFilter::with_capacity(
+            arrivals_.size() + 64, ctx_.config.bloom_fpp,
+            hash_combine(bloom_seed_base_,
+                         static_cast<std::uint64_t>(epoch_)));
+      }
+      // Insertion is an idempotent bit-OR: re-inserting everything each
+      // round only touches the words of keys new since the last frame.
+      // pdslint:allow(unordered-iter)
+      for (const auto& [key, when] : arrivals_) session_filter_.insert(key);
+      query->exclude_delta = delta_sender_.next_frame(
+          trace_id_, epoch_, session_filter_, fresh_epoch);
+      arrivals_at_last_frame_ = arrivals_.size();
+    } else {
+      util::BloomFilter bloom = util::BloomFilter::with_capacity(
+          arrivals_.size(), ctx_.config.bloom_fpp,
+          hash_combine(bloom_seed_base_, static_cast<std::uint64_t>(rounds_)));
+      // Bloom insertion is commutative (bitwise OR), so hash-order iteration
+      // cannot reach the wire or the trace. pdslint:allow(unordered-iter)
+      for (const auto& [key, when] : arrivals_) bloom.insert(key);
+      query->exclude = std::move(bloom);
+    }
   }
 
   ctx_.register_local_query(
@@ -179,12 +210,51 @@ void DiscoverySession::check_round() {
   }
   const double new_ratio = static_cast<double>(round_new_) /
                            static_cast<double>(arrivals_.size());
+  if (round_new_ > 0) confirmation_round_ = false;
   if (new_ratio > ctx_.config.threshold_td &&
       rounds_ < ctx_.config.max_rounds) {
+    schedule_next_round(new_ratio);
+  } else if (ctx_.config.wire.delta_bloom &&
+             ctx_.config.enable_bloom_rewriting &&
+             !confirmation_round_ && rounds_ < ctx_.config.max_rounds) {
+    // Confirmation round (DESIGN.md §16): before finishing, re-query once
+    // more. The round it confirms was silent — nothing served, so every
+    // sync cache relayed the epoch's snapshot verbatim and is in step —
+    // and the query ships a no-op delta frame, a few bytes per hop instead
+    // of a snapshot flood. It catches two things the classic
+    // terminate-on-silence rule misses: responses still in flight when the
+    // previous round closed, and nodes whose sync cache fell back (their
+    // stale filter makes them re-offer anything the consumer gained
+    // since). If it surfaces new entries, discovery continues normally and
+    // a later finish confirms again.
+    confirmation_round_ = true;
     start_round();
   } else {
     finish();
   }
+}
+
+void DiscoverySession::schedule_next_round(double novelty) {
+  if (!ctx_.config.adaptive_round_spacing) {
+    spacing_ = SimTime::zero();
+    start_round();
+    return;
+  }
+  // Adaptive spacing: every re-flood waits at least the base spacing, so
+  // responses still in flight land before the next round's filter is built
+  // — the re-flood excludes them instead of re-collecting them, and the
+  // round after a now-silent round can ship a no-op delta frame. Rounds
+  // that contributed little novelty back off exponentially up to the max.
+  spacing_ = novelty >= ctx_.config.adaptive_novelty_threshold ||
+                     spacing_ == SimTime::zero()
+                 ? ctx_.config.adaptive_spacing_base
+                 : std::min(spacing_ * 2.0, ctx_.config.adaptive_spacing_max);
+  PDS_TRACE_INSTANT(ctx_.sim.tracer(), ctx_.now(), ctx_.self, "pdd",
+                    "round_backoff", {"round", rounds_},
+                    {"delay_us", spacing_.as_micros()});
+  ctx_.sim.schedule(spacing_, [this] {
+    if (!finished_) start_round();
+  });
 }
 
 void DiscoverySession::close_round() {

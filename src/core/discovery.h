@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/context.h"
+#include "net/bloom_delta.h"
+#include "util/bloom_filter.h"
 
 namespace pds::core {
 
@@ -84,6 +86,10 @@ class DiscoverySession {
   void check_round();
   void finish();
   void record_key(std::uint64_t key);
+  // Starts the next round — immediately, or (adaptive spacing, DESIGN.md
+  // §16) after an exponential backoff when the closed round contributed
+  // little novelty.
+  void schedule_next_round(double novelty);
 
   NodeContext& ctx_;
   net::ContentKind kind_;
@@ -113,6 +119,22 @@ class DiscoverySession {
   std::size_t round_new_ = 0;
   std::vector<SimTime> round_response_times_;
   std::vector<RoundRecord> round_history_;
+
+  // Delta-Bloom sync state (wire.delta_bloom; DESIGN.md §16). One hash
+  // family per epoch: `session_filter_` only gains bits within an epoch.
+  // Every round after novelty starts a fresh epoch (new family, exact
+  // sizing) shipped as a full frame — relays that served rewrote the
+  // forwarded filter into classic form, so downstream caches missed the
+  // session's frames and a delta against them would fall back, and the
+  // family rotation restores classic's per-round false-positive die-out.
+  // Deltas ship only after silent rounds, where verbatim relay kept every
+  // cache in step and the frame is a few bytes.
+  net::DeltaBloomSender delta_sender_;
+  util::BloomFilter session_filter_;
+  std::uint32_t epoch_ = 0;
+  std::size_t arrivals_at_last_frame_ = 0;
+  bool confirmation_round_ = false;
+  SimTime spacing_ = SimTime::zero();
 };
 
 }  // namespace pds::core

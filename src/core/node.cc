@@ -23,6 +23,7 @@ PdsNode::PdsNode(sim::Simulator& sim, sim::RadioMedium& medium, NodeId id,
            .lqt = lqt_,
            .recent_responses = recent_responses_,
            .cdi = cdi_,
+           .bloom_sync = bloom_sync_,
            .rng = rng_,
            .register_local_query = {},
            .deliver_local = {}},
@@ -31,7 +32,14 @@ PdsNode::PdsNode(sim::Simulator& sim, sim::RadioMedium& medium, NodeId id,
   ctx_.register_local_query = [this](const net::MessagePtr& query,
                                      LocalResponseHandler handler) {
     PDS_ENSURE(query->sender == id_);
-    lqt_.insert(query, sim_.now());  // upstream == self: local delivery
+    // upstream == self: local delivery
+    LingeringQuery& lq = lqt_.insert(query, sim_.now());
+    if (query->exclude_delta.has_value()) {
+      // Reconstruct the session's exclude filter locally too, so the
+      // consumer's own LQT entry suppresses relayed duplicates exactly like
+      // a classic full-filter query would.
+      lq.exclude = bloom_sync_.apply(*query->exclude_delta);
+    }
     local_handlers_[query->query_id] = std::move(handler);
   };
   ctx_.deliver_local = [this](QueryId query, const net::Message& response) {
@@ -60,6 +68,7 @@ void PdsNode::crash(bool wipe_state) {
     cdi_.clear();
     lqt_.clear();
     recent_responses_.clear();
+    bloom_sync_.clear();
     local_handlers_.clear();
   }
 }

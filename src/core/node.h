@@ -114,6 +114,7 @@ class PdsNode {
   LingeringQueryTable lqt_;
   util::DedupCache<std::uint64_t> recent_responses_;
   CdiTable cdi_;
+  net::BloomSyncCache bloom_sync_;
   net::BroadcastFace face_;
   net::Transport transport_;
   NodeContext ctx_;

@@ -83,6 +83,16 @@ void PddEngine::handle_query(const net::MessagePtr& query) {
   }
   LingeringQuery& lq = ctx_.lqt.insert(query, now);
   lq.recv_span = causal_recv(ctx_, query->trace);
+  if (query->exclude_delta.has_value()) {
+    // Delta-synced exclude filter (DESIGN.md §16): reconstruct the
+    // consumer's filter from the sync frame. On any base/checksum mismatch
+    // this yields the empty filter — recall-safe, because the exclude
+    // filter only suppresses duplicate replies.
+    lq.exclude = ctx_.bloom_sync.apply(*query->exclude_delta);
+  }
+  // Inserted-key count before serving: if serving adds nothing, a received
+  // sync frame can be relayed verbatim instead of as a full filter.
+  const std::size_t installed_inserts = lq.exclude.inserted_count();
   PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "lq", "query_install",
                     {"query", query->query_id.value()},
                     {"upstream", query->sender}, {"ttl", query->ttl});
@@ -102,7 +112,19 @@ void PddEngine::handle_query(const net::MessagePtr& query) {
   fwd->sender = ctx_.self;
   fwd->receivers.clear();
   if (fwd->ttl > 0) --fwd->ttl;
-  if (ctx_.config.enable_bloom_rewriting) fwd->exclude = lq.exclude;
+  if (ctx_.config.enable_bloom_rewriting) {
+    if (query->exclude_delta.has_value() &&
+        lq.exclude.inserted_count() == installed_inserts) {
+      // Nothing served here: pass the consumer's sync frame through
+      // verbatim (the copy above kept it), so downstream caches stay
+      // anchored to the consumer's state even across multi-hop relays.
+    } else {
+      // The filter was rewritten en route (keys served at this hop) — or a
+      // classic query: ship the updated filter in the classic full form.
+      fwd->exclude_delta.reset();
+      fwd->exclude = lq.exclude;
+    }
+  }
   causal_tx(ctx_, *fwd, query->trace, lq.recv_span, /*hop_delta=*/1);
   PDS_TRACE_INSTANT(ctx_.sim.tracer(), now, ctx_.self, "lq", "query_forward",
                     {"query", query->query_id.value()}, {"ttl", fwd->ttl});
@@ -116,12 +138,23 @@ void PddEngine::serve_from_store(LingeringQuery& lq) {
 
   if (q.kind == net::ContentKind::kMetadata) {
     std::vector<DataDescriptor> fresh;
-    for (DataDescriptor& d : ctx_.store.match_metadata(q.filter, now)) {
-      const std::uint64_t key = d.entry_key();
+    for (DataStore::MetaMatch& m :
+         ctx_.store.match_metadata_records(q.filter, now)) {
+      const std::uint64_t key = m.descriptor.entry_key();
       if (lq.served_keys.contains(key) || lq.exclude.maybe_contains(key)) {
         continue;
       }
-      fresh.push_back(std::move(d));
+      // Serve cooldown (DESIGN.md §16): a cached-only copy that just came
+      // off the air is still in flight toward its consumer through the node
+      // it was heard from; re-serving it from every cache along the path
+      // multiplies response traffic. Publisher copies are never suppressed,
+      // so a lost in-flight copy is recovered by the next round's filter
+      // gap.
+      if (!m.has_payload &&
+          now < m.cached_at + cfg.entry_serve_cooldown) {
+        continue;
+      }
+      fresh.push_back(std::move(m.descriptor));
     }
     for (std::size_t begin = 0; begin < fresh.size();
          begin += cfg.max_entries_per_response) {

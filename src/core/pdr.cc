@@ -250,6 +250,11 @@ ChunkPlan plan_chunk_requests(const NodeContext& ctx, ItemId item,
       ctx.config.enable_gap_balancing ? util::solve_min_max_heuristic(inst)
                                       : util::solve_naive(inst);
 
+  // Buckets preserve the caller's chunk order; every call site passes an
+  // ascending missing-chunk list, so per-neighbor request lists stay
+  // ascending — which is what lets the wire codec's chunk-bitmap extension
+  // (WireConfig::chunk_bitmap) engage instead of falling back to the
+  // classic per-chunk list.
   std::vector<std::vector<ChunkIndex>> buckets(neighbors.size());
   for (std::size_t i = 0; i < routable.size(); ++i) {
     buckets[assignment.assignment[i]].push_back(routable[i]);

@@ -1,5 +1,14 @@
 #include "net/codec.h"
 
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
 #include "common/assert.h"
 #include "common/bytes.h"
 
@@ -9,6 +18,16 @@ namespace {
 
 // type + kind + sender(4) + query/response id(8) + expire(8) + ttl(1).
 constexpr std::size_t kCommonHeaderBytes = 1 + 1 + 4 + 8 + 8 + 1;
+
+// Decode-side caps for the reconciliation extensions: large enough for any
+// protocol-generated frame, small enough that hostile headers cannot force
+// huge allocations.
+constexpr std::uint64_t kMaxDictNames = 4096;
+constexpr std::uint64_t kMaxEntryAttrs = 1024;
+constexpr std::uint64_t kMaxCompressedEntries = 65535;
+constexpr std::uint64_t kMaxBitmapSpan = 1u << 22;
+constexpr std::uint64_t kMaxBitmapGroups = 65535;
+constexpr std::uint64_t kMaxStringBytes = 65535;
 
 std::size_t receiver_list_bytes(const Message& m) {
   return 1 + 4 * m.receivers.size();
@@ -21,6 +40,280 @@ bool carries_trace(const WireConfig& cfg, const Message& m) {
   return cfg.carry_trace_context && (m.is_query() || m.is_response()) &&
          m.trace.valid();
 }
+
+bool strictly_increasing(const std::vector<ChunkIndex>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] <= v[i - 1]) return false;
+  }
+  return true;
+}
+
+bool cdi_strictly_increasing(const std::vector<CdiEntry>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i].chunk <= v[i - 1].chunk) return false;
+  }
+  return true;
+}
+
+// Which reconciliation-extension bits this (config, message) pair emits.
+// The bitmap forms require canonically ordered inputs — anything else (which
+// protocol code never produces) falls back to the classic list encodings so
+// no content is ever silently reordered.
+std::uint8_t ext_bits(const WireConfig& cfg, const Message& m) {
+  std::uint8_t bits = 0;
+  if (m.is_query()) {
+    if (m.exclude_delta.has_value()) bits |= kExtDeltaBloom;
+    if (cfg.chunk_bitmap && !m.requested_chunks.empty() &&
+        strictly_increasing(m.requested_chunks)) {
+      bits |= kExtChunkBitmap;
+    }
+  } else if (m.is_response()) {
+    if (cfg.compress_entries && (!m.metadata.empty() || !m.items.empty())) {
+      bits |= kExtCompressedEntries;
+    }
+    if (cfg.chunk_bitmap && !m.cdi.empty() && cdi_strictly_increasing(m.cdi)) {
+      bits |= kExtChunkBitmap;
+    }
+  }
+  return bits;
+}
+
+// -- Chunk bitmaps (kExtChunkBitmap) ----------------------------------------
+//
+// A run of strictly increasing chunk ids as base + span + bit array. The
+// encoding is canonical: base is the first id, the span's last bit is set,
+// and no bit lies past the span.
+
+void encode_chunk_bitmap(ByteWriter& w, std::span<const ChunkIndex> chunks) {
+  const ChunkIndex base = chunks.front();
+  const std::uint32_t span = chunks.back() - base + 1;
+  w.put_varint(base);
+  w.put_varint(span);
+  std::vector<std::uint8_t> bytes((span + 7) / 8, 0);
+  for (ChunkIndex c : chunks) {
+    const std::uint32_t bit = c - base;
+    bytes[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  for (std::uint8_t b : bytes) w.put_u8(b);
+}
+
+std::size_t chunk_bitmap_size(std::span<const ChunkIndex> chunks) {
+  const ChunkIndex base = chunks.front();
+  const std::uint32_t span = chunks.back() - base + 1;
+  return varint_size(base) + varint_size(span) + (span + 7) / 8;
+}
+
+std::vector<ChunkIndex> decode_chunk_bitmap(ByteReader& r) {
+  const std::uint64_t base = r.get_varint();
+  const std::uint64_t span = r.get_varint();
+  if (span == 0 || span > kMaxBitmapSpan) {
+    throw DecodeError("chunk bitmap span out of range");
+  }
+  if (base > 0xffffffffULL - (span - 1)) {
+    throw DecodeError("chunk bitmap base out of range");
+  }
+  std::vector<ChunkIndex> out;
+  const std::size_t n_bytes = (span + 7) / 8;
+  for (std::size_t i = 0; i < n_bytes; ++i) {
+    const std::uint8_t b = r.get_u8();
+    for (std::uint32_t bit = 0; bit < 8; ++bit) {
+      if (((b >> bit) & 1) == 0) continue;
+      const std::uint64_t pos = i * 8 + bit;
+      if (pos >= span) {
+        throw DecodeError("chunk bitmap has bits past its span");
+      }
+      out.push_back(static_cast<ChunkIndex>(base + pos));
+    }
+  }
+  if (out.empty() || out.front() != base || out.back() != base + span - 1) {
+    throw DecodeError("chunk bitmap not canonical");
+  }
+  return out;
+}
+
+// CDI entries as hop-count groups of chunk bitmaps, hop strictly increasing.
+
+void encode_cdi_bitmap(ByteWriter& w, const std::vector<CdiEntry>& cdi) {
+  std::map<std::uint32_t, std::vector<ChunkIndex>> groups;
+  for (const CdiEntry& e : cdi) groups[e.hop_count].push_back(e.chunk);
+  w.put_varint(groups.size());
+  for (const auto& [hop, chunks] : groups) {
+    w.put_varint(hop);
+    encode_chunk_bitmap(w, chunks);
+  }
+}
+
+std::size_t cdi_bitmap_size(const std::vector<CdiEntry>& cdi) {
+  std::map<std::uint32_t, std::vector<ChunkIndex>> groups;
+  for (const CdiEntry& e : cdi) groups[e.hop_count].push_back(e.chunk);
+  std::size_t size = varint_size(groups.size());
+  for (const auto& [hop, chunks] : groups) {
+    size += varint_size(hop) + chunk_bitmap_size(chunks);
+  }
+  return size;
+}
+
+std::vector<CdiEntry> decode_cdi_bitmap(ByteReader& r) {
+  const std::uint64_t n_groups = r.get_varint();
+  if (n_groups == 0 || n_groups > kMaxBitmapGroups) {
+    throw DecodeError("CDI bitmap group count out of range");
+  }
+  std::vector<CdiEntry> out;
+  std::uint64_t prev_hop = 0;
+  for (std::uint64_t g = 0; g < n_groups; ++g) {
+    const std::uint64_t hop = r.get_varint();
+    if (hop > 0xffffffffULL || (g > 0 && hop <= prev_hop)) {
+      throw DecodeError("CDI bitmap groups not canonical");
+    }
+    prev_hop = hop;
+    for (ChunkIndex c : decode_chunk_bitmap(r)) {
+      out.push_back({c, static_cast<std::uint32_t>(hop)});
+    }
+    if (out.size() > kMaxCompressedEntries) {
+      throw DecodeError("CDI bitmap entry count out of range");
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CdiEntry& a, const CdiEntry& b) {
+    return a.chunk < b.chunk;
+  });
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].chunk == out[i - 1].chunk) {
+      throw DecodeError("duplicate chunk in CDI bitmap");
+    }
+  }
+  return out;
+}
+
+// -- Compressed entries (kExtCompressedEntries) ------------------------------
+//
+// A per-message dictionary of attribute names, then per entry: attribute
+// count, and per attribute a dictionary index, a type tag and the value —
+// ints as zigzag varints, doubles raw, strings as (shared-prefix length
+// against the previous value of the same attribute, suffix). Attribute
+// order inside an entry stays the canonical sorted-by-name order, so the
+// decoded descriptor is byte-for-byte the classic one.
+
+class EntryCompressor {
+ public:
+  explicit EntryCompressor(const Message& m) {
+    for (const core::DataDescriptor& d : m.metadata) add_names(d);
+    for (const ItemPayload& item : m.items) add_names(item.descriptor);
+    prev_.resize(names_.size());
+  }
+
+  void encode_dict(ByteWriter& w) const {
+    w.put_varint(names_.size());
+    for (const std::string& n : names_) w.put_string(n);
+  }
+
+  void encode_entry(ByteWriter& w, const core::DataDescriptor& d) {
+    const auto& attrs = d.attributes();
+    w.put_varint(attrs.size());
+    for (const core::Attribute& a : attrs) {
+      const std::size_t idx = index_.at(a.name);
+      w.put_varint(idx);
+      w.put_u8(static_cast<std::uint8_t>(a.value.index()));
+      if (const auto* i = std::get_if<std::int64_t>(&a.value)) {
+        w.put_varint_i64(*i);
+      } else if (const auto* f = std::get_if<double>(&a.value)) {
+        w.put_f64(*f);
+      } else {
+        const std::string& s = std::get<std::string>(a.value);
+        std::string& prev = prev_[idx];
+        const std::size_t limit = std::min(prev.size(), s.size());
+        std::size_t common = 0;
+        while (common < limit && prev[common] == s[common]) ++common;
+        w.put_varint(common);
+        w.put_string(std::string_view(s).substr(common));
+        prev = s;
+      }
+    }
+  }
+
+ private:
+  void add_names(const core::DataDescriptor& d) {
+    for (const core::Attribute& a : d.attributes()) {
+      if (index_.emplace(a.name, names_.size()).second) {
+        names_.push_back(a.name);
+      }
+    }
+  }
+
+  std::vector<std::string> names_;  // first-appearance order
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::string> prev_;  // previous string value per name
+};
+
+class EntryDecompressor {
+ public:
+  void decode_dict(ByteReader& r) {
+    const std::uint64_t n = r.get_varint();
+    if (n > kMaxDictNames) {
+      throw DecodeError("attribute dictionary too large");
+    }
+    std::set<std::string> seen;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string name = r.get_string();
+      if (!seen.insert(name).second) {
+        throw DecodeError("duplicate attribute dictionary name");
+      }
+      names_.push_back(std::move(name));
+    }
+    prev_.resize(names_.size());
+  }
+
+  core::DataDescriptor decode_entry(ByteReader& r) {
+    const std::uint64_t n_attrs = r.get_varint();
+    if (n_attrs > kMaxEntryAttrs) {
+      throw DecodeError("too many attributes in compressed entry");
+    }
+    core::DataDescriptor d;
+    const std::string* last = nullptr;
+    for (std::uint64_t i = 0; i < n_attrs; ++i) {
+      const std::uint64_t idx = r.get_varint();
+      if (idx >= names_.size()) {
+        throw DecodeError("attribute name index out of range");
+      }
+      const std::string& name = names_[idx];
+      if (last != nullptr && !(*last < name)) {
+        throw DecodeError("descriptor attributes not canonical");
+      }
+      last = &name;
+      const std::uint8_t tag = r.get_u8();
+      core::AttrValue value;
+      switch (tag) {
+        case 0:
+          value = r.get_varint_i64();
+          break;
+        case 1:
+          value = r.get_f64();
+          break;
+        case 2: {
+          const std::uint64_t common = r.get_varint();
+          std::string& prev = prev_[idx];
+          if (common > prev.size()) {
+            throw DecodeError("string prefix length out of range");
+          }
+          std::string s = prev.substr(0, common) + r.get_string();
+          if (s.size() > kMaxStringBytes) {
+            throw DecodeError("string value too long");
+          }
+          prev = s;
+          value = std::move(s);
+          break;
+        }
+        default:
+          throw DecodeError("unknown attribute value tag");
+      }
+      d.set(name, std::move(value));
+    }
+    return d;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::string> prev_;
+};
 
 }  // namespace
 
@@ -38,26 +331,63 @@ std::size_t Codec::wire_size(const Message& m) const {
     // type + token(8) + requester(4) + count(2) + indices(4 each).
     return 1 + 8 + 4 + 2 + 4 * m.requested_chunks.size();
   }
+  const std::uint8_t ext = ext_bits(cfg_, m);
   std::size_t size = kCommonHeaderBytes + receiver_list_bytes(m);
+  if (ext != 0) size += 1;  // extension bitmap byte
   if (m.target.has_value()) size += m.target->encoded_size();
   size += 1;  // target-present flag
   if (m.is_query()) {
     size += m.filter.encoded_size();
-    size += m.exclude.wire_size();
-    size += 2 + 4 * m.requested_chunks.size();
-  } else {
-    size += 2;  // metadata count
-    for (const core::DataDescriptor& d : m.metadata) {
-      size += entry_wire_size(d);
+    if ((ext & kExtDeltaBloom) != 0) {
+      size += m.exclude_delta->wire_size();
+    } else {
+      size += m.exclude.wire_size();
     }
-    size += 2 + 8 * m.cdi.size();
+    if ((ext & kExtChunkBitmap) != 0) {
+      size += chunk_bitmap_size(m.requested_chunks);
+    } else {
+      size += 2 + 4 * m.requested_chunks.size();
+    }
+  } else {
+    // The paper's flat per-entry charge (metadata_entry_bytes > 0) wins
+    // over entry compression: honest compression measurements set it to 0.
+    const bool compressed_sizing =
+        (ext & kExtCompressedEntries) != 0 && cfg_.metadata_entry_bytes == 0;
+    if (compressed_sizing) {
+      EntryCompressor enc(m);
+      ByteWriter scratch;
+      enc.encode_dict(scratch);
+      scratch.put_varint(m.metadata.size());
+      for (const core::DataDescriptor& d : m.metadata) {
+        enc.encode_entry(scratch, d);
+      }
+      scratch.put_varint(m.items.size());
+      for (const ItemPayload& item : m.items) {
+        enc.encode_entry(scratch, item.descriptor);
+        // Length field + simulated payload (the content hash stands in for
+        // the payload on the wire and is not charged, as in the classic
+        // item encoding).
+        size += varint_size(item.size_bytes) + item.size_bytes;
+      }
+      size += scratch.size();
+    } else {
+      size += 2;  // metadata count
+      for (const core::DataDescriptor& d : m.metadata) {
+        size += entry_wire_size(d);
+      }
+      size += 2;  // item count
+      for (const ItemPayload& item : m.items) {
+        size += entry_wire_size(item.descriptor) + 4 + item.size_bytes;
+      }
+    }
+    if ((ext & kExtChunkBitmap) != 0) {
+      size += cdi_bitmap_size(m.cdi);
+    } else {
+      size += 2 + 8 * m.cdi.size();
+    }
     size += 1;  // chunk-present flag
     if (m.chunk.has_value()) {
       size += 4 + 4 + m.chunk->size_bytes;  // index + length + payload
-    }
-    size += 2;  // item count
-    for (const ItemPayload& item : m.items) {
-      size += entry_wire_size(item.descriptor) + 4 + item.size_bytes;
     }
   }
   if (carries_trace(cfg_, m)) size += kTraceContextBytes;
@@ -67,8 +397,11 @@ std::size_t Codec::wire_size(const Message& m) const {
 std::vector<std::byte> Codec::encode(const Message& m) const {
   ByteWriter w;
   const bool with_trace = carries_trace(cfg_, m);
+  const std::uint8_t ext =
+      (m.is_ack() || m.is_repair()) ? 0 : ext_bits(cfg_, m);
   w.put_u8(static_cast<std::uint8_t>(m.type) |
-           (with_trace ? kTraceContextFlag : 0));
+           (with_trace ? kTraceContextFlag : 0) |
+           (ext != 0 ? kWireExtFlag : 0));
   if (m.is_ack()) {
     w.put_u16(static_cast<std::uint16_t>(m.ack_tokens.size()));
     for (std::uint64_t token : m.ack_tokens) w.put_u64(token);
@@ -82,6 +415,7 @@ std::vector<std::byte> Codec::encode(const Message& m) const {
     for (ChunkIndex c : m.requested_chunks) w.put_u32(c);
     return w.take();
   }
+  if (ext != 0) w.put_u8(ext);
   w.put_u8(static_cast<std::uint8_t>(m.kind));
   w.put_u32(m.sender.value());
   w.put_u64(m.is_query() ? m.query_id.value() : m.response_id.value());
@@ -93,18 +427,40 @@ std::vector<std::byte> Codec::encode(const Message& m) const {
   if (m.target.has_value()) m.target->encode(w);
   if (m.is_query()) {
     m.filter.encode(w);
-    std::vector<std::byte> bloom_bytes;
-    m.exclude.encode(bloom_bytes);
-    w.put_bytes(bloom_bytes);
-    w.put_u16(static_cast<std::uint16_t>(m.requested_chunks.size()));
-    for (ChunkIndex c : m.requested_chunks) w.put_u32(c);
+    if ((ext & kExtDeltaBloom) != 0) {
+      m.exclude_delta->encode(w);
+    } else {
+      std::vector<std::byte> bloom_bytes;
+      m.exclude.encode(bloom_bytes);
+      w.put_bytes(bloom_bytes);
+    }
+    if ((ext & kExtChunkBitmap) != 0) {
+      encode_chunk_bitmap(w, m.requested_chunks);
+    } else {
+      w.put_u16(static_cast<std::uint16_t>(m.requested_chunks.size()));
+      for (ChunkIndex c : m.requested_chunks) w.put_u32(c);
+    }
   } else {
-    w.put_u16(static_cast<std::uint16_t>(m.metadata.size()));
-    for (const core::DataDescriptor& d : m.metadata) d.encode(w);
-    w.put_u16(static_cast<std::uint16_t>(m.cdi.size()));
-    for (const CdiEntry& e : m.cdi) {
-      w.put_u32(e.chunk);
-      w.put_u32(e.hop_count);
+    std::optional<EntryCompressor> enc;
+    if ((ext & kExtCompressedEntries) != 0) {
+      enc.emplace(m);
+      enc->encode_dict(w);
+      w.put_varint(m.metadata.size());
+      for (const core::DataDescriptor& d : m.metadata) {
+        enc->encode_entry(w, d);
+      }
+    } else {
+      w.put_u16(static_cast<std::uint16_t>(m.metadata.size()));
+      for (const core::DataDescriptor& d : m.metadata) d.encode(w);
+    }
+    if ((ext & kExtChunkBitmap) != 0) {
+      encode_cdi_bitmap(w, m.cdi);
+    } else {
+      w.put_u16(static_cast<std::uint16_t>(m.cdi.size()));
+      for (const CdiEntry& e : m.cdi) {
+        w.put_u32(e.chunk);
+        w.put_u32(e.hop_count);
+      }
     }
     w.put_u8(m.chunk.has_value() ? 1 : 0);
     if (m.chunk.has_value()) {
@@ -112,11 +468,20 @@ std::vector<std::byte> Codec::encode(const Message& m) const {
       w.put_u32(m.chunk->size_bytes);
       w.put_u64(m.chunk->content_hash);
     }
-    w.put_u16(static_cast<std::uint16_t>(m.items.size()));
-    for (const ItemPayload& item : m.items) {
-      item.descriptor.encode(w);
-      w.put_u32(item.size_bytes);
-      w.put_u64(item.content_hash);
+    if ((ext & kExtCompressedEntries) != 0) {
+      w.put_varint(m.items.size());
+      for (const ItemPayload& item : m.items) {
+        enc->encode_entry(w, item.descriptor);
+        w.put_varint(item.size_bytes);
+        w.put_u64(item.content_hash);
+      }
+    } else {
+      w.put_u16(static_cast<std::uint16_t>(m.items.size()));
+      for (const ItemPayload& item : m.items) {
+        item.descriptor.encode(w);
+        w.put_u32(item.size_bytes);
+        w.put_u64(item.content_hash);
+      }
     }
   }
   if (with_trace) {
@@ -133,12 +498,17 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
   Message m;
   const std::uint8_t type_byte = r.get_u8();
   const bool has_trace = (type_byte & kTraceContextFlag) != 0;
-  m.type = static_cast<MessageType>(type_byte & ~kTraceContextFlag);
+  const bool has_ext = (type_byte & kWireExtFlag) != 0;
+  m.type = static_cast<MessageType>(
+      type_byte & ~(kTraceContextFlag | kWireExtFlag));
   if (static_cast<std::uint8_t>(m.type) > 3) {
     throw DecodeError("unknown message type");
   }
   if (has_trace && !(m.is_query() || m.is_response())) {
     throw DecodeError("trace context on control frame");
+  }
+  if (has_ext && !(m.is_query() || m.is_response())) {
+    throw DecodeError("wire extension on control frame");
   }
   if (m.is_ack()) {
     const std::uint16_t n_tokens = r.get_u16();
@@ -156,6 +526,15 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
       m.requested_chunks.push_back(r.get_u32());
     }
     return m;
+  }
+  std::uint8_t ext = 0;
+  if (has_ext) {
+    ext = r.get_u8();
+    if (ext == 0) throw DecodeError("empty wire extension byte");
+    if ((ext &
+         ~(kExtDeltaBloom | kExtCompressedEntries | kExtChunkBitmap)) != 0) {
+      throw DecodeError("unknown wire extension");
+    }
   }
   m.kind = static_cast<ContentKind>(r.get_u8());
   if (static_cast<std::uint8_t>(m.kind) > 3) {
@@ -176,24 +555,54 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
   }
   if (r.get_u8() != 0) m.target = core::DataDescriptor::decode(r);
   if (m.is_query()) {
+    if ((ext & kExtCompressedEntries) != 0) {
+      throw DecodeError("compressed entries on query frame");
+    }
     m.filter = core::Filter::decode(r);
-    const std::vector<std::byte> bloom_bytes = r.get_bytes();
-    m.exclude = util::BloomFilter::decode(bloom_bytes);
-    const std::uint16_t n_chunks = r.get_u16();
-    for (std::uint16_t i = 0; i < n_chunks; ++i) {
-      m.requested_chunks.push_back(r.get_u32());
+    if ((ext & kExtDeltaBloom) != 0) {
+      m.exclude_delta = BloomDeltaFrame::decode(r);
+    } else {
+      const std::vector<std::byte> bloom_bytes = r.get_bytes();
+      m.exclude = util::BloomFilter::decode(bloom_bytes);
+    }
+    if ((ext & kExtChunkBitmap) != 0) {
+      m.requested_chunks = decode_chunk_bitmap(r);
+    } else {
+      const std::uint16_t n_chunks = r.get_u16();
+      for (std::uint16_t i = 0; i < n_chunks; ++i) {
+        m.requested_chunks.push_back(r.get_u32());
+      }
     }
   } else {
-    const std::uint16_t n_meta = r.get_u16();
-    for (std::uint16_t i = 0; i < n_meta; ++i) {
-      m.metadata.push_back(core::DataDescriptor::decode(r));
+    if ((ext & kExtDeltaBloom) != 0) {
+      throw DecodeError("Bloom sync frame on response");
     }
-    const std::uint16_t n_cdi = r.get_u16();
-    for (std::uint16_t i = 0; i < n_cdi; ++i) {
-      CdiEntry e;
-      e.chunk = r.get_u32();
-      e.hop_count = r.get_u32();
-      m.cdi.push_back(e);
+    EntryDecompressor dec;
+    if ((ext & kExtCompressedEntries) != 0) {
+      dec.decode_dict(r);
+      const std::uint64_t n_meta = r.get_varint();
+      if (n_meta > kMaxCompressedEntries) {
+        throw DecodeError("compressed entry count out of range");
+      }
+      for (std::uint64_t i = 0; i < n_meta; ++i) {
+        m.metadata.push_back(dec.decode_entry(r));
+      }
+    } else {
+      const std::uint16_t n_meta = r.get_u16();
+      for (std::uint16_t i = 0; i < n_meta; ++i) {
+        m.metadata.push_back(core::DataDescriptor::decode(r));
+      }
+    }
+    if ((ext & kExtChunkBitmap) != 0) {
+      m.cdi = decode_cdi_bitmap(r);
+    } else {
+      const std::uint16_t n_cdi = r.get_u16();
+      for (std::uint16_t i = 0; i < n_cdi; ++i) {
+        CdiEntry e;
+        e.chunk = r.get_u32();
+        e.hop_count = r.get_u32();
+        m.cdi.push_back(e);
+      }
     }
     if (r.get_u8() != 0) {
       ChunkPayload c;
@@ -202,13 +611,31 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
       c.content_hash = r.get_u64();
       m.chunk = c;
     }
-    const std::uint16_t n_items = r.get_u16();
-    for (std::uint16_t i = 0; i < n_items; ++i) {
-      ItemPayload item;
-      item.descriptor = core::DataDescriptor::decode(r);
-      item.size_bytes = r.get_u32();
-      item.content_hash = r.get_u64();
-      m.items.push_back(std::move(item));
+    if ((ext & kExtCompressedEntries) != 0) {
+      const std::uint64_t n_items = r.get_varint();
+      if (n_items > kMaxCompressedEntries) {
+        throw DecodeError("compressed entry count out of range");
+      }
+      for (std::uint64_t i = 0; i < n_items; ++i) {
+        ItemPayload item;
+        item.descriptor = dec.decode_entry(r);
+        const std::uint64_t size = r.get_varint();
+        if (size > 0xffffffffULL) {
+          throw DecodeError("item payload size out of range");
+        }
+        item.size_bytes = static_cast<std::uint32_t>(size);
+        item.content_hash = r.get_u64();
+        m.items.push_back(std::move(item));
+      }
+    } else {
+      const std::uint16_t n_items = r.get_u16();
+      for (std::uint16_t i = 0; i < n_items; ++i) {
+        ItemPayload item;
+        item.descriptor = core::DataDescriptor::decode(r);
+        item.size_bytes = r.get_u32();
+        item.content_hash = r.get_u64();
+        m.items.push_back(std::move(item));
+      }
     }
   }
   if (has_trace) {

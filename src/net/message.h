@@ -30,6 +30,7 @@
 #include "common/types.h"
 #include "core/descriptor.h"
 #include "core/predicate.h"
+#include "net/bloom_delta.h"
 #include "sim/radio.h"
 #include "util/bloom_filter.h"
 
@@ -124,6 +125,12 @@ struct Message : sim::FramePayload {
   core::Filter filter;                           // metadata/item queries
   std::optional<core::DataDescriptor> target;    // CDI/chunk: requested item
   util::BloomFilter exclude;                     // redundancy detection
+  // Delta-sync form of the exclude filter (DESIGN.md §16): when a
+  // delta-aware discovery session attaches a frame, `exclude` stays empty
+  // and receivers reconstruct their view of it through the node's
+  // BloomSyncCache. Relays that rewrote the filter en route drop back to
+  // the classic `exclude` encoding.
+  std::optional<BloomDeltaFrame> exclude_delta;
   std::vector<ChunkIndex> requested_chunks;      // chunk queries
 
   std::vector<core::DataDescriptor> metadata;    // metadata responses

@@ -48,6 +48,11 @@ void BloomFilter::insert(std::uint64_t key) {
   ++inserted_;
 }
 
+void BloomFilter::set_word(std::size_t index, std::uint64_t value) {
+  PDS_ENSURE(index < bits_.size());
+  bits_[index] = value;
+}
+
 bool BloomFilter::maybe_contains(std::uint64_t key) const {
   if (empty_filter()) return false;
   for (std::uint32_t i = 0; i < hash_count_; ++i) {

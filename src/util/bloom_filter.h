@@ -43,6 +43,13 @@ class BloomFilter {
   // count, u64 seed). This is what the codec charges a query carrying it.
   [[nodiscard]] std::size_t wire_size() const;
 
+  // Raw 64-bit block access for the delta-sync wire path (net/bloom_delta.h):
+  // a frame patches individual words of a base filter instead of re-shipping
+  // the whole bit array. `set_word` does not touch inserted_count(), which
+  // only tracks keys added through insert().
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return bits_; }
+  void set_word(std::size_t index, std::uint64_t value);
+
   // Fraction of bits set; diagnostic for tests.
   [[nodiscard]] double fill_ratio() const;
 

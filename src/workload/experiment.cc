@@ -69,11 +69,13 @@ PddOutcome run_pdd_grid(const PddGridParams& params) {
   setup.radio = params.radio;
   setup.scheduler = params.scheduler;
   setup.pds = pds;
+  setup.node_config = params.node_config;
   Grid grid = make_grid(setup, params.seed);
   Scenario& sc = *grid.scenario;
   sc.set_tracer(params.tracer);
   sc.attach_sampler(params.sampler);
   sc.set_profiler(params.profiler);
+  if (params.scenario_hook) params.scenario_hook(sc);
 
   Rng rng(params.seed * 7919 + 17);
   const std::vector<NodeId> consumers =
@@ -228,11 +230,13 @@ RetrievalOutcome run_retrieval_grid(const RetrievalGridParams& params) {
   setup.radio.shard_threads = params.radio.shard_threads;
   setup.scheduler = params.scheduler;
   setup.pds = params.pds;
+  setup.node_config = params.node_config;
   Grid grid = make_grid(setup, params.seed);
   Scenario& sc = *grid.scenario;
   sc.set_tracer(params.tracer);
   sc.attach_sampler(params.sampler);
   sc.set_profiler(params.profiler);
+  if (params.scenario_hook) params.scenario_hook(sc);
 
   Rng rng(params.seed * 6151 + 3);
   const std::vector<NodeId> consumers =

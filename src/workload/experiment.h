@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/config.h"
@@ -55,6 +56,14 @@ struct PddGridParams {
   // installed against the scenario before any session starts; empty = clean
   // run (see sim/faults.h and DESIGN.md §11).
   sim::FaultSchedule faults;
+  // Optional per-node config override (see GridSetup::node_config) —
+  // mixed-population interop runs give different nodes different wire
+  // configs while sharing every other knob.
+  std::function<void(NodeId, core::PdsConfig&)> node_config;
+  // Optional hook over the assembled scenario, called before any session
+  // starts — e.g. to install a RadioMedium TxObserver attributing on-air
+  // bytes to frame types (bench/tab_wire's query/response/ack split).
+  std::function<void(Scenario&)> scenario_hook;
 };
 
 // One closed discovery round at one consumer (DiscoverySession::RoundRecord
@@ -129,6 +138,10 @@ struct RetrievalGridParams {
   obs::TimeSeries* sampler = nullptr;
   obs::Profiler* profiler = nullptr;
   sim::FaultSchedule faults;
+  // Optional per-node config override (see GridSetup::node_config).
+  std::function<void(NodeId, core::PdsConfig&)> node_config;
+  // Optional hook over the assembled scenario (see PddGridParams).
+  std::function<void(Scenario&)> scenario_hook;
 };
 
 struct RetrievalOutcome {

@@ -169,7 +169,13 @@ Grid make_grid(const GridSetup& setup, std::uint64_t seed) {
       sim::grid_positions(setup.nx, setup.ny, spacing);
   for (std::size_t i = 0; i < positions.size(); ++i) {
     const NodeId id(static_cast<std::uint32_t>(i));
-    grid.scenario->add_node(id, positions[i], setup.pds);
+    if (setup.node_config) {
+      core::PdsConfig pds = setup.pds;
+      setup.node_config(id, pds);
+      grid.scenario->add_node(id, positions[i], pds);
+    } else {
+      grid.scenario->add_node(id, positions[i], setup.pds);
+    }
     grid.ids.push_back(id);
   }
   grid.center = grid.ids[sim::grid_center_index(setup.nx, setup.ny)];

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -103,6 +104,11 @@ struct GridSetup {
   // any seed both kinds produce bit-identical traces and outcomes
   // (trace_determinism_test), so experiments may flip this freely.
   sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
+  // Optional per-node config override, invoked with each node's id and a
+  // copy of `pds` before the node is built. Mixed-population runs (e.g. the
+  // wire-compat interop tests: half the grid on the legacy codec, half on
+  // the v2 extensions) flip per-node knobs here.
+  std::function<void(NodeId, core::PdsConfig&)> node_config;
 };
 
 struct Grid {

@@ -8,10 +8,13 @@
 #include <cstring>
 #include <string>
 #include <tuple>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
+#include "net/bloom_delta.h"
 #include "obs/trace.h"
+#include "util/bloom_filter.h"
 #include "workload/experiment.h"
 #include "workload/generator.h"
 #include "workload/scenario.h"
@@ -428,6 +431,119 @@ TEST_P(RandomFaultSchedule, SameSeedSameScheduleIsByteIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomFaultSchedule,
                          ::testing::Values(601, 602, 603));
+
+// -- Delta-Bloom sync reconvergence (DESIGN.md §16) ---------------------------
+//
+// Random filter-mutation sequences with random frame loss: a receiver that
+// misses deltas falls back to the last filter it successfully applied — or
+// the empty filter if it has none — which is recall-safe because every
+// applied filter is one the consumer actually shipped. It must reconverge
+// on the sender's exact filter within kFullFrameEvery frames of losses
+// stopping, because every kFullFrameEvery-th frame is a sparse full
+// snapshot.
+
+class DeltaBloomReconvergence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaBloomReconvergence, RandomLossReconvergesAfterResync) {
+  Rng rng(GetParam());
+  net::DeltaBloomSender sender;
+  net::BloomSyncCache cache;
+  const std::uint64_t session = rng.next_u64();
+
+  util::BloomFilter filter =
+      util::BloomFilter::with_capacity(4096, 0.01, rng.next_u64());
+  std::uint32_t epoch = 1;
+  std::uint32_t frames_since_loss = 1u << 20;  // no loss yet
+  std::unordered_set<std::uint64_t> shipped_checks;
+
+  for (int step = 0; step < 120; ++step) {
+    // Occasionally bump the epoch (fresh hash family), as DiscoverySession
+    // does on capacity overflow and for the confirmation round.
+    bool epoch_bumped = false;
+    if (rng.bernoulli(0.05)) {
+      ++epoch;
+      filter = util::BloomFilter::with_capacity(4096, 0.01, rng.next_u64());
+      epoch_bumped = true;
+    }
+    const int inserts = static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < inserts; ++i) filter.insert(rng.next_u64());
+
+    const net::BloomDeltaFrame frame =
+        sender.next_frame(session, epoch, filter, epoch_bumped);
+    shipped_checks.insert(net::bloom_check(filter));
+
+    if (!frame.full && rng.bernoulli(0.25)) {
+      frames_since_loss = 0;  // delta lost in flight; receiver never sees it
+      continue;
+    }
+    ++frames_since_loss;
+
+    const util::BloomFilter got = cache.apply(frame);
+    if (frame.full) {
+      // A full frame always restores exact sync, loss history or not.
+      ASSERT_EQ(net::bloom_check(got), net::bloom_check(filter))
+          << "full frame failed to resync at step " << step;
+    } else if (frames_since_loss > net::kFullFrameEvery) {
+      // Far enough from the last loss that a full frame must have landed.
+      ASSERT_EQ(net::bloom_check(got), net::bloom_check(filter))
+          << "delta chain diverged at step " << step;
+    } else if (net::bloom_check(got) != net::bloom_check(filter)) {
+      // Desynced window after a loss: the fallback must be the empty
+      // filter or a filter the sender previously shipped — it may only
+      // suppress entries the consumer already announced, never hold
+      // corrupt half-applied state.
+      ASSERT_TRUE(got.empty_filter() ||
+                  shipped_checks.contains(net::bloom_check(got)))
+          << "desynced receiver holds a never-shipped filter at step "
+          << step;
+    }
+  }
+  // Loss is long over after the final stretch of applied frames only if the
+  // last frames applied; drive a clean tail to force reconvergence.
+  for (std::uint32_t i = 0; i <= net::kFullFrameEvery; ++i) {
+    filter.insert(rng.next_u64());
+    const util::BloomFilter got =
+        cache.apply(sender.next_frame(session, epoch, filter));
+    if (i == net::kFullFrameEvery) {
+      EXPECT_EQ(net::bloom_check(got), net::bloom_check(filter))
+          << "receiver failed to reconverge within kFullFrameEvery frames";
+    }
+  }
+  EXPECT_EQ(cache.session_count(), 1u);
+}
+
+TEST(DeltaBloomReconvergence, DuplicateAndReorderedFramesAreHarmless) {
+  Rng rng(77);
+  net::DeltaBloomSender sender;
+  net::BloomSyncCache cache;
+  util::BloomFilter filter =
+      util::BloomFilter::with_capacity(1024, 0.01, 9);
+
+  std::vector<net::BloomDeltaFrame> history;
+  for (int step = 0; step < 12; ++step) {
+    for (int i = 0; i < 16; ++i) filter.insert(rng.next_u64());
+    history.push_back(sender.next_frame(1, 1, filter));
+    (void)cache.apply(history.back());
+  }
+  const std::uint64_t synced = net::bloom_check(cache.apply(
+      [&] {
+        filter.insert(rng.next_u64());
+        return sender.next_frame(1, 1, filter);
+      }()));
+  ASSERT_EQ(synced, net::bloom_check(filter));
+
+  // Flood duplicates deliver old frames again, in any order: the cache must
+  // ignore them (same epoch, seq <= cached) and keep the synced filter.
+  rng.shuffle(history);
+  for (const net::BloomDeltaFrame& stale : history) {
+    const util::BloomFilter got = cache.apply(stale);
+    EXPECT_EQ(net::bloom_check(got), net::bloom_check(filter));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaBloomReconvergence,
+                         ::testing::Values(901, 902, 903, 904, 905));
 
 }  // namespace
 }  // namespace pds::wl

@@ -1,0 +1,119 @@
+// Differential interop tests for the v2 wire extensions (DESIGN.md §16):
+// populations mixing classic-codec and v2-codec nodes in the same simulation
+// must reach the same discovery and retrieval outcomes as a uniform classic
+// population. The extensions are negotiation-free — every codec *decodes*
+// all extensions, config only gates what a node *emits* — so a v2 consumer
+// behind classic relays (and vice versa) must lose nothing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace pds::wl {
+namespace {
+
+core::PdsConfig v2_config() {
+  core::PdsConfig pds;
+  pds.wire.delta_bloom = true;
+  pds.wire.compress_entries = true;
+  pds.wire.chunk_bitmap = true;
+  return pds;
+}
+
+// Discovered-entry count of the first consumer (recall is reported as a
+// fraction; the underlying count is exact).
+std::size_t discovered(const PddOutcome& out, std::size_t entries) {
+  EXPECT_FALSE(out.per_consumer_recall.empty());
+  return static_cast<std::size_t>(std::lround(
+      out.per_consumer_recall.front() * static_cast<double>(entries)));
+}
+
+class WirePddInterop : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WirePddInterop, MixedPopulationsMatchClassicDiscovery) {
+  constexpr std::size_t kEntries = 800;
+  const auto run = [&](const char* label,
+                       std::function<void(NodeId, core::PdsConfig&)> hook) {
+    PddGridParams p;
+    p.nx = p.ny = 7;
+    p.metadata_count = kEntries;
+    p.seed = GetParam();
+    p.node_config = std::move(hook);
+    const PddOutcome out = run_pdd_grid(p);
+    EXPECT_TRUE(out.all_finished) << label;
+    return out;
+  };
+
+  const PddOutcome classic = run("all-classic", nullptr);
+  const PddOutcome v2 = run("all-v2", [](NodeId, core::PdsConfig& pds) {
+    pds = v2_config();
+  });
+  // Checkerboard: every other node emits v2 frames, so delta queries cross
+  // classic relays and classic queries cross v2 relays on every path.
+  const PddOutcome mixed =
+      run("checkerboard", [](NodeId id, core::PdsConfig& pds) {
+        if (id.value() % 2 == 0) pds = v2_config();
+      });
+  // The asymmetric corner: only the consumer (center of the 7x7 grid,
+  // id 24) speaks v2; every relay and producer is classic.
+  const PddOutcome lone_v2 =
+      run("lone-v2-consumer", [](NodeId id, core::PdsConfig& pds) {
+        if (id.value() == 24) pds = v2_config();
+      });
+
+  const std::size_t base = discovered(classic, kEntries);
+  EXPECT_EQ(base, kEntries) << "classic baseline must reach full recall";
+  EXPECT_EQ(discovered(v2, kEntries), base);
+  EXPECT_EQ(discovered(mixed, kEntries), base);
+  EXPECT_EQ(discovered(lone_v2, kEntries), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WirePddInterop,
+                         ::testing::Values(11, 12, 13));
+
+class WirePdrInterop : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WirePdrInterop, MixedPopulationsMatchClassicRetrieval) {
+  const auto run = [&](const char* label,
+                       std::function<void(NodeId, core::PdsConfig&)> hook) {
+    RetrievalGridParams p;
+    p.nx = p.ny = 7;
+    p.item_size_bytes = 2u * 1024 * 1024;  // 8 chunks of 256 KB
+    p.redundancy = 2;
+    p.seed = GetParam();
+    p.node_config = std::move(hook);
+    const RetrievalOutcome out = run_retrieval_grid(p);
+    EXPECT_TRUE(out.all_complete) << label;
+    EXPECT_DOUBLE_EQ(out.recall, 1.0) << label;
+    return out;
+  };
+
+  (void)run("all-classic", nullptr);
+  (void)run("all-v2",
+            [](NodeId, core::PdsConfig& pds) { pds = v2_config(); });
+  (void)run("checkerboard", [](NodeId id, core::PdsConfig& pds) {
+    if (id.value() % 2 == 0) pds = v2_config();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WirePdrInterop, ::testing::Values(21, 22));
+
+// Adaptive round spacing composes with the v2 wire and is recall-neutral.
+TEST(WireInterop, AdaptiveSpacingKeepsFullRecall) {
+  PddGridParams p;
+  p.nx = p.ny = 7;
+  p.metadata_count = 800;
+  p.seed = 31;
+  p.pds = v2_config();
+  p.pds.adaptive_round_spacing = true;
+  const PddOutcome out = run_pdd_grid(p);
+  EXPECT_TRUE(out.all_finished);
+  EXPECT_GE(out.recall, 0.999);
+}
+
+}  // namespace
+}  // namespace pds::wl

@@ -198,7 +198,7 @@ inline constexpr const char* kOutputTokens[] = {
 inline constexpr const char* kCodecTypeFiles[] = {
     "src/net/message.h",    "src/net/codec.h",     "src/net/transport.h",
     "src/net/face.h",       "src/core/descriptor.h", "src/core/attribute.h",
-    "src/core/predicate.h",
+    "src/core/predicate.h", "src/net/bloom_delta.h",
 };
 
 // Scalar type heads: a member whose type starts with one of these and that

@@ -961,6 +961,71 @@ inline std::vector<GateFailure> run_gates(const ParsedReport& rep) {
                       p->key() + ")");
       }
     }
+  } else if (e == "wire") {
+    // Wire-efficiency sweep (bench/tab_wire.cc; DESIGN.md §16). The v2
+    // extensions are pure encoding changes, so recall must match classic
+    // everywhere — and at the densest point the claim is quantitative:
+    // bytes on the air per discovered entry drops at least 20%.
+    const auto pts = rep.section("main");
+    gate.floor(pts, "recall", 0.99, "wire-recall-stays-full");
+    double densest = 0.0;
+    for (const ReportPoint* p : pts) {
+      densest = std::fmax(densest, p->num_param("entries"));
+    }
+    const ReportPoint* classic = nullptr;
+    const ReportPoint* v2 = nullptr;
+    for (const ReportPoint* p : pts) {
+      if (p->num_param("entries") != densest) continue;
+      if (p->str_param("variant") == "classic") classic = p;
+      if (p->str_param("variant") == "v2") v2 = p;
+    }
+    if (classic == nullptr || v2 == nullptr) {
+      gate.fail("wire-legs-present",
+                "main section missing the classic or v2 leg at the densest "
+                "point");
+    } else {
+      const double base = classic->mean("bytes_per_entry");
+      const double opt = v2->mean("bytes_per_entry");
+      if (opt > base * 0.8) {
+        gate.fail("wire-bytes-per-entry-drop",
+                  "v2 bytes/entry " + std::to_string(opt) +
+                      " not >=20% below classic " + std::to_string(base) +
+                      " at " + std::to_string(static_cast<int>(densest)) +
+                      " entries");
+      }
+      if (std::fabs(v2->mean("recall") - classic->mean("recall")) > 0.005) {
+        gate.fail("wire-recall-unchanged",
+                  "v2 recall " + std::to_string(v2->mean("recall")) +
+                      " differs from classic " +
+                      std::to_string(classic->mean("recall")) +
+                      " by more than 0.005");
+      }
+    }
+    // PDR leg: the chunk bitmap is a strict re-encoding of the same
+    // reconciliation state; retrieval must stay complete and overhead must
+    // not regress (small slack for round-timing ripple).
+    const auto pdr = rep.section("pdr");
+    gate.floor(pdr, "recall", 0.99, "wire-pdr-complete");
+    const ReportPoint* pdr_classic = nullptr;
+    const ReportPoint* pdr_v2 = nullptr;
+    for (const ReportPoint* p : pdr) {
+      if (p->str_param("variant") == "classic") pdr_classic = p;
+      if (p->str_param("variant") == "v2") pdr_v2 = p;
+    }
+    if (pdr_classic != nullptr && pdr_v2 != nullptr &&
+        pdr_v2->mean("overhead_mb") >
+            pdr_classic->mean("overhead_mb") * 1.05) {
+      gate.fail("wire-pdr-bitmap-no-regression",
+                "v2 retrieval overhead " +
+                    std::to_string(pdr_v2->mean("overhead_mb")) +
+                    " MB above classic " +
+                    std::to_string(pdr_classic->mean("overhead_mb")) +
+                    " MB by more than 5%");
+    }
+    // Adaptive spacing may trade latency for fewer low-yield rounds but can
+    // never cost recall.
+    gate.floor(rep.section("adaptive"), "recall", 0.99,
+               "wire-adaptive-recall");
   }
   // Experiments without assertions (micro_primitives) pass vacuously.
   return failures;

@@ -29,10 +29,11 @@ inline constexpr std::array<const char*, 4> keys(const char* a = nullptr,
   return {a, b, c, d};
 }
 
-inline constexpr std::array<EventSchema, 50> kEventCatalog = {{
+inline constexpr std::array<EventSchema, 51> kEventCatalog = {{
     // -- PDD discovery round lifecycle (§IV-B) -------------------------------
     {"pdd", "round", "BE", keys("round", "arrivals"),
      keys("round", "new", "total", "responses")},
+    {"pdd", "round_backoff", "i", keys("round", "delay_us"), keys()},
     {"pdd", "session_done", "i", keys("rounds", "total"), keys()},
     {"pdd", "serve", "i", keys("query", "entries"), keys()},
     {"pdd", "deliver_local", "i", keys("query", "entries"), keys()},
