@@ -102,15 +102,29 @@ void DataDescriptor::encode(ByteWriter& w) const {
 DataDescriptor DataDescriptor::decode(ByteReader& r) {
   DataDescriptor d;
   const std::uint16_t n = r.get_u16();
+  // A serialized attribute is at least 5 bytes (u16 name length + value
+  // tag + u16 string length), so a count the remaining buffer cannot hold
+  // is malformed; reject it before it drives the loop and the vector
+  // growth below (pdsflow wire-taint).
+  if (std::size_t{n} * 5 > r.remaining()) {
+    throw DecodeError("descriptor attribute count exceeds buffer");
+  }
+  d.attrs_.reserve(n);
   for (std::uint16_t i = 0; i < n; ++i) {
     d.attrs_.push_back(decode_attribute(r));
   }
-  // The wire is produced by encode() and therefore sorted, but a malformed
-  // message must not break the sorted-invariant other code relies on.
-  const bool sorted = std::is_sorted(
-      d.attrs_.begin(), d.attrs_.end(),
-      [](const Attribute& a, const Attribute& b) { return a.name < b.name; });
-  if (!sorted) throw DecodeError("descriptor attributes not canonical");
+  // The wire is produced by encode() and is therefore strictly sorted
+  // (set() keeps names unique); a malformed message must not break that
+  // invariant. Strictness matters: a duplicate name would pass a plain
+  // is_sorted check here yet be rejected by the compressed-entry encoding,
+  // so the same descriptor would round-trip on one wire form and not the
+  // other.
+  const bool canonical =
+      std::adjacent_find(d.attrs_.begin(), d.attrs_.end(),
+                         [](const Attribute& a, const Attribute& b) {
+                           return !(a.name < b.name);
+                         }) == d.attrs_.end();
+  if (!canonical) throw DecodeError("descriptor attributes not canonical");
   return d;
 }
 

@@ -69,6 +69,13 @@ void Filter::encode(ByteWriter& w) const {
 Filter Filter::decode(ByteReader& r) {
   Filter f;
   const std::uint16_t n = r.get_u16();
+  // A serialized predicate is at least 6 bytes (u16 attr length + u8
+  // relation + value tag + u16 string length); reject counts the buffer
+  // cannot hold before they bound the loop (pdsflow wire-taint).
+  if (std::size_t{n} * 6 > r.remaining()) {
+    throw DecodeError("predicate count exceeds buffer");
+  }
+  f.preds_.reserve(n);
   for (std::uint16_t i = 0; i < n; ++i) {
     Predicate p;
     p.attr = r.get_string();

@@ -55,6 +55,29 @@ bool cdi_strictly_increasing(const std::vector<CdiEntry>& v) {
   return true;
 }
 
+// The bitmap wire form caps its span; a wider id range (possible for
+// decoded foreign messages, never for protocol-produced ones) must fall
+// back to the list encoding or encode() would emit frames its own decoder
+// rejects — and allocate span/8 bytes doing it.
+bool bitmap_span_fits(std::uint64_t lo, std::uint64_t hi) {
+  return hi - lo + 1 <= kMaxBitmapSpan;
+}
+
+bool cdi_spans_fit(const std::vector<CdiEntry>& v) {
+  std::map<std::uint32_t, std::pair<ChunkIndex, ChunkIndex>> range;
+  for (const CdiEntry& e : v) {
+    auto [it, fresh] = range.try_emplace(e.hop_count, e.chunk, e.chunk);
+    if (!fresh) {
+      it->second.first = std::min(it->second.first, e.chunk);
+      it->second.second = std::max(it->second.second, e.chunk);
+    }
+  }
+  for (const auto& [hop, lo_hi] : range) {
+    if (!bitmap_span_fits(lo_hi.first, lo_hi.second)) return false;
+  }
+  return true;
+}
+
 // Which reconciliation-extension bits this (config, message) pair emits.
 // The bitmap forms require canonically ordered inputs — anything else (which
 // protocol code never produces) falls back to the classic list encodings so
@@ -64,14 +87,17 @@ std::uint8_t ext_bits(const WireConfig& cfg, const Message& m) {
   if (m.is_query()) {
     if (m.exclude_delta.has_value()) bits |= kExtDeltaBloom;
     if (cfg.chunk_bitmap && !m.requested_chunks.empty() &&
-        strictly_increasing(m.requested_chunks)) {
+        strictly_increasing(m.requested_chunks) &&
+        bitmap_span_fits(m.requested_chunks.front(),
+                         m.requested_chunks.back())) {
       bits |= kExtChunkBitmap;
     }
   } else if (m.is_response()) {
     if (cfg.compress_entries && (!m.metadata.empty() || !m.items.empty())) {
       bits |= kExtCompressedEntries;
     }
-    if (cfg.chunk_bitmap && !m.cdi.empty() && cdi_strictly_increasing(m.cdi)) {
+    if (cfg.chunk_bitmap && !m.cdi.empty() &&
+        cdi_strictly_increasing(m.cdi) && cdi_spans_fit(m.cdi)) {
       bits |= kExtChunkBitmap;
     }
   }
@@ -251,15 +277,21 @@ class EntryDecompressor {
     if (n > kMaxDictNames) {
       throw DecodeError("attribute dictionary too large");
     }
+    // Stage into a local and commit after the last throw point so a
+    // malformed dictionary never leaves the decompressor holding a
+    // partial name table (pdsflow decode-atomicity).
     std::set<std::string> seen;
+    std::vector<std::string> names;
+    names.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
       std::string name = r.get_string();
       if (!seen.insert(name).second) {
         throw DecodeError("duplicate attribute dictionary name");
       }
-      names_.push_back(std::move(name));
+      names.push_back(std::move(name));
     }
-    prev_.resize(names_.size());
+    names_ = std::move(names);
+    prev_.assign(names_.size(), {});
   }
 
   core::DataDescriptor decode_entry(ByteReader& r) {
@@ -298,7 +330,11 @@ class EntryDecompressor {
           if (s.size() > kMaxStringBytes) {
             throw DecodeError("string value too long");
           }
-          prev = s;
+          // The prefix chain must advance per attribute; if a later field
+          // of this message throws, the whole decompressor (and with it
+          // this partial chain state) is discarded by Codec::decode, so
+          // the mid-loop member write is safe here.
+          prev = s;  // pdsflow:allow(decode-atomicity)
           value = std::move(s);
           break;
         }
@@ -512,6 +548,14 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
   }
   if (m.is_ack()) {
     const std::uint16_t n_tokens = r.get_u16();
+    // Every wire count below is validated against the bytes actually left
+    // in the buffer (scaled by the element's minimum encoded size) before
+    // it bounds a loop, so a hostile length prefix cannot drive iteration
+    // or allocation past the frame (pdsflow wire-taint).
+    if (std::size_t{n_tokens} * 8 > r.remaining()) {
+      throw DecodeError("ack token count exceeds buffer");
+    }
+    m.ack_tokens.reserve(n_tokens);
     for (std::uint16_t i = 0; i < n_tokens; ++i) {
       m.ack_tokens.push_back(r.get_u64());
     }
@@ -522,6 +566,10 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
     m.ack_tokens.push_back(r.get_u64());
     m.acker = NodeId(r.get_u32());
     const std::uint16_t n_missing = r.get_u16();
+    if (std::size_t{n_missing} * 4 > r.remaining()) {
+      throw DecodeError("repair chunk count exceeds buffer");
+    }
+    m.requested_chunks.reserve(n_missing);
     for (std::uint16_t i = 0; i < n_missing; ++i) {
       m.requested_chunks.push_back(r.get_u32());
     }
@@ -550,6 +598,10 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
   m.expire_at = SimTime::micros(r.get_i64());
   m.ttl = r.get_u8();
   const std::uint8_t n_recv = r.get_u8();
+  if (std::size_t{n_recv} * 4 > r.remaining()) {
+    throw DecodeError("receiver count exceeds buffer");
+  }
+  m.receivers.reserve(n_recv);
   for (std::uint8_t i = 0; i < n_recv; ++i) {
     m.receivers.emplace_back(r.get_u32());
   }
@@ -569,6 +621,10 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
       m.requested_chunks = decode_chunk_bitmap(r);
     } else {
       const std::uint16_t n_chunks = r.get_u16();
+      if (std::size_t{n_chunks} * 4 > r.remaining()) {
+        throw DecodeError("requested chunk count exceeds buffer");
+      }
+      m.requested_chunks.reserve(n_chunks);
       for (std::uint16_t i = 0; i < n_chunks; ++i) {
         m.requested_chunks.push_back(r.get_u32());
       }
@@ -589,6 +645,11 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
       }
     } else {
       const std::uint16_t n_meta = r.get_u16();
+      // A descriptor is at least its u16 attribute count on the wire.
+      if (std::size_t{n_meta} * 2 > r.remaining()) {
+        throw DecodeError("metadata count exceeds buffer");
+      }
+      m.metadata.reserve(n_meta);
       for (std::uint16_t i = 0; i < n_meta; ++i) {
         m.metadata.push_back(core::DataDescriptor::decode(r));
       }
@@ -597,6 +658,10 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
       m.cdi = decode_cdi_bitmap(r);
     } else {
       const std::uint16_t n_cdi = r.get_u16();
+      if (std::size_t{n_cdi} * 8 > r.remaining()) {
+        throw DecodeError("CDI entry count exceeds buffer");
+      }
+      m.cdi.reserve(n_cdi);
       for (std::uint16_t i = 0; i < n_cdi; ++i) {
         CdiEntry e;
         e.chunk = r.get_u32();
@@ -629,6 +694,11 @@ Message Codec::decode(std::span<const std::byte> bytes) const {
       }
     } else {
       const std::uint16_t n_items = r.get_u16();
+      // Item = descriptor (>= 2 bytes) + u32 size + u64 hash.
+      if (std::size_t{n_items} * 14 > r.remaining()) {
+        throw DecodeError("item count exceeds buffer");
+      }
+      m.items.reserve(n_items);
       for (std::uint16_t i = 0; i < n_items; ++i) {
         ItemPayload item;
         item.descriptor = core::DataDescriptor::decode(r);

@@ -101,6 +101,14 @@ BloomFilter BloomFilter::decode(std::span<const std::byte> in) {
   if (bits == 0 || hashes == 0 || bits > (1u << 28)) {
     throw DecodeError("malformed Bloom filter header");
   }
+  // The header promises one u64 per 64-bit word; a short buffer would
+  // fail word-by-word below anyway, but checking up front keeps a hostile
+  // header from forcing the full (up to 32 MiB) zeroed allocation first
+  // (pdsflow wire-taint).
+  const std::size_t words = (std::size_t{bits} + 63) / 64;
+  if (r.remaining() < words * 8) {
+    throw DecodeError("Bloom filter body exceeds buffer");
+  }
   BloomFilter f(bits, hashes, seed);
   for (auto& word : f.bits_) word = r.get_u64();
   return f;

@@ -1,0 +1,72 @@
+// Replays the checked-in fuzz seed corpus (tests/corpus/*.bin) through the
+// shared fuzz harness in the normal build. The corpus holds one valid
+// encoding per frame shape (classic and v2) plus known-malformed inputs;
+// any input that once crashed the decoder gets minimized and added here so
+// the regression stays covered without a fuzzing toolchain. PDS_CORPUS_DIR
+// is injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tests/codec_fuzz_harness.h"
+
+namespace pds::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(PDS_CORPUS_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".bin") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::uint8_t> slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(CodecCorpus, HasSeedsForEveryFrameShape) {
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 6u) << "seed corpus went missing from " PDS_CORPUS_DIR;
+}
+
+TEST(CodecCorpus, EverySeedDecodesOrRejectsCleanly) {
+  for (const fs::path& p : corpus_files()) {
+    const std::vector<std::uint8_t> bytes = slurp(p);
+    SCOPED_TRACE(p.filename().string());
+    // Aborts (caught by the test runner as a crash) on contract breaks;
+    // returns whether the input was accepted.
+    const bool accepted = fuzz_one_input(bytes.data(), bytes.size());
+    const bool expect_valid =
+        p.filename().string().rfind("malformed_", 0) != 0;
+    EXPECT_EQ(accepted, expect_valid);
+  }
+}
+
+TEST(CodecCorpus, TruncationsOfEverySeedRejectCleanly) {
+  // Every strict prefix of a valid frame must reject with DecodeError —
+  // the same sweep a fuzzer does on its first pass, kept in-tree.
+  for (const fs::path& p : corpus_files()) {
+    const std::vector<std::uint8_t> bytes = slurp(p);
+    SCOPED_TRACE(p.filename().string());
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+      // encode() emits exactly the bytes decode() consumes, so a strict
+      // prefix always truncates some field mid-read.
+      EXPECT_FALSE(fuzz_one_input(bytes.data(), n)) << "prefix length " << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pds::net

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "net/bloom_delta.h"
 #include "net/codec.h"
+#include "tests/codec_fuzz_harness.h"
 
 namespace pds::net {
 namespace {
@@ -308,6 +309,32 @@ TEST_P(CodecFuzzV2, MutationsRaiseDecodeErrorNeverUB) {
       } catch (const DecodeError&) {
         // the only acceptable failure mode
       }
+    }
+  }
+}
+
+// The shared libFuzzer harness (tests/codec_fuzz_harness.h) enforces a
+// stronger contract than decode-must-not-crash: any accepted input must
+// re-encode to a byte-identical fixed point. Drive it with the same
+// structure-aware mutants, so this property suite and the coverage-guided
+// fuzzer (-DPDS_FUZZ=ON) check exactly the same predicate.
+TEST_P(CodecFuzzV2, HarnessFixedPointHoldsUnderMutation) {
+  Rng rng(GetParam() ^ 0x5eedf);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Codec codec(random_wire_config(rng));
+    const Message m = random_message_v2(rng);
+    const std::vector<std::byte> wire = codec.encode(m);
+    if (wire.empty()) continue;
+    const auto* data = reinterpret_cast<const std::uint8_t*>(wire.data());
+    EXPECT_TRUE(fuzz_one_input(data, wire.size()))
+        << "pristine wire rejected at trial " << trial;
+    for (int flip = 0; flip < 8; ++flip) {
+      std::vector<std::byte> mutated = wire;
+      const std::size_t pos = rng.next_u64() % mutated.size();
+      mutated[pos] ^= static_cast<std::byte>(1u << (rng.next_u64() % 8));
+      (void)fuzz_one_input(
+          reinterpret_cast<const std::uint8_t*>(mutated.data()),
+          mutated.size());
     }
   }
 }

@@ -1,0 +1,17 @@
+// libFuzzer entry point for the wire codec (built only with -DPDS_FUZZ=ON;
+// requires clang's -fsanitize=fuzzer). Seed with tests/corpus/:
+//
+//   ./tests/codec_fuzzer ../tests/corpus -max_len=4096
+//
+// All checking lives in tests/codec_fuzz_harness.h, shared with the
+// corpus-replay regression test that runs in the normal build.
+#include <cstddef>
+#include <cstdint>
+
+#include "tests/codec_fuzz_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  pds::net::fuzz_one_input(data, size);
+  return 0;
+}

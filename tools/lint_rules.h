@@ -41,77 +41,18 @@
 #include <string_view>
 #include <vector>
 
-#include "obs/report.h"
+#include "tools/lint_common.h"
 #include "tools/lint_lexer.h"
 #include "tools/stats_schema.h"
 #include "tools/trace_schema.h"
 
 namespace pds::lint {
 
-// Schema identifier of the machine-readable findings report.
-inline constexpr const char* kLintReportSchema = "pds-lint-report/1";
-
-enum class Severity { kWarning, kError };
-
-inline const char* severity_name(Severity s) {
-  return s == Severity::kError ? "error" : "warning";
-}
-
-// ---------------------------------------------------------------------------
-// Rule tables. Adding a rule = adding rows here plus a check routine below.
-
-struct RuleSpec {
-  const char* id;
-  Severity severity;
-  // The runtime invariant the rule protects, verbatim in `pdslint
-  // --list-rules` and the JSON report.
-  const char* invariant;
-};
-
-inline constexpr RuleSpec kRules[] = {
-    {"wall-clock", Severity::kError,
-     "sim-time determinism: traces and bench reports are byte-identical "
-     "run-to-run; ambient clocks would leak real time into results"},
-    {"ambient-rng", Severity::kError,
-     "seed reproducibility: every random draw derives from one explicit "
-     "seed via pds::Rng; ambient RNGs differ across runs and platforms"},
-    {"unordered-iter", Severity::kError,
-     "output/RNG-order determinism: hash-order iteration feeding trace, "
-     "report, stats or Rng-consuming paths varies across libstdc++ versions "
-     "and seeds of the hash function"},
-    {"pointer-order", Severity::kError,
-     "cross-run determinism: pointer values change with ASLR, so ordering "
-     "or hashing by pointer yields a different order every run"},
-    {"ambient-parallelism", Severity::kError,
-     "thread-count independence: same-seed runs are byte-identical on any "
-     "machine, so worker counts come from explicit config (PDS_BENCH_JOBS, "
-     "RadioConfig::shard_threads), never from probing the host"},
-    {"uninit-field", Severity::kWarning,
-     "wire correctness: codec/message scalar fields need default member "
-     "initializers so partially-filled messages encode deterministically"},
-    {"decode-assert", Severity::kWarning,
-     "decode robustness: decoders must validate input (PDS_ENSURE / "
-     "DecodeError / throw) instead of trusting wire bytes"},
-    {"trace-schema", Severity::kError,
-     "trace catalog completeness: every PDS_TRACE_* emission names a "
-     "(subsystem, event) registered in tools/trace_schema.h, so trace_check "
-     "can validate any capture and analysis tools never meet unknown events"},
-    {"stats-schema", Severity::kError,
-     "flight-recorder catalog completeness: every PDS_TS_COLUMN column and "
-     "PDS_PROF_SCOPE scope names an entry registered in "
-     "tools/stats_schema.h, so pdscli stats can render any capture and "
-     "resource gates never meet unknown series"},
-    {"bad-suppression", Severity::kError,
-     "suppression hygiene: a misspelled pdslint:allow(...) must fail loudly "
-     "rather than silently disabling a gate"},
-};
-
-inline const RuleSpec* find_rule(std::string_view id) {
-  for (const RuleSpec& r : kRules) {
-    if (id == r.id) return &r;
-  }
-  return nullptr;
-}
+// Rule table, finding/summary types, audited suppressions and JSON
+// rendering live in tools/lint_common.h, shared with pdsflow. This header
+// owns only what is pdslint-specific: the token-level ban tables and the
+// check routines. Adding a rule = adding a row to kRules in lint_common.h
+// plus a check routine below.
 
 // Identifier-level bans. `call_only` rows fire only when the identifier is
 // followed by `(` — `time` and `clock` are too common as substrings of
@@ -213,24 +154,6 @@ inline constexpr const char* kScalarTypeTokens[] = {
 
 // ---------------------------------------------------------------------------
 
-struct Finding {
-  std::string rule;
-  Severity severity = Severity::kError;
-  std::string file;  // repo-relative, forward slashes
-  int line = 1;
-  std::string message;
-  bool suppressed = false;
-};
-
-struct LintSummary {
-  int files_scanned = 0;
-  int errors = 0;       // unsuppressed errors
-  int warnings = 0;     // unsuppressed warnings
-  int suppressed = 0;
-
-  [[nodiscard]] int unsuppressed() const { return errors + warnings; }
-};
-
 namespace rules_detail {
 
 inline bool has_suffix(std::string_view s, std::string_view suffix) {
@@ -241,76 +164,6 @@ inline bool has_suffix(std::string_view s, std::string_view suffix) {
 inline bool file_allowlisted(std::string_view rule, std::string_view path) {
   for (const FileAllowEntry& e : kFileAllowlist) {
     if (rule == e.rule && has_suffix(path, e.path_suffix)) return true;
-  }
-  return false;
-}
-
-// Parsed suppression state for one file.
-struct Suppressions {
-  // line -> rules allowed on that line (and the one below it).
-  std::map<int, std::set<std::string>> by_line;
-  std::set<std::string> file_wide;
-  std::vector<Finding> bad;  // unknown rule names inside allow(...)
-};
-
-inline void parse_allow_list(const std::string& args, const std::string& file,
-                             int line, std::set<std::string>& out,
-                             std::vector<Finding>& bad) {
-  std::size_t pos = 0;
-  while (pos <= args.size()) {
-    std::size_t comma = args.find(',', pos);
-    if (comma == std::string::npos) comma = args.size();
-    std::string name = args.substr(pos, comma - pos);
-    // trim
-    const auto b = name.find_first_not_of(" \t");
-    const auto e = name.find_last_not_of(" \t");
-    name = (b == std::string::npos) ? "" : name.substr(b, e - b + 1);
-    if (!name.empty()) {
-      if (find_rule(name) == nullptr || name == "bad-suppression") {
-        bad.push_back({"bad-suppression", Severity::kError, file, line,
-                       "unknown rule '" + name + "' in pdslint suppression",
-                       false});
-      } else {
-        out.insert(name);
-      }
-    }
-    if (comma == args.size()) break;
-    pos = comma + 1;
-  }
-}
-
-inline Suppressions collect_suppressions(const LexedFile& lexed,
-                                         const std::string& file) {
-  Suppressions sup;
-  for (const Comment& c : lexed.comments) {
-    for (const char* marker : {"pdslint:allow-file(", "pdslint:allow("}) {
-      std::size_t at = 0;
-      while ((at = c.text.find(marker, at)) != std::string::npos) {
-        const std::size_t open = at + std::string_view(marker).size();
-        const std::size_t close = c.text.find(')', open);
-        if (close == std::string::npos) break;
-        const std::string args = c.text.substr(open, close - open);
-        const bool file_wide =
-            std::string_view(marker) == "pdslint:allow-file(";
-        if (file_wide) {
-          parse_allow_list(args, file, c.line, sup.file_wide, sup.bad);
-        } else {
-          parse_allow_list(args, file, c.line, sup.by_line[c.end_line],
-                           sup.bad);
-        }
-        at = close;
-      }
-    }
-  }
-  return sup;
-}
-
-inline bool suppressed_at(const Suppressions& sup, const std::string& rule,
-                          int line) {
-  if (sup.file_wide.count(rule) != 0) return true;
-  for (int l : {line, line - 1}) {
-    const auto it = sup.by_line.find(l);
-    if (it != sup.by_line.end() && it->second.count(rule) != 0) return true;
   }
   return false;
 }
@@ -849,7 +702,9 @@ inline std::vector<Finding> lint_source(
     const std::vector<std::string>& header_names = {}) {
   using namespace rules_detail;
   const LexedFile lexed = lex(content);
-  const Suppressions sup = collect_suppressions(lexed, path);
+  // "pdslint" is the primary prefix: pdsflow:allow tags are audited for
+  // typos here too, but only pdslint:allow tags suppress these findings.
+  const Suppressions sup = collect_suppressions(lexed, path, "pdslint");
 
   std::vector<Finding> findings = sup.bad;
   check_banned_tokens(lexed, path, sup, findings);
@@ -866,68 +721,16 @@ inline std::vector<Finding> lint_source(
   check_trace_schema(lexed, path, sup, findings);
   check_stats_schema(lexed, path, sup, findings);
 
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
+  sort_findings(findings);
   return findings;
 }
 
-inline LintSummary summarize(const std::vector<Finding>& findings,
-                             int files_scanned) {
-  LintSummary s;
-  s.files_scanned = files_scanned;
-  for (const Finding& f : findings) {
-    if (f.suppressed) {
-      ++s.suppressed;
-    } else if (f.severity == Severity::kError) {
-      ++s.errors;
-    } else {
-      ++s.warnings;
-    }
-  }
-  return s;
-}
-
-// Machine-readable findings report (schema pds-lint-report/1), rendered with
-// the same JsonWriter the bench telemetry uses so output is deterministic.
+// Machine-readable findings report (schema pds-lint-report/1), rendered via
+// the shared writer in lint_common.h so pdslint and pdsflow reports stay
+// shape-compatible.
 inline std::string render_json(const std::vector<Finding>& findings,
                                const LintSummary& summary) {
-  obs::JsonWriter w;
-  w.begin_object();
-  w.key("schema").value(kLintReportSchema);
-  w.key("rules").begin_array();
-  for (const RuleSpec& r : kRules) {
-    w.begin_object();
-    w.key("id").value(r.id);
-    w.key("severity").value(severity_name(r.severity));
-    w.key("invariant").value(r.invariant);
-    w.end_object();
-  }
-  w.end_array();
-  w.key("findings").begin_array();
-  for (const Finding& f : findings) {
-    w.begin_object();
-    w.key("rule").value(f.rule);
-    w.key("severity").value(severity_name(f.severity));
-    w.key("file").value(f.file);
-    w.key("line").value(static_cast<std::int64_t>(f.line));
-    w.key("message").value(f.message);
-    w.key("suppressed").value(f.suppressed);
-    w.end_object();
-  }
-  w.end_array();
-  w.key("summary").begin_object();
-  w.key("files_scanned")
-      .value(static_cast<std::int64_t>(summary.files_scanned));
-  w.key("errors").value(static_cast<std::int64_t>(summary.errors));
-  w.key("warnings").value(static_cast<std::int64_t>(summary.warnings));
-  w.key("suppressed").value(static_cast<std::int64_t>(summary.suppressed));
-  w.end_object();
-  w.end_object();
-  return w.take();
+  return render_findings_json(kLintReportSchema, kRules, findings, summary);
 }
 
 }  // namespace pds::lint

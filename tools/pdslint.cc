@@ -17,6 +17,8 @@
 #include "tools/lint_rules.h"
 
 namespace fs = std::filesystem;
+using pds::lint::cli::display_path;
+using pds::lint::cli::read_file;
 
 namespace {
 
@@ -28,28 +30,6 @@ constexpr const char* kUsage =
     "current directory). Suppress a finding with // pdslint:allow(<rule>)\n"
     "on the offending or preceding line, or file-wide with\n"
     "// pdslint:allow-file(<rule>).\n";
-
-bool has_ext(const fs::path& p, const char* a, const char* b, const char* c) {
-  const std::string e = p.extension().string();
-  return e == a || e == b || e == c;
-}
-
-bool read_file(const fs::path& p, std::string& out) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  out = ss.str();
-  return true;
-}
-
-// Repo-relative display path with forward slashes.
-std::string display_path(const fs::path& file, const fs::path& root) {
-  std::error_code ec;
-  fs::path rel = fs::relative(file, root, ec);
-  if (ec || rel.empty()) rel = file;
-  return rel.generic_string();
-}
 
 // Collects unordered-container names from the paired header of a .cc file,
 // so member iteration in the implementation file is attributed.
@@ -108,29 +88,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Gather files; sorted so findings and the JSON report are deterministic
-  // regardless of directory enumeration order.
   std::vector<fs::path> files;
-  for (const fs::path& input : inputs) {
-    std::error_code ec;
-    if (fs::is_directory(input, ec)) {
-      for (auto it = fs::recursive_directory_iterator(input, ec);
-           !ec && it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_regular_file() &&
-            has_ext(it->path(), ".h", ".cc", ".cpp")) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(input, ec)) {
-      files.push_back(input);
-    } else {
-      std::fprintf(stderr, "pdslint: cannot read %s\n",
-                   input.string().c_str());
-      return 2;
-    }
+  std::string gather_error;
+  if (!pds::lint::cli::gather_files(inputs, files, gather_error)) {
+    std::fprintf(stderr, "pdslint: cannot read %s\n", gather_error.c_str());
+    return 2;
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
 
   std::vector<pds::lint::Finding> findings;
   int scanned = 0;

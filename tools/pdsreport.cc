@@ -66,9 +66,9 @@ std::vector<std::string> collect_reports(const std::vector<std::string>& args,
   return files;
 }
 
-// `sidecar`, when non-null, is set to "causal" or "stats" for
-// pds-causal-report/1 / pds-stats-report/1 documents (which validate against
-// their own schema and produce no ParsedReport).
+// `sidecar`, when non-null, is set to "causal", "stats" or "flow" for
+// pds-causal-report/1 / pds-stats-report/1 / pds-flow-report/1 documents
+// (which validate against their own schema and produce no ParsedReport).
 std::optional<ParsedReport> load_report(const std::string& path,
                                         std::vector<std::string>& errors,
                                         const char** sidecar = nullptr) {
@@ -95,6 +95,11 @@ std::optional<ParsedReport> load_report(const std::string& path,
     if (schema->text == kStatsReportSchema) {
       if (sidecar != nullptr) *sidecar = "stats";
       validate_stats_report(*root, errors);
+      return std::nullopt;
+    }
+    if (schema->text == kFlowReportSchema) {
+      if (sidecar != nullptr) *sidecar = "flow";
+      validate_flow_report(*root, errors);
       return std::nullopt;
     }
   }

@@ -27,6 +27,7 @@ namespace pds::tools {
 inline constexpr const char* kBenchReportSchema = "pds-bench-report/1";
 inline constexpr const char* kCausalReportSchema = "pds-causal-report/1";
 inline constexpr const char* kStatsReportSchema = "pds-stats-report/1";
+inline constexpr const char* kFlowReportSchema = "pds-flow-report/1";
 
 // Peak-RSS ceiling for the 50k-node scale run (ROADMAP's 0.8 GB target plus
 // allocator/measurement headroom), enforced by the `rss-peak-50k-budget`
@@ -481,6 +482,133 @@ inline void validate_stats_report(const JsonValue& root,
         for (const char* key : {"depth", "ns", "calls", "share"}) {
           require_number(e, key, where);
         }
+      }
+    }
+  }
+}
+
+// Schema check for pds-flow-report/1 documents (pdsflow --json findings,
+// tools/flow_analysis.h). Valid iff `errors` stays empty: rule table,
+// per-finding fields (fingerprint required on unsuppressed findings so the
+// baseline workflow can always key them), and a summary whose counts match
+// the findings actually listed.
+inline void validate_flow_report(const JsonValue& root,
+                                 std::vector<std::string>& errors) {
+  using check_detail::require_string;
+  if (!root.is_object()) {
+    errors.emplace_back("document is not a JSON object");
+    return;
+  }
+  std::string schema;
+  require_string(root, "schema", schema, "root", errors);
+  if (!schema.empty() && schema != kFlowReportSchema) {
+    errors.push_back("unsupported schema \"" + schema + "\" (want " +
+                     kFlowReportSchema + ")");
+  }
+
+  std::string text;
+  const JsonValue* rules = root.find("rules");
+  if (rules == nullptr || !rules->is_array() || rules->items.empty()) {
+    errors.emplace_back("root: missing non-empty array \"rules\"");
+  } else {
+    for (std::size_t i = 0; i < rules->items.size(); ++i) {
+      const std::string where = "rules[" + std::to_string(i) + "]";
+      const JsonValue& r = rules->items[i];
+      if (!r.is_object()) {
+        errors.push_back(where + ": not an object");
+        continue;
+      }
+      require_string(r, "id", text, where.c_str(), errors);
+      require_string(r, "invariant", text, where.c_str(), errors);
+      std::string severity;
+      require_string(r, "severity", severity, where.c_str(), errors);
+      if (!severity.empty() && severity != "error" && severity != "warning") {
+        errors.push_back(where + ": severity must be error or warning");
+      }
+    }
+  }
+
+  int errors_seen = 0;
+  int warnings_seen = 0;
+  int suppressed_seen = 0;
+  const JsonValue* findings = root.find("findings");
+  if (findings == nullptr || !findings->is_array()) {
+    errors.emplace_back("root: missing array \"findings\"");
+  } else {
+    for (std::size_t i = 0; i < findings->items.size(); ++i) {
+      const std::string where = "findings[" + std::to_string(i) + "]";
+      const JsonValue& f = findings->items[i];
+      if (!f.is_object()) {
+        errors.push_back(where + ": not an object");
+        continue;
+      }
+      std::string rule;
+      require_string(f, "rule", rule, where.c_str(), errors);
+      require_string(f, "file", text, where.c_str(), errors);
+      require_string(f, "message", text, where.c_str(), errors);
+      const JsonValue* line = f.find("line");
+      if (line == nullptr || !line->is_number() || line->number < 1) {
+        errors.push_back(where + ": missing positive number \"line\"");
+      }
+      std::string severity;
+      require_string(f, "severity", severity, where.c_str(), errors);
+      const JsonValue* suppressed = f.find("suppressed");
+      const bool is_suppressed = suppressed != nullptr &&
+                                 suppressed->type == JsonValue::Type::kBool &&
+                                 suppressed->boolean;
+      if (suppressed == nullptr ||
+          suppressed->type != JsonValue::Type::kBool) {
+        errors.push_back(where + ": missing bool \"suppressed\"");
+      }
+      // bad-suppression findings carry no fingerprint; every flow-rule
+      // finding must, or the baseline cannot key it.
+      const JsonValue* fingerprint = f.find("fingerprint");
+      if ((fingerprint == nullptr || !fingerprint->is_string() ||
+           fingerprint->text.empty()) &&
+          rule != "bad-suppression") {
+        errors.push_back(where + ": missing string \"fingerprint\"");
+      }
+      if (is_suppressed) {
+        ++suppressed_seen;
+      } else if (severity == "warning") {
+        ++warnings_seen;
+      } else {
+        ++errors_seen;
+      }
+    }
+  }
+
+  const JsonValue* summary = root.find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    errors.emplace_back("root: missing object \"summary\"");
+  } else {
+    const auto count = [&](const char* key) -> int {
+      const JsonValue* v = summary->find(key);
+      if (v == nullptr || !v->is_number()) {
+        errors.push_back(std::string("summary: missing number \"") + key +
+                         "\"");
+        return -1;
+      }
+      return static_cast<int>(v->number);
+    };
+    count("files_scanned");
+    const int e = count("errors");
+    const int w = count("warnings");
+    const int s = count("suppressed");
+    if (findings != nullptr && findings->is_array()) {
+      if (e >= 0 && e != errors_seen) {
+        errors.push_back("summary: errors=" + std::to_string(e) +
+                         " but findings list " + std::to_string(errors_seen));
+      }
+      if (w >= 0 && w != warnings_seen) {
+        errors.push_back("summary: warnings=" + std::to_string(w) +
+                         " but findings list " +
+                         std::to_string(warnings_seen));
+      }
+      if (s >= 0 && s != suppressed_seen) {
+        errors.push_back("summary: suppressed=" + std::to_string(s) +
+                         " but findings list " +
+                         std::to_string(suppressed_seen));
       }
     }
   }
